@@ -1,0 +1,68 @@
+"""E13 — ablation: sensitivity to the attention window y (Section 4.2).
+
+The paper's reading of the heatmaps: for *correlation* the best window
+tracks each corpus' citation speed (y = 1 for fast-moving hep-th, y = 3-4
+for APS/PMC/DBLP), while for *nDCG@50* small windows win everywhere
+because long windows re-introduce age bias at the top of the ranking.
+This bench isolates that effect: AttRank tuned per window.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.heatmap import attention_heatmap
+from repro.analysis.reporting import format_series
+from repro.eval.metrics import NDCG, SpearmanRho
+from repro.synth.profiles import DATASET_NAMES
+
+WINDOWS = (1, 2, 3, 4, 5)
+
+
+def test_ablation_attention_window(default_splits, benchmark):
+    def compute():
+        results = {}
+        for name in DATASET_NAMES:
+            split = default_splits[name]
+            results[name] = {
+                "spearman": attention_heatmap(
+                    split, SpearmanRho(), windows=WINDOWS
+                ),
+                "ndcg": attention_heatmap(split, NDCG(50), windows=WINDOWS),
+            }
+        return results
+
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    blocks = []
+    for metric_key, metric_label in (("spearman", "Spearman rho"),
+                                     ("ndcg", "nDCG@50")):
+        series = {
+            name: [
+                sweeps[name][metric_key].best_for_window(w)[2]
+                for w in WINDOWS
+            ]
+            for name in DATASET_NAMES
+        }
+        blocks.append(
+            format_series(
+                "y",
+                list(WINDOWS),
+                series,
+                title=f"Ablation: best {metric_label} per attention window",
+            )
+        )
+    emit("ablation_attention_window", "\n\n".join(blocks))
+
+    for name in DATASET_NAMES:
+        ndcg = sweeps[name]["ndcg"]
+        peaks = {w: ndcg.best_for_window(w)[2] for w in WINDOWS}
+        # nDCG prefers short windows: y = 1 or 2 beats y = 5 everywhere.
+        assert max(peaks[1], peaks[2]) >= peaks[5] - 1e-9, name
+    # Correlation tolerates (or prefers) longer windows on the
+    # slower-moving corpora: the best window for APS/DBLP is >= the best
+    # window for hep-th.
+    def best_window(name):
+        sweep = sweeps[name]["spearman"]
+        return max(WINDOWS, key=lambda w: sweep.best_for_window(w)[2])
+
+    assert best_window("aps") >= best_window("hep-th")

@@ -1,0 +1,58 @@
+"""E3 — Figure 1a: the citation-age distribution of each corpus.
+
+The paper's Figure 1a shows the fraction of citations arriving n years
+after the cited paper's publication: a rise to a peak in the first 1-3
+years, then an exponential-looking decay, with hep-th peaking noticeably
+earlier than APS/PMC/DBLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.analysis.reporting import format_series
+from repro.graph.statistics import citation_age_distribution
+from repro.synth.profiles import DATASET_NAMES
+
+MAX_AGE = 10
+
+
+def test_figure1a_citation_age(datasets, benchmark):
+    def compute():
+        return {
+            name: citation_age_distribution(datasets[name], max_age=MAX_AGE)
+            for name in DATASET_NAMES
+        }
+
+    distributions = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {
+        name: (100 * distributions[name]).tolist() for name in DATASET_NAMES
+    }
+    emit(
+        "figure1a_citation_age",
+        format_series(
+            "age (years)",
+            list(range(MAX_AGE + 1)),
+            series,
+            title="Figure 1a: % of citations n years after publication",
+            precision=1,
+        ),
+    )
+
+    # Shape checks.
+    peaks = {
+        name: int(np.argmax(distributions[name])) for name in DATASET_NAMES
+    }
+    # hep-th's citations arrive earliest (its peak is not later than any
+    # other corpus', and its early mass dominates).
+    assert peaks["hep-th"] <= min(peaks[n] for n in DATASET_NAMES)
+    early = {
+        name: distributions[name][:3].sum() for name in DATASET_NAMES
+    }
+    assert early["hep-th"] == max(early.values())
+    # Every distribution decays after its peak.
+    for name in DATASET_NAMES:
+        dist = distributions[name]
+        assert dist[MAX_AGE] < dist[peaks[name]]

@@ -1,0 +1,76 @@
+"""E7 — Figures 2c/2d and 7: nDCG@50 heatmaps over the alpha-beta grid.
+
+Same sweep as E6 but for nDCG@50.  The paper's observations:
+
+* small attention windows are best for nDCG (y = 1 dominates; larger
+  windows re-introduce age bias at the top of the ranking);
+* the maximum is achieved at beta > 0.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from benchmarks.conftest import PAPER
+from repro.analysis.heatmap import attention_heatmap
+from repro.analysis.reporting import format_heatmap, format_table
+from repro.eval.metrics import NDCG
+from repro.synth.profiles import DATASET_NAMES
+
+
+def test_figure2_heatmap_ndcg(default_splits, benchmark):
+    def compute():
+        return {
+            name: attention_heatmap(default_splits[name], NDCG(50))
+            for name in DATASET_NAMES
+        }
+
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    blocks = []
+    summary_rows = []
+    for name in DATASET_NAMES:
+        sweep = sweeps[name]
+        best = sweep.best_overall()
+        summary_rows.append(
+            [
+                name,
+                f"{PAPER['best_ndcg'][name]:.3f}",
+                f"{best['value']:.3f}",
+                f"a={best['alpha']} b={best['beta']} "
+                f"g={best['gamma']} y={int(best['y'])}",
+                f"{PAPER['ndcg_no_att'][name]:.3f}",
+                f"{sweep.no_att_maximum():.3f}",
+            ]
+        )
+        for window in sorted(sweep.values):
+            _, _, peak = sweep.best_for_window(window)
+            blocks.append(
+                format_heatmap(
+                    sweep.values[window],
+                    sweep.betas,
+                    sweep.alphas,
+                    title=f"[{name}] ndcg@50, y={window} (max {peak:.4f})",
+                )
+            )
+    summary = format_table(
+        [
+            "dataset", "paper best nDCG", "measured best nDCG",
+            "measured best setting", "paper NO-ATT", "measured NO-ATT",
+        ],
+        summary_rows,
+        title="Figures 2c/2d + 7: nDCG@50 heatmaps (summary)",
+    )
+    emit("figure2_heatmap_ndcg", summary + "\n\n" + "\n\n".join(blocks))
+
+    for name in DATASET_NAMES:
+        sweep = sweeps[name]
+        best = sweep.best_overall()
+        # Attention beats NO-ATT at the top of the ranking, by a margin.
+        assert best["value"] > sweep.no_att_maximum() + 0.02, name
+        # Small windows win for nDCG (paper: y = 1 except APS's y = 3).
+        assert best["y"] <= 3, name
+        # The per-window maxima decline as the window grows beyond 2.
+        peaks = {
+            w: sweep.best_for_window(w)[2] for w in sorted(sweep.values)
+        }
+        assert peaks[1] >= peaks[5] - 1e-9, name

@@ -1,0 +1,67 @@
+"""E9 — Figure 4: nDCG@50 vs test ratio, all methods.
+
+Section 4.3.2's first experiment: per (dataset, ratio) each method is
+tuned for nDCG@50.  Paper findings to reproduce in shape:
+
+* AttRank outperforms all competitors at every ratio;
+* the best existing method is RAM or ECM (not the PageRank-flavoured
+  CR/FR);
+* NO-ATT drops sharply; ATT-ONLY is competitive but below AttRank.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.reporting import format_series
+from repro.eval.experiment import compare_over_ratios
+from repro.eval.metrics import NDCG
+from repro.eval.split import DEFAULT_TEST_RATIOS
+from repro.synth.profiles import DATASET_NAMES
+
+
+def test_figure4_ndcg50(datasets, benchmark):
+    def compute():
+        return {
+            name: compare_over_ratios(
+                datasets[name],
+                dataset=name,
+                metric=NDCG(50),
+                test_ratios=DEFAULT_TEST_RATIOS,
+            )
+            for name in DATASET_NAMES
+        }
+
+    panels = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    blocks = []
+    for name in DATASET_NAMES:
+        panel = panels[name]
+        blocks.append(
+            format_series(
+                "ratio",
+                panel.x_values,
+                {m: panel.series(m) for m in panel.cells},
+                title=f"Figure 4 [{name}]: nDCG@50 vs test ratio",
+            )
+        )
+    emit("figure4_ndcg50", "\n\n".join(blocks))
+
+    for name in DATASET_NAMES:
+        panel = panels[name]
+        for position, ratio in enumerate(panel.x_values):
+            ar = panel.cells["AR"][position].score
+            competitors = {
+                m: panel.cells[m][position].score
+                for m in panel.cells
+                if m not in ("AR", "NO-ATT", "ATT-ONLY")
+            }
+            # AttRank wins (small noise margin).
+            assert ar >= max(competitors.values()) - 0.02, (name, ratio)
+            # The strongest existing method is RAM or ECM.
+            best_existing = max(competitors, key=competitors.get)
+            assert best_existing in ("RAM", "ECM"), (name, ratio, best_existing)
+            # Ablation ordering.
+            assert ar >= panel.cells["ATT-ONLY"][position].score
+            assert (
+                ar > panel.cells["NO-ATT"][position].score + 0.02
+            ), (name, ratio)

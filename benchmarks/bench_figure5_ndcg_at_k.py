@@ -1,0 +1,62 @@
+"""E10 — Figure 5: nDCG@k for k in {5, 10, 50, 100, 500} at ratio 1.6.
+
+Section 4.3.2's second experiment.  Paper findings to reproduce in
+shape:
+
+* AttRank is at least on par with every rival at every k;
+* at small k AttRank's nDCG approaches 1 on most datasets;
+* RAM/ECM remain the best existing methods.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.reporting import format_series
+from repro.eval.experiment import compare_over_k
+from repro.synth.profiles import DATASET_NAMES
+
+K_VALUES = (5, 10, 50, 100, 500)
+
+
+def test_figure5_ndcg_at_k(datasets, benchmark):
+    def compute():
+        return {
+            name: compare_over_k(
+                datasets[name],
+                dataset=name,
+                test_ratio=1.6,
+                k_values=K_VALUES,
+            )
+            for name in DATASET_NAMES
+        }
+
+    panels = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    blocks = []
+    for name in DATASET_NAMES:
+        panel = panels[name]
+        blocks.append(
+            format_series(
+                "k",
+                [int(k) for k in panel.x_values],
+                {m: panel.series(m) for m in panel.cells},
+                title=f"Figure 5 [{name}]: nDCG@k at test ratio 1.6",
+            )
+        )
+    emit("figure5_ndcg_at_k", "\n\n".join(blocks))
+
+    for name in DATASET_NAMES:
+        panel = panels[name]
+        for position, k in enumerate(panel.x_values):
+            ar = panel.cells["AR"][position].score
+            competitors = [
+                panel.cells[m][position].score
+                for m in panel.cells
+                if m not in ("AR", "NO-ATT", "ATT-ONLY")
+            ]
+            # "at least on par, mostly outperforms" — the paper itself
+            # records one small loss (nDCG@5 on APS, -0.015), so allow
+            # the same tolerance.
+            assert ar >= max(competitors) - 0.02, (name, k)
+        # Small-k headroom: nDCG@5 is high on the fast-moving corpora.
+        assert panel.cells["AR"][0].score > 0.75, name

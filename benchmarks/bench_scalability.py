@@ -1,0 +1,72 @@
+"""E12 — the scalability claim: "AttRank's implementation is scalable and
+can be executed on very large citation networks" (Section 1).
+
+Times a full AttRank solve (attention + recency vectors, operator build,
+power iteration to 1e-12) on growing corpora and checks the growth is
+near-linear in the number of citations (sparse matvec dominated).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks._report import emit
+from repro.analysis.reporting import format_table
+from repro.core.attrank import AttRank
+from repro.synth.profiles import generate_dataset
+
+SIZES = (1000, 2000, 4000, 8000)
+
+
+def _solve(network):
+    method = AttRank(
+        alpha=0.5, beta=0.3, gamma=0.2, attention_window=3, decay_rate=-0.5
+    )
+    method.scores(network)
+    return method.last_convergence.iterations
+
+
+def test_scalability(benchmark):
+    networks = {
+        n: generate_dataset("dblp", n_papers=n, seed=7) for n in SIZES
+    }
+
+    timings = {}
+    iterations = {}
+    for n, network in networks.items():
+        start = time.perf_counter()
+        iterations[n] = _solve(network)
+        timings[n] = time.perf_counter() - start
+
+    # The benchmark fixture times the largest instance for the record.
+    benchmark.pedantic(
+        lambda: _solve(networks[SIZES[-1]]), rounds=3, iterations=1
+    )
+
+    rows = [
+        [
+            n,
+            networks[n].n_citations,
+            f"{timings[n] * 1000:.1f}",
+            iterations[n],
+            f"{timings[n] / networks[n].n_citations * 1e6:.2f}",
+        ]
+        for n in SIZES
+    ]
+    emit(
+        "scalability",
+        format_table(
+            ["papers", "citations", "time (ms)", "iterations", "us/citation"],
+            rows,
+            title="AttRank solve time vs network size (alpha=0.5, eps=1e-12)",
+        ),
+    )
+
+    # Near-linear scaling: time per citation must not blow up with size
+    # (allow 4x headroom between the smallest and largest instance for
+    # constant overheads and cache effects).
+    per_edge_small = timings[SIZES[0]] / networks[SIZES[0]].n_citations
+    per_edge_large = timings[SIZES[-1]] / networks[SIZES[-1]].n_citations
+    assert per_edge_large < per_edge_small * 4
+    # Iteration count is scale-free (a property of alpha, not of n).
+    assert max(iterations.values()) - min(iterations.values()) <= 15

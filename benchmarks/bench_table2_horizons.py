@@ -1,0 +1,50 @@
+"""E2 — Table 2: correspondence of test ratio to time horizon.
+
+The paper's Table 2 translates each test ratio into the implied time
+horizon tau (years) per dataset; the relationship is non-linear because
+publication volume grows.  Absolute values depend on corpus scale; the
+shape checks are monotonicity and the faster-growing corpora having
+shorter horizons.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from benchmarks.conftest import PAPER
+from repro.analysis.horizons import horizon_table
+from repro.analysis.reporting import format_table
+from repro.synth.profiles import DATASET_NAMES
+
+
+def test_table2_horizons(datasets, benchmark):
+    def compute():
+        return {
+            name: horizon_table(datasets[name]) for name in DATASET_NAMES
+        }
+
+    tables = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name in DATASET_NAMES:
+        for row in tables[name]:
+            rows.append(
+                [
+                    name,
+                    f"{row.test_ratio:.1f}",
+                    PAPER["table2"][name][row.test_ratio],
+                    f"{row.horizon_years:.1f}",
+                ]
+            )
+    emit(
+        "table2_horizons",
+        format_table(
+            ["dataset", "test ratio", "paper tau (y)", "measured tau (y)"],
+            rows,
+            title="Table 2: test ratio -> time horizon",
+        ),
+    )
+
+    for name in DATASET_NAMES:
+        horizons = [r.horizon_years for r in tables[name]]
+        assert horizons == sorted(horizons), name
+        assert all(h > 0 for h in horizons), name

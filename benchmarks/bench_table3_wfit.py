@@ -1,0 +1,73 @@
+"""E5 — Table 3 and Section 4.2: parameter space and the fit of w.
+
+Verifies that the explored parameter grids have exactly the paper's
+shape (Table 3 for AttRank, Table 4 counts for the competitors) and
+reproduces the Section-4.2 exponential fit of the recency decay rate w
+per dataset (paper: -0.48 hep-th, -0.12 APS, -0.16 PMC and DBLP).
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from benchmarks.conftest import PAPER
+from repro.analysis.reporting import format_table
+from repro.core.recency import fit_decay_rate
+from repro.eval.grids import grid_size
+from repro.synth.profiles import DATASET_NAMES
+
+
+def test_table3_grid_sizes(benchmark):
+    sizes = benchmark.pedantic(
+        lambda: {m: grid_size(m) for m in ("AR", "CR", "FR", "RAM", "ECM", "WSDM")},
+        rounds=1,
+        iterations=1,
+    )
+    paper_counts = {
+        "AR": 250, "CR": 20, "FR": 120, "RAM": 9, "ECM": 25, "WSDM": 50
+    }
+    rows = [
+        [method, paper_counts[method], sizes[method]]
+        for method in paper_counts
+    ]
+    emit(
+        "table3_grid_sizes",
+        format_table(
+            ["method", "paper settings", "measured settings"],
+            rows,
+            title="Tables 3 & 4: explored parameter settings per method",
+        ),
+    )
+    assert sizes == paper_counts
+
+
+def test_section42_w_fit(datasets, benchmark):
+    def compute():
+        return {
+            name: fit_decay_rate(datasets[name]) for name in DATASET_NAMES
+        }
+
+    fits = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{PAPER['w'][name]:.2f}",
+            f"{fits[name].decay_rate:.3f}",
+            f"{fits[name].r_squared:.3f}",
+        ]
+        for name in DATASET_NAMES
+    ]
+    emit(
+        "section42_w_fit",
+        format_table(
+            ["dataset", "paper w", "measured w", "fit r^2"],
+            rows,
+            title="Section 4.2: exponential fit of the citation-age tail",
+        ),
+    )
+
+    # Shape: all rates negative; hep-th decays much faster than the rest.
+    for name in DATASET_NAMES:
+        assert fits[name].decay_rate < 0
+    others = [fits[n].decay_rate for n in ("aps", "pmc", "dblp")]
+    assert fits["hep-th"].decay_rate < min(others)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures on the
+synthetic stand-in corpora (DESIGN.md §3).  Datasets and splits are
+session-scoped: generated once and reused by every bench that needs
+them.
+
+Dataset scale is controlled by the ``REPRO_BENCH_SIZE`` environment
+variable (``tiny``/``small``/``medium``/``large``; default ``small`` —
+3k-8k papers per corpus, the calibrated default the EXPERIMENTS.md
+numbers were recorded at).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.split import split_by_ratio
+from repro.synth.profiles import DATASET_NAMES, generate_dataset
+
+BENCH_SIZE = os.environ.get("REPRO_BENCH_SIZE", "small")
+
+#: Paper-reported reference values, quoted from the ICDE 2021 text.
+PAPER = {
+    # Table 1: recently popular papers among the top-100 by STI.
+    "table1": {"hep-th": 41, "aps": 54, "pmc": 54, "dblp": 63},
+    # Table 2: time horizon (years) per test ratio.
+    "table2": {
+        "hep-th": {1.2: 1, 1.4: 2, 1.6: 3, 1.8: 4, 2.0: 5},
+        "aps": {1.2: 4, 1.4: 7, 1.6: 10, 1.8: 13, 2.0: 16},
+        "pmc": {1.2: 1, 1.4: 2, 1.6: 2, 1.8: 3, 2.0: 3},
+        "dblp": {1.2: 1, 1.4: 3, 1.6: 4, 1.8: 6, 2.0: 7},
+    },
+    # Section 4.2: fitted recency decay rates.
+    "w": {"hep-th": -0.48, "aps": -0.12, "pmc": -0.16, "dblp": -0.16},
+    # Section 4.2 / Figures 2, 6: best correlation and the NO-ATT /
+    # ATT-ONLY maxima per dataset.
+    "best_rho": {"hep-th": 0.6519, "aps": 0.6295, "pmc": 0.494, "dblp": 0.6316},
+    "rho_no_att": {"hep-th": 0.56, "aps": 0.581, "pmc": 0.411, "dblp": 0.529},
+    "rho_att_only": {"hep-th": 0.615, "aps": 0.537, "pmc": 0.45, "dblp": 0.571},
+    # Section 4.2 / Figures 2, 7: best nDCG@50 and the ablation maxima.
+    "best_ndcg": {"hep-th": 0.8930, "aps": 0.7293, "pmc": 0.9553, "dblp": 0.9449},
+    "ndcg_no_att": {"hep-th": 0.669, "aps": 0.635, "pmc": 0.6, "dblp": 0.663},
+    "ndcg_att_only": {"hep-th": 0.89, "aps": 0.692, "pmc": 0.916, "dblp": 0.916},
+    # Section 4.4: iterations to eps <= 1e-12 at alpha = 0.5.
+    "iterations": {
+        "AR": {"hep-th": 30, "aps": 30, "pmc": 20, "dblp": 30},
+        "CR": {"hep-th": 51, "aps": 46, "pmc": 26, "dblp": 47},
+        "FR": {"hep-th": 35, "aps": 30, "pmc": 26, "dblp": 23},
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All four synthetic corpora at the benchmark scale."""
+    return {
+        name: generate_dataset(name, size=BENCH_SIZE)
+        for name in DATASET_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def default_splits(datasets):
+    """The default (test ratio 1.6) split of each corpus."""
+    return {
+        name: split_by_ratio(network, 1.6)
+        for name, network in datasets.items()
+    }
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every reproduced table/figure after the benchmark run."""
+    from benchmarks._report import EMITTED, RESULTS_DIR
+
+    if not EMITTED:
+        return
+    terminalreporter.write_sep(
+        "=", f"reproduced tables & figures (also in {RESULTS_DIR})"
+    )
+    for name, text in EMITTED:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

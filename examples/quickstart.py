@@ -1,0 +1,65 @@
+"""Quickstart: rank papers by expected short-term impact with AttRank.
+
+Generates a small synthetic citation corpus (a stand-in for the paper's
+hep-th dataset), splits it into a current and a future state, runs
+AttRank on the current state, and checks the ranking against the ground
+truth short-term impact.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AttRank,
+    NDCG,
+    generate_dataset,
+    spearman_rho,
+    split_by_ratio,
+)
+
+
+def main() -> None:
+    # 1. A citation network.  Swap this for repro.io.load_hepth(...) /
+    #    load_aminer(...) to rank a real corpus.
+    network = generate_dataset("hep-th", size="small", seed=7)
+    print(f"corpus: {network}")
+
+    # 2. The evaluation split: methods see only the current state; the
+    #    future state defines each paper's short-term impact (STI).
+    split = split_by_ratio(network, test_ratio=1.6)
+    print(
+        f"current state: {split.current.n_papers} papers up to "
+        f"{split.t_current:.1f}; horizon {split.horizon_years:.1f} years"
+    )
+
+    # 3. AttRank (Eq. 4 of the paper): alpha follows references, beta
+    #    jumps to recently-popular papers, gamma jumps to recent papers.
+    #    The recency decay w is fitted from the data automatically.
+    method = AttRank(alpha=0.2, beta=0.5, gamma=0.3, attention_window=2)
+    scores = method.scores(split.current)
+    print(
+        f"solved in {method.last_convergence.iterations} iterations "
+        f"(fitted w = {method.fitted_decay_rate_:.3f})"
+    )
+
+    # 4. The top of the ranking.
+    print("\ntop 10 papers by AttRank score:")
+    ranking = method.rank(split.current)
+    for position, index in enumerate(ranking[:10], start=1):
+        paper = split.current.id_of(int(index))
+        year = split.current.publication_times[index]
+        print(
+            f"  {position:2d}. {paper}  ({year:.0f})  "
+            f"score={scores[index]:.5f}  true-STI={split.sti[index]:.0f}"
+        )
+
+    # 5. Agreement with the ground truth.
+    rho = spearman_rho(scores, split.sti)
+    ndcg = NDCG(50)(scores, split.sti)
+    print(f"\nSpearman rho vs short-term impact: {rho:.4f}")
+    print(f"nDCG@50 vs short-term impact:      {ndcg:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quantify how solid AttRank's margin is — bootstrap significance.
+
+The paper reports point estimates (e.g. "+0.077 correlation over the
+best competitor").  This example shows the library's significance
+tooling: percentile-bootstrap confidence intervals per method, and a
+paired bootstrap test of AttRank against the strongest baseline, on one
+synthetic corpus.
+
+Run:  python examples/significance_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import SpearmanRho, generate_dataset, make_method, split_by_ratio
+from repro.analysis.reporting import format_table
+from repro.eval.significance import bootstrap_metric, paired_bootstrap_test
+
+
+def main() -> None:
+    network = generate_dataset("aps", size="small", seed=5)
+    split = split_by_ratio(network, test_ratio=1.6)
+    metric = SpearmanRho()
+    print(f"corpus: {network}")
+    print(f"current state: {split.current.n_papers} papers\n")
+
+    lineup = {
+        "AR": make_method(
+            "AR", alpha=0.2, beta=0.5, gamma=0.3, attention_window=3
+        ),
+        "ATT-ONLY": make_method("ATT-ONLY", attention_window=3),
+        "CR": make_method("CR", alpha=0.5, tau_dir=4.0),
+        "RAM": make_method("RAM", gamma=0.4),
+        "CC": make_method("CC"),
+    }
+    scores = {
+        name: method.scores(split.current) for name, method in lineup.items()
+    }
+
+    rows = []
+    for name in lineup:
+        interval = bootstrap_metric(
+            scores[name], split.sti, metric, samples=300, seed=1
+        )
+        rows.append(
+            [
+                name,
+                f"{interval.point:.4f}",
+                f"[{interval.low:.4f}, {interval.high:.4f}]",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "spearman rho", "95% bootstrap CI"],
+            rows,
+            title="per-method confidence intervals",
+        )
+    )
+
+    strongest_baseline = max(
+        (n for n in lineup if n != "AR"),
+        key=lambda n: metric(scores[n], split.sti),
+    )
+    outcome = paired_bootstrap_test(
+        scores["AR"],
+        scores[strongest_baseline],
+        split.sti,
+        metric,
+        samples=300,
+        seed=1,
+    )
+    print(
+        f"\npaired bootstrap, AR vs {strongest_baseline}: "
+        f"mean diff {outcome.mean_difference:+.4f}, "
+        f"P(AR better) = {outcome.p_superior:.2f} "
+        f"over {outcome.samples} resamples"
+    )
+
+
+if __name__ == "__main__":
+    main()

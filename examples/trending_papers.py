@@ -1,0 +1,89 @@
+"""Spot papers that are trending *right now* — the paper's motivating use
+case (the 1998 bioinformatics researcher and the two BLAST papers).
+
+Builds the two-paper overtaking scenario of Figure 1b, then shows how a
+researcher at the crossover year would rank the papers with citation
+count (misleading: the old classic wins) versus AttRank (correct: the
+rising challenger wins).
+
+Run:  python examples/trending_papers.py
+"""
+
+from __future__ import annotations
+
+from repro import AttRank, CitationCount
+from repro.analysis.reporting import format_series, format_table
+from repro.graph.statistics import yearly_citations
+from repro.graph.temporal import snapshot_at
+from repro.synth.scenarios import two_paper_overtaking
+
+
+def main() -> None:
+    scenario = two_paper_overtaking(seed=7)
+    network = scenario.network
+    incumbent, challenger = scenario.incumbent_id, scenario.challenger_id
+    print(
+        f"scenario: {incumbent} (old classic) vs {challenger} (rising), "
+        f"{network.n_papers} papers total"
+    )
+
+    # The yearly citation trajectories (Figure 1b).
+    years, inc = yearly_citations(
+        network, incumbent, first_year=1991, last_year=2001
+    )
+    _, chal = yearly_citations(
+        network, challenger, first_year=1991, last_year=2001
+    )
+    print()
+    print(
+        format_series(
+            "year",
+            [int(y) for y in years],
+            {incumbent: inc.tolist(), challenger: chal.tolist()},
+            title="yearly citation counts",
+            precision=0,
+        )
+    )
+    print(f"\ncrossover year: {scenario.crossover_year}")
+
+    # A researcher in 1998 sees only the network up to 1998.
+    view, _ = snapshot_at(network, 1998.9)
+    cc = CitationCount()
+    ar = AttRank(
+        alpha=0.1, beta=0.7, gamma=0.2, attention_window=2, decay_rate=-0.5
+    )
+    cc_scores = cc.scores(view)
+    ar_scores = ar.scores(view)
+
+    def rank_of(scores, paper_id):
+        order = list(
+            sorted(
+                range(view.n_papers), key=lambda i: (-scores[i], i)
+            )
+        )
+        return order.index(view.index_of(paper_id)) + 1
+
+    rows = [
+        [
+            paper,
+            rank_of(cc_scores, paper),
+            rank_of(ar_scores, paper),
+        ]
+        for paper in (incumbent, challenger)
+    ]
+    print()
+    print(
+        format_table(
+            ["paper", "rank by citation count", "rank by AttRank"],
+            rows,
+            title="the 1998 researcher's view",
+        )
+    )
+    print(
+        "\nAttRank surfaces the trending paper that citation count "
+        "buries — the paper's motivating observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: A dense vector of float64 scores, one entry per paper.
+FloatVector = npt.NDArray[np.float64]
+
+#: A dense vector of integer indices or counts.
+IntVector = npt.NDArray[np.int64]
+
+#: Anything accepted where a paper identifier is expected.
+PaperId = Union[str, int]

@@ -1,0 +1,42 @@
+"""Analyses behind the paper's tables and figures, plus text reporting.
+
+* :func:`recently_popular_overlap` — Table 1.
+* :func:`horizon_table` — Table 2.
+* :func:`attention_heatmap` — Figures 2, 6, 7.
+* :func:`convergence_study` — Section 4.4.
+* :mod:`repro.analysis.reporting` — ASCII tables/series/heatmaps.
+"""
+
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    convergence_study,
+    iterations_to_converge,
+)
+from repro.analysis.heatmap import HeatmapSweep, attention_heatmap
+from repro.analysis.horizons import HorizonRow, horizon_table
+from repro.analysis.popularity import (
+    RecentlyPopularResult,
+    recently_popular_overlap,
+)
+from repro.analysis.reporting import (
+    format_heatmap,
+    format_kv_block,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "ConvergenceReport",
+    "convergence_study",
+    "iterations_to_converge",
+    "HeatmapSweep",
+    "attention_heatmap",
+    "HorizonRow",
+    "horizon_table",
+    "RecentlyPopularResult",
+    "recently_popular_overlap",
+    "format_heatmap",
+    "format_kv_block",
+    "format_series",
+    "format_table",
+]

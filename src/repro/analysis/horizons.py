@@ -1,0 +1,52 @@
+"""Test-ratio to time-horizon correspondence (paper Table 2).
+
+The paper's splits are defined by *paper counts* (the test ratio), and
+Table 2 translates each ratio into the implied time horizon ``tau`` in
+years per dataset — non-linear because publication volume grows and the
+final year of each dump is incomplete.  This module computes that table
+for any network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.split import DEFAULT_TEST_RATIOS, split_by_ratio
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["HorizonRow", "horizon_table"]
+
+
+@dataclass(frozen=True)
+class HorizonRow:
+    """One row of the Table-2 reproduction."""
+
+    test_ratio: float
+    horizon_years: float
+    n_current_papers: int
+    n_future_papers: int
+
+
+def horizon_table(
+    network: CitationNetwork,
+    *,
+    test_ratios: Sequence[float] = DEFAULT_TEST_RATIOS,
+) -> list[HorizonRow]:
+    """The ratio -> horizon mapping for ``network``.
+
+    The horizon is reported in fractional years (the paper rounds to
+    whole years).
+    """
+    rows = []
+    for ratio in test_ratios:
+        split = split_by_ratio(network, ratio)
+        rows.append(
+            HorizonRow(
+                test_ratio=float(ratio),
+                horizon_years=split.horizon_years,
+                n_current_papers=split.current.n_papers,
+                n_future_papers=split.n_future_papers,
+            )
+        )
+    return rows

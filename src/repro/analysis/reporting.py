@@ -1,0 +1,137 @@
+"""Plain-text rendering of tables, series and heatmaps.
+
+The benchmark harness and the CLI print the paper's tables and figure
+series as aligned ASCII; everything here is pure string formatting with
+no I/O, so the same renderers serve reports, logs and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_heatmap",
+    "format_kv_block",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a figure-style table: one row per method, one column per x.
+
+    This is the textual equivalent of the paper's line plots (Figures
+    3-5): methods as rows, the x-axis across the columns.
+    """
+    headers = [x_label] + [_trim(float(x)) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append(
+            [name] + [f"{float(v):.{precision}f}" for v in values]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_heatmap(
+    values: np.ndarray,
+    row_labels: Sequence[float],
+    col_labels: Sequence[float],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+    row_axis: str = "beta",
+    col_axis: str = "alpha",
+) -> str:
+    """Render a 2-D sweep as text, NaN cells shown as dots.
+
+    Rows are printed top-down from the *last* row label, matching the
+    orientation of the paper's heatmaps (beta increases upwards).
+    """
+    grid = np.asarray(values, dtype=np.float64)
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    width = precision + 3
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{row_axis}\\{col_axis}".rjust(9) + " " + " ".join(
+        _trim(c).rjust(width) for c in col_labels
+    )
+    lines.append(header)
+    for r in range(len(row_labels) - 1, -1, -1):
+        cells = []
+        for c in range(len(col_labels)):
+            value = grid[r, c]
+            if np.isnan(value):
+                cells.append(".".rjust(width))
+            else:
+                cells.append(f"{value:.{precision}f}".rjust(width))
+        lines.append(_trim(row_labels[r]).rjust(9) + " " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_kv_block(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render key/value pairs as aligned lines."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return _trim(value)
+    return str(value)
+
+
+def _trim(value: float) -> str:
+    """Compact float formatting: 1.0 -> '1', 0.30000000004 -> '0.3'."""
+    if isinstance(value, float):
+        text = f"{value:.4f}".rstrip("0").rstrip(".")
+        return text if text else "0"
+    return str(value)

@@ -1,0 +1,72 @@
+"""The competitor methods of the paper's comparative evaluation (§4.3).
+
+The registry maps the short labels used in the paper's figures to the
+method classes, and :func:`make_method` instantiates any registered
+method (including AttRank and its ablations) from keyword parameters —
+the entry point the tuning harness and the CLI use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.baselines.centrality import HITSAuthority, KatzCentrality
+from repro.baselines.citation_count import CitationCount
+from repro.baselines.citerank import CiteRank
+from repro.baselines.ecm import EffectiveContagion
+from repro.baselines.futurerank import FutureRank
+from repro.baselines.pagerank import PageRank
+from repro.baselines.ram import RetainedAdjacency
+from repro.baselines.wsdm import WSDMRanker
+from repro.core.attrank import AttRank
+from repro.core.variants import AttentionOnly, NoAttention
+from repro.errors import ConfigurationError
+from repro.ranking import RankingMethod
+
+__all__ = [
+    "CitationCount",
+    "CiteRank",
+    "EffectiveContagion",
+    "FutureRank",
+    "HITSAuthority",
+    "KatzCentrality",
+    "PageRank",
+    "RetainedAdjacency",
+    "WSDMRanker",
+    "METHOD_REGISTRY",
+    "make_method",
+]
+
+#: Short label -> method class, labels matching the paper's legends
+#: (plus the Section-5 classic centrality variants KATZ and HITS).
+METHOD_REGISTRY: Mapping[str, type[RankingMethod]] = {
+    "CC": CitationCount,
+    "PR": PageRank,
+    "CR": CiteRank,
+    "FR": FutureRank,
+    "RAM": RetainedAdjacency,
+    "ECM": EffectiveContagion,
+    "WSDM": WSDMRanker,
+    "AR": AttRank,
+    "NO-ATT": NoAttention,
+    "ATT-ONLY": AttentionOnly,
+    "KATZ": KatzCentrality,
+    "HITS": HITSAuthority,
+}
+
+
+def make_method(name: str, **params: Any) -> RankingMethod:
+    """Instantiate a registered ranking method by its short label.
+
+    >>> make_method("RAM", gamma=0.3).describe()
+    'RAM(gamma=0.3)'
+    """
+    key = name.upper()
+    try:
+        cls = METHOD_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(METHOD_REGISTRY))
+        raise ConfigurationError(
+            f"unknown method {name!r}; expected one of: {known}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,28 @@
+"""Citation count — the simplest centrality baseline (paper Section 2).
+
+``CC(p_i) = sum_j C[i, j]``: the in-degree of the paper's node.  Included
+as the conventional non-time-aware reference point; the paper's Figure 1
+discussion explains why it is biased against recent papers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro._typing import FloatVector
+from repro.graph.citation_network import CitationNetwork
+from repro.ranking import RankingMethod
+
+__all__ = ["CitationCount"]
+
+
+class CitationCount(RankingMethod):
+    """Rank papers by raw citation count (in-degree)."""
+
+    name = "CC"
+
+    def params(self) -> Mapping[str, Any]:
+        return {}
+
+    def scores(self, network: CitationNetwork) -> FloatVector:
+        return network.in_degree.astype(float)

@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+``generate``   Generate a synthetic dataset profile and save it as .npz.
+``summarize``  Print headline statistics of a saved or generated network.
+``rank``       Score a network with any registered method, print the top-k.
+``evaluate``   Split a network by test ratio and score methods against STI.
+``horizons``   Print the Table-2 ratio -> time-horizon mapping.
+``popular``    Print the Table-1 recently-popular overlap.
+
+Every command accepts either ``--dataset <name>`` (synthetic profile) or
+``--input <file.npz>`` (a saved network).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.horizons import horizon_table
+from repro.analysis.popularity import recently_popular_overlap
+from repro.analysis.reporting import format_kv_block, format_table
+from repro.baselines import METHOD_REGISTRY, make_method
+from repro.errors import ReproError
+from repro.eval.metrics import NDCG, SpearmanRho
+from repro.eval.split import split_by_ratio
+from repro.graph.citation_network import CitationNetwork
+from repro.graph.statistics import summarize
+from repro.io.serialize import load_network, save_network
+from repro.synth.profiles import DATASET_PROFILES, SIZE_FACTORS, generate_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_PROFILES),
+        help="synthetic dataset profile to generate",
+    )
+    source.add_argument("--input", help="path to a saved .npz network")
+    parser.add_argument(
+        "--size",
+        choices=sorted(SIZE_FACTORS),
+        default="small",
+        help="scale of the synthetic profile (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="generator seed"
+    )
+
+
+def _load_source(args: argparse.Namespace) -> CitationNetwork:
+    if args.input:
+        return load_network(args.input)
+    return generate_dataset(args.dataset, size=args.size, seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "AttRank reproduction: rank papers by expected short-term "
+            "impact (Kanellos et al., ICDE 2021)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser(
+        "generate", help="generate a synthetic dataset and save it"
+    )
+    gen.add_argument(
+        "dataset", choices=sorted(DATASET_PROFILES), help="profile name"
+    )
+    gen.add_argument("output", help="output .npz path")
+    gen.add_argument(
+        "--size", choices=sorted(SIZE_FACTORS), default="small"
+    )
+    gen.add_argument("--seed", type=int, default=None)
+
+    show = commands.add_parser(
+        "summarize", help="print headline statistics of a network"
+    )
+    _add_source_arguments(show)
+
+    rank = commands.add_parser(
+        "rank", help="rank a network's papers with one method"
+    )
+    _add_source_arguments(rank)
+    rank.add_argument(
+        "--method",
+        default="AR",
+        choices=sorted(METHOD_REGISTRY),
+        help="method label (default: AR = AttRank)",
+    )
+    rank.add_argument("--top", type=int, default=10, help="list size")
+
+    evaluate = commands.add_parser(
+        "evaluate",
+        help="temporal-split evaluation against the STI ground truth",
+    )
+    _add_source_arguments(evaluate)
+    evaluate.add_argument(
+        "--ratio", type=float, default=1.6, help="test ratio (default 1.6)"
+    )
+    evaluate.add_argument(
+        "--methods",
+        nargs="+",
+        default=["AR", "NO-ATT", "ATT-ONLY", "RAM", "CC"],
+        choices=sorted(METHOD_REGISTRY),
+        help="methods to evaluate at their default parameters",
+    )
+    evaluate.add_argument(
+        "--ndcg-k", type=int, default=50, help="nDCG cut-off (default 50)"
+    )
+
+    horizons = commands.add_parser(
+        "horizons", help="print the test-ratio -> time-horizon table"
+    )
+    _add_source_arguments(horizons)
+
+    popular = commands.add_parser(
+        "popular", help="recently-popular papers among the top-100 by STI"
+    )
+    _add_source_arguments(popular)
+    popular.add_argument("--k", type=int, default=100)
+    popular.add_argument("--window", type=float, default=5.0)
+    popular.add_argument("--ratio", type=float, default=1.6)
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    network = generate_dataset(args.dataset, size=args.size, seed=args.seed)
+    save_network(network, args.output)
+    print(
+        f"wrote {network.n_papers} papers / {network.n_citations} citations "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _command_summarize(args: argparse.Namespace) -> int:
+    network = _load_source(args)
+    print(format_table(["statistic", "value"], summarize(network).as_rows()))
+    return 0
+
+
+def _command_rank(args: argparse.Namespace) -> int:
+    network = _load_source(args)
+    method = make_method(args.method)
+    scores = method.scores(network)
+    order = method.rank(network)[: args.top]
+    rows = [
+        [
+            position + 1,
+            network.id_of(int(index)),
+            f"{network.publication_times[index]:.1f}",
+            f"{scores[index]:.6g}",
+        ]
+        for position, index in enumerate(order)
+    ]
+    print(
+        format_table(
+            ["rank", "paper", "year", "score"],
+            rows,
+            title=f"top {args.top} by {method.describe()}",
+        )
+    )
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    network = _load_source(args)
+    split = split_by_ratio(network, args.ratio)
+    spearman = SpearmanRho()
+    ndcg = NDCG(args.ndcg_k)
+    rows = []
+    for name in args.methods:
+        method = make_method(name)
+        scores = method.scores(split.current)
+        rows.append(
+            [
+                name,
+                f"{spearman(scores, split.sti):.4f}",
+                f"{ndcg(scores, split.sti):.4f}",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "spearman", ndcg.name],
+            rows,
+            title=(
+                f"ratio {args.ratio}: {split.current.n_papers} current "
+                f"papers, horizon {split.horizon_years:.1f}y"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_horizons(args: argparse.Namespace) -> int:
+    network = _load_source(args)
+    rows = [
+        [
+            f"{row.test_ratio:.1f}",
+            f"{row.horizon_years:.2f}",
+            row.n_current_papers,
+            row.n_future_papers,
+        ]
+        for row in horizon_table(network)
+    ]
+    print(
+        format_table(
+            ["test ratio", "horizon (years)", "current papers", "future papers"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _command_popular(args: argparse.Namespace) -> int:
+    network = _load_source(args)
+    split = split_by_ratio(network, args.ratio)
+    result = recently_popular_overlap(
+        split, k=args.k, window_years=args.window
+    )
+    print(
+        format_kv_block(
+            {
+                "top-k size": result.k,
+                "window (years)": result.window_years,
+                "recently popular in top-k": result.overlap,
+                "fraction": f"{result.fraction:.2f}",
+            }
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "summarize": _command_summarize,
+    "rank": _command_rank,
+    "evaluate": _command_evaluate,
+    "horizons": _command_horizons,
+    "popular": _command_popular,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The attention vector of AttRank (Equation 2 of the paper).
+
+The *attention* of a paper is its share of all citations made during the
+last ``y`` years:
+
+    A(p_i) = sum_j C[tN-y : tN][i, j]  /  sum_i sum_j C[tN-y : tN][i, j]
+
+This is the paper's key novelty — a time-restricted preferential-
+attachment signal: papers that were cited a lot *recently* are expected
+to keep being cited in the near future.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import FloatVector
+from repro.errors import ConfigurationError
+from repro.graph.citation_network import CitationNetwork
+from repro.graph.temporal import citation_counts_between
+
+__all__ = ["attention_counts", "attention_vector"]
+
+
+def attention_counts(
+    network: CitationNetwork,
+    window_years: float,
+    *,
+    now: float | None = None,
+) -> FloatVector:
+    """Raw recent-citation counts: citations received in ``(now-y, now]``.
+
+    Parameters
+    ----------
+    network:
+        The current network state ``C(tN)``.
+    window_years:
+        The hyper-parameter ``y`` — length of the attention window.
+    now:
+        The current time ``tN`` (default: the network's latest
+        publication time).
+    """
+    if window_years <= 0:
+        raise ConfigurationError(
+            f"attention window must be positive, got {window_years}"
+        )
+    reference = network.latest_time if now is None else float(now)
+    return citation_counts_between(
+        network, reference - window_years, reference
+    )
+
+
+def attention_vector(
+    network: CitationNetwork,
+    window_years: float,
+    *,
+    now: float | None = None,
+) -> FloatVector:
+    """The normalised attention vector ``A`` of Equation 2.
+
+    Entries are non-negative and sum to one.  If the window contains no
+    citations at all (possible on tiny or pathological networks, and not
+    addressed by the paper), the vector falls back to uniform so that the
+    AttRank matrix ``R`` remains stochastic and Theorem 1 still applies.
+    """
+    counts = attention_counts(network, window_years, now=now)
+    total = counts.sum()
+    if total <= 0:
+        return np.full(network.n_papers, 1.0 / network.n_papers)
+    return counts / total

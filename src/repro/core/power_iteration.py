@@ -1,0 +1,127 @@
+"""Generic power-method solver with convergence diagnostics.
+
+Every iterative method in this library (AttRank, PageRank, CiteRank,
+FutureRank, ECM) is a fixed-point iteration ``x <- F(x)`` on a probability
+vector.  This module centralises the loop: start vector handling, L1
+residual tracking, tolerance/budget control, and the strict convergence
+check that the paper's experiments use (epsilon <= 1e-12, Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro._typing import FloatVector
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.ranking import ConvergenceInfo
+
+__all__ = ["power_iterate", "uniform_vector", "DEFAULT_TOLERANCE"]
+
+#: The convergence error used throughout the paper's evaluation (§4.3).
+DEFAULT_TOLERANCE = 1e-12
+
+
+def uniform_vector(n: int) -> FloatVector:
+    """The uniform probability vector of length ``n``."""
+    if n <= 0:
+        raise ConfigurationError(f"vector length must be positive, got {n}")
+    return np.full(n, 1.0 / n, dtype=np.float64)
+
+
+def power_iterate(
+    step: Callable[[FloatVector], FloatVector],
+    n: int,
+    *,
+    tol: float = DEFAULT_TOLERANCE,
+    max_iterations: int = 1000,
+    start: FloatVector | None = None,
+    normalize: bool = True,
+    raise_on_failure: bool = True,
+) -> tuple[FloatVector, ConvergenceInfo]:
+    """Iterate ``x <- step(x)`` until the L1 change drops below ``tol``.
+
+    Parameters
+    ----------
+    step:
+        The fixed-point map.  For a column-stochastic matrix ``R`` this is
+        ``lambda x: R @ x`` and the iteration is the power method.
+    n:
+        Vector length.
+    tol:
+        L1 convergence tolerance (paper default: 1e-12).
+    max_iterations:
+        Iteration budget.
+    start:
+        Starting vector (default: uniform).  The paper's Theorem 1
+        guarantees the fixed point is independent of this choice.
+    normalize:
+        Renormalise the iterate to sum 1 after every step, guarding
+        against floating-point drift.  Stochastic steps preserve total
+        mass exactly in theory; the renormalisation is numerical hygiene.
+    raise_on_failure:
+        Raise :class:`ConvergenceError` if the budget is exhausted
+        (default).  With ``False``, return the last iterate with
+        ``converged=False`` — needed for FutureRank, which the paper
+        notes "did not, in practice, converge under all possible
+        settings".
+
+    Returns
+    -------
+    (vector, info):
+        The fixed point (or last iterate) and its
+        :class:`~repro.ranking.ConvergenceInfo`.
+    """
+    if tol <= 0:
+        raise ConfigurationError(f"tol must be positive, got {tol}")
+    if max_iterations < 1:
+        raise ConfigurationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    if start is None:
+        current = uniform_vector(n)
+    else:
+        current = np.asarray(start, dtype=np.float64).copy()
+        if current.shape != (n,):
+            raise ConfigurationError(
+                f"start vector has shape {current.shape}, expected ({n},)"
+            )
+        total = current.sum()
+        if normalize and total > 0:
+            current /= total
+
+    history: list[float] = []
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        updated = step(current)
+        if normalize:
+            total = updated.sum()
+            if total > 0:
+                updated = updated / total
+        residual = float(np.abs(updated - current).sum())
+        history.append(residual)
+        current = updated
+        if residual <= tol:
+            info = ConvergenceInfo(
+                iterations=iteration,
+                residual=residual,
+                converged=True,
+                residual_history=tuple(history),
+            )
+            return current, info
+
+    info = ConvergenceInfo(
+        iterations=max_iterations,
+        residual=residual,
+        converged=False,
+        residual_history=tuple(history),
+    )
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"power iteration did not reach tol={tol} within "
+            f"{max_iterations} iterations (last residual {residual:.3e})",
+            iterations=max_iterations,
+            residual=residual,
+        )
+    return current, info

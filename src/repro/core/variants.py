@@ -1,0 +1,82 @@
+"""The two AttRank ablations the paper evaluates (Sections 3 and 4.3).
+
+* **NO-ATT** (``beta = 0``): the attention mechanism removed; AttRank
+  degenerates to a time-aware PageRank in the family of CiteRank /
+  FutureRank.  With additionally ``w = 0`` it recovers plain PageRank.
+* **ATT-ONLY** (``beta = 1``): attention alone — assumes the recent
+  citation pattern persists verbatim.  The paper shows it is strong but
+  never optimal.
+"""
+
+from __future__ import annotations
+
+from repro.core.attrank import AttRank
+from repro.errors import ConfigurationError
+
+__all__ = ["NoAttention", "AttentionOnly"]
+
+
+class NoAttention(AttRank):
+    """AttRank with the attention mechanism switched off (``beta = 0``).
+
+    Parameters mirror :class:`~repro.core.attrank.AttRank`; ``alpha`` and
+    ``gamma = 1 - alpha`` split the probability between following
+    references and jumping to recent papers.
+    """
+
+    name = "NO-ATT"
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.5,
+        beta: float = 0.0,
+        gamma: float | None = None,
+        decay_rate: float | None = None,
+        attention_window: float = 3.0,
+        **kwargs,
+    ) -> None:
+        if beta != 0.0:
+            raise ConfigurationError(
+                f"NO-ATT fixes beta = 0, got beta = {beta}"
+            )
+        super().__init__(
+            alpha=alpha,
+            beta=0.0,
+            gamma=1.0 - alpha if gamma is None else gamma,
+            attention_window=attention_window,
+            decay_rate=decay_rate,
+            **kwargs,
+        )
+
+
+class AttentionOnly(AttRank):
+    """AttRank reduced to the bare attention vector (``beta = 1``).
+
+    The score of each paper is exactly its share of recent citations
+    (Eq. 2); no iteration is needed.
+    """
+
+    name = "ATT-ONLY"
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.0,
+        beta: float = 1.0,
+        gamma: float = 0.0,
+        attention_window: float = 3.0,
+        **kwargs,
+    ) -> None:
+        if (alpha, beta, gamma) != (0.0, 1.0, 0.0):
+            raise ConfigurationError(
+                "ATT-ONLY fixes (alpha, beta, gamma) = (0, 1, 0), got "
+                f"({alpha}, {beta}, {gamma})"
+            )
+        super().__init__(
+            alpha=0.0,
+            beta=1.0,
+            gamma=0.0,
+            attention_window=attention_window,
+            **kwargs,
+        )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still being able to distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A citation network is structurally invalid or used inconsistently."""
+
+
+class DataFormatError(ReproError):
+    """An input file does not conform to the expected dataset format."""
+
+
+class ConfigurationError(ReproError):
+    """A method or experiment was configured with invalid parameters."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        The last observed convergence residual (L1 change of the score
+        vector between successive iterations).
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class EvaluationError(ReproError):
+    """An evaluation request is inconsistent with the data it is given."""

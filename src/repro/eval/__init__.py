@@ -1,0 +1,111 @@
+"""Evaluation framework: splits, ground truth, metrics, tuning, experiments.
+
+The package mirrors the paper's Section 4 methodology:
+
+* :func:`split_by_ratio` — current/future partition by *test ratio* with
+  STI ground truth (§4.1, Table 2).
+* :func:`spearman_rho`, :func:`ndcg_at_k` — the two effectiveness
+  metrics (§4.1).
+* :mod:`repro.eval.grids` — the exact parameter grids of Tables 3 and 4.
+* :func:`tune_method` — per-setting grid search (§4.3).
+* :func:`compare_over_ratios`, :func:`compare_over_k` — the Figure 3/4/5
+  experiment drivers.
+"""
+
+from repro.eval.grids import (
+    COMPETITOR_GRIDS,
+    att_only_grid,
+    attrank_grid,
+    citerank_grid,
+    ecm_grid,
+    futurerank_grid,
+    grid_for,
+    grid_size,
+    no_att_grid,
+    ram_grid,
+    wsdm_grid,
+)
+from repro.eval.experiment import (
+    COMPARISON_METHODS,
+    ComparisonCell,
+    ComparisonSeries,
+    compare_over_k,
+    compare_over_ratios,
+    methods_available,
+    run_comparison_at_ratio,
+)
+from repro.eval.metrics import (
+    NDCG,
+    Metric,
+    SpearmanRho,
+    dcg_at_k,
+    ndcg_at_k,
+    spearman_rho,
+)
+from repro.eval.metrics_extra import (
+    AveragePrecisionAtK,
+    KendallTau,
+    OverlapAtK,
+    average_precision_at_k,
+    kendall_tau,
+    overlap_at_k,
+)
+from repro.eval.significance import (
+    BootstrapResult,
+    PairedResult,
+    bootstrap_metric,
+    paired_bootstrap_test,
+)
+from repro.eval.split import DEFAULT_TEST_RATIOS, TemporalSplit, split_by_ratio
+from repro.eval.tuning import (
+    SettingScore,
+    TuningResult,
+    evaluate_setting,
+    tune_method,
+    tune_methods,
+)
+
+__all__ = [
+    "COMPETITOR_GRIDS",
+    "att_only_grid",
+    "attrank_grid",
+    "citerank_grid",
+    "ecm_grid",
+    "futurerank_grid",
+    "grid_for",
+    "grid_size",
+    "no_att_grid",
+    "ram_grid",
+    "wsdm_grid",
+    "COMPARISON_METHODS",
+    "ComparisonCell",
+    "ComparisonSeries",
+    "compare_over_k",
+    "compare_over_ratios",
+    "methods_available",
+    "run_comparison_at_ratio",
+    "NDCG",
+    "Metric",
+    "SpearmanRho",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "spearman_rho",
+    "AveragePrecisionAtK",
+    "KendallTau",
+    "OverlapAtK",
+    "average_precision_at_k",
+    "kendall_tau",
+    "overlap_at_k",
+    "BootstrapResult",
+    "PairedResult",
+    "bootstrap_metric",
+    "paired_bootstrap_test",
+    "DEFAULT_TEST_RATIOS",
+    "TemporalSplit",
+    "split_by_ratio",
+    "SettingScore",
+    "TuningResult",
+    "evaluate_setting",
+    "tune_method",
+    "tune_methods",
+]

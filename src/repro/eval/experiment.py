@@ -1,0 +1,229 @@
+"""End-to-end experiment orchestration for the paper's figures.
+
+A *comparison* reproduces one panel of Figures 3-5: on a given dataset,
+for each test ratio (or each nDCG cut-off k), tune every method on its
+paper grid and record the best value achieved.  The result objects carry
+everything the benchmark harness needs to print the paper-style series.
+
+The ablations are handled exactly as in the paper: NO-ATT is the
+``beta = 0`` slice of AttRank's grid, ATT-ONLY the ``beta = 1`` slice,
+and the full AttRank grid covers everything in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import EvaluationError
+from repro.eval.grids import (
+    att_only_grid,
+    attrank_grid,
+    citerank_grid,
+    ecm_grid,
+    futurerank_grid,
+    no_att_grid,
+    ram_grid,
+    wsdm_grid,
+)
+from repro.eval.metrics import NDCG, Metric, SpearmanRho
+from repro.eval.split import DEFAULT_TEST_RATIOS, split_by_ratio
+from repro.eval.tuning import TuningResult, tune_method
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = [
+    "COMPARISON_METHODS",
+    "methods_available",
+    "run_comparison_at_ratio",
+    "ComparisonCell",
+    "ComparisonSeries",
+    "compare_over_ratios",
+    "compare_over_k",
+]
+
+#: The method lineup of Figures 3-5, in the paper's legend order.
+COMPARISON_METHODS: tuple[str, ...] = (
+    "CR",
+    "FR",
+    "RAM",
+    "ECM",
+    "WSDM",
+    "AR",
+    "NO-ATT",
+    "ATT-ONLY",
+)
+
+
+def _grid_for_lineup(method: str):
+    """Grid factory for a lineup label, including the ablation slices."""
+    factories = {
+        "CR": citerank_grid,
+        "FR": futurerank_grid,
+        "RAM": ram_grid,
+        "ECM": ecm_grid,
+        "WSDM": wsdm_grid,
+        "AR": attrank_grid,
+        "NO-ATT": no_att_grid,
+        "ATT-ONLY": att_only_grid,
+    }
+    try:
+        return factories[method]()
+    except KeyError:
+        raise EvaluationError(
+            f"method {method!r} is not part of the comparison lineup"
+        ) from None
+
+
+def methods_available(network: CitationNetwork) -> tuple[str, ...]:
+    """The lineup restricted to what the network's metadata supports.
+
+    WSDM needs venues (the paper runs it only on PMC and DBLP); the
+    tuned FutureRank grid always includes beta > 0 settings and so needs
+    authors.
+    """
+    methods = []
+    for name in COMPARISON_METHODS:
+        if name == "WSDM" and not (network.has_authors and network.has_venues):
+            continue
+        if name == "FR" and not network.has_authors:
+            continue
+        methods.append(name)
+    return tuple(methods)
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """One tuned method at one x-axis position of a comparison figure."""
+
+    method: str
+    x: float
+    result: TuningResult
+
+    @property
+    def score(self) -> float:
+        return self.result.best_score
+
+
+@dataclass(frozen=True)
+class ComparisonSeries:
+    """One reproduced figure panel: method -> series over the x-axis.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset label (for reports).
+    metric:
+        Metric name (``"spearman"`` or ``"ndcg@k"``).
+    x_label:
+        Meaning of the x values (``"test_ratio"`` or ``"k"``).
+    x_values:
+        The x-axis positions.
+    cells:
+        ``cells[method]`` is the list of :class:`ComparisonCell`, aligned
+        with ``x_values``.
+    """
+
+    dataset: str
+    metric: str
+    x_label: str
+    x_values: tuple[float, ...]
+    cells: Mapping[str, tuple[ComparisonCell, ...]]
+
+    def series(self, method: str) -> tuple[float, ...]:
+        """The metric values of one method across the x-axis."""
+        return tuple(cell.score for cell in self.cells[method])
+
+    def winner_at(self, x: float) -> str:
+        """The best method at x-position ``x`` (ties to lineup order)."""
+        position = self.x_values.index(x)
+        best_method, best_score = "", float("-inf")
+        for method, cells in self.cells.items():
+            if cells[position].score > best_score:
+                best_method, best_score = method, cells[position].score
+        return best_method
+
+
+def run_comparison_at_ratio(
+    network: CitationNetwork,
+    test_ratio: float,
+    metric: Metric,
+    *,
+    methods: Sequence[str] | None = None,
+) -> dict[str, TuningResult]:
+    """Tune every lineup method on one split; label -> tuning result."""
+    split = split_by_ratio(network, test_ratio)
+    lineup = methods if methods is not None else methods_available(network)
+    return {
+        name: tune_method(name, _grid_for_lineup(name), split, metric)
+        for name in lineup
+    }
+
+
+def compare_over_ratios(
+    network: CitationNetwork,
+    *,
+    dataset: str = "dataset",
+    metric: Metric | None = None,
+    test_ratios: Sequence[float] = DEFAULT_TEST_RATIOS,
+    methods: Sequence[str] | None = None,
+) -> ComparisonSeries:
+    """Reproduce one panel of Figure 3 (Spearman) or Figure 4 (nDCG@50).
+
+    For each test ratio, every method is re-tuned (the paper's protocol)
+    and its best metric value recorded.
+    """
+    chosen_metric = metric if metric is not None else SpearmanRho()
+    lineup = tuple(
+        methods if methods is not None else methods_available(network)
+    )
+    columns: dict[str, list[ComparisonCell]] = {name: [] for name in lineup}
+    for ratio in test_ratios:
+        tuned = run_comparison_at_ratio(
+            network, ratio, chosen_metric, methods=lineup
+        )
+        for name in lineup:
+            columns[name].append(
+                ComparisonCell(method=name, x=float(ratio), result=tuned[name])
+            )
+    return ComparisonSeries(
+        dataset=dataset,
+        metric=chosen_metric.name,
+        x_label="test_ratio",
+        x_values=tuple(float(r) for r in test_ratios),
+        cells={name: tuple(cells) for name, cells in columns.items()},
+    )
+
+
+def compare_over_k(
+    network: CitationNetwork,
+    *,
+    dataset: str = "dataset",
+    test_ratio: float = 1.6,
+    k_values: Sequence[int] = (5, 10, 50, 100, 500),
+    methods: Sequence[str] | None = None,
+) -> ComparisonSeries:
+    """Reproduce one panel of Figure 5: nDCG@k over k at a fixed ratio.
+
+    The split is computed once; each method is tuned separately per k
+    (the paper selects "the parameterization ... that gives the best
+    nDCG@k value" for every k).
+    """
+    split = split_by_ratio(network, test_ratio)
+    lineup = tuple(
+        methods if methods is not None else methods_available(network)
+    )
+    columns: dict[str, list[ComparisonCell]] = {name: [] for name in lineup}
+    for k in k_values:
+        metric = NDCG(k)
+        for name in lineup:
+            result = tune_method(name, _grid_for_lineup(name), split, metric)
+            columns[name].append(
+                ComparisonCell(method=name, x=float(k), result=result)
+            )
+    return ComparisonSeries(
+        dataset=dataset,
+        metric="ndcg",
+        x_label="k",
+        x_values=tuple(float(k) for k in k_values),
+        cells={name: tuple(cells) for name, cells in columns.items()},
+    )

@@ -1,0 +1,163 @@
+"""The parameter grids of the paper's evaluation (Tables 3 and 4).
+
+Each function yields keyword-argument dictionaries ready for
+:func:`repro.baselines.make_method`.  The enumeration sizes match the
+paper exactly: 20 settings for CiteRank, 120 for FutureRank, 9 for RAM,
+25 for ECM, 50 for WSDM, and 250 for AttRank (50 alpha-beta points x
+5 attention windows).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "attrank_grid",
+    "citerank_grid",
+    "futurerank_grid",
+    "ram_grid",
+    "ecm_grid",
+    "wsdm_grid",
+    "grid_for",
+    "grid_size",
+    "COMPETITOR_GRIDS",
+]
+
+
+def _steps(start: float, stop: float, step: float) -> list[float]:
+    """Inclusive float range with exact 1-decimal rounding."""
+    count = int(round((stop - start) / step)) + 1
+    return [round(start + i * step, 10) for i in range(count)]
+
+
+def attrank_grid(
+    *,
+    windows: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> Iterator[dict[str, Any]]:
+    """Table 3: alpha in [0, 0.5], beta in [0, 1], gamma = 1-alpha-beta
+    constrained to [0, 0.9], y in {1..5}.
+
+    Yields 50 coefficient combinations per window (250 settings total
+    with the default windows).
+    """
+    for y in windows:
+        for alpha in _steps(0.0, 0.5, 0.1):
+            for beta in _steps(0.0, 1.0, 0.1):
+                gamma = round(1.0 - alpha - beta, 10)
+                if not 0.0 <= gamma <= 0.9:
+                    continue
+                yield {
+                    "alpha": alpha,
+                    "beta": beta,
+                    "gamma": gamma,
+                    "attention_window": float(y),
+                }
+
+
+def citerank_grid() -> Iterator[dict[str, Any]]:
+    """Table 4, CR: alpha in {0.1, 0.3, 0.5, 0.7}, tau_dir in {2..10 step 2}
+    (20 settings)."""
+    for alpha in _steps(0.1, 0.7, 0.2):
+        for tau_dir in (2.0, 4.0, 6.0, 8.0, 10.0):
+            yield {"alpha": alpha, "tau_dir": tau_dir}
+
+
+def futurerank_grid() -> Iterator[dict[str, Any]]:
+    """Table 4, FR: alpha in {0.1..0.5}, beta/gamma on a 0.1 grid with
+    alpha + beta + gamma = 1, rho in {-0.82, -0.62, -0.42} (120 settings)."""
+    for rho in (-0.82, -0.62, -0.42):
+        for alpha in _steps(0.1, 0.5, 0.1):
+            for beta in _steps(0.0, 0.9, 0.1):
+                gamma = round(1.0 - alpha - beta, 10)
+                if not 0.0 <= gamma <= 0.9:
+                    continue
+                yield {
+                    "alpha": alpha,
+                    "beta": beta,
+                    "gamma": gamma,
+                    "rho": rho,
+                }
+
+
+def ram_grid() -> Iterator[dict[str, Any]]:
+    """Table 4, RAM: gamma in {0.1 .. 0.9} (9 settings)."""
+    for gamma in _steps(0.1, 0.9, 0.1):
+        yield {"gamma": gamma}
+
+
+def ecm_grid() -> Iterator[dict[str, Any]]:
+    """Table 4, ECM: alpha, gamma in {0.1 .. 0.5} (25 settings)."""
+    for alpha in _steps(0.1, 0.5, 0.1):
+        for gamma in _steps(0.1, 0.5, 0.1):
+            yield {"alpha": alpha, "gamma": gamma}
+
+
+def wsdm_grid() -> Iterator[dict[str, Any]]:
+    """Table 4, WSDM: alpha in {1.1..2.3 step 0.3}, beta in {1..5},
+    i in {4, 5} (50 settings)."""
+    for alpha in _steps(1.1, 2.3, 0.3):
+        for beta in (1.0, 2.0, 3.0, 4.0, 5.0):
+            for iterations in (4, 5):
+                yield {"alpha": alpha, "beta": beta, "iterations": iterations}
+
+
+#: Method label -> grid factory, matching the paper's Table 4 (+ AttRank).
+COMPETITOR_GRIDS: Mapping[str, Callable[[], Iterator[dict[str, Any]]]] = {
+    "CR": citerank_grid,
+    "FR": futurerank_grid,
+    "RAM": ram_grid,
+    "ECM": ecm_grid,
+    "WSDM": wsdm_grid,
+    "AR": attrank_grid,
+}
+
+
+def grid_for(method: str) -> Iterator[dict[str, Any]]:
+    """The paper's parameter grid for a method label.
+
+    Methods without tunable grids (CC, PR and the AttRank ablations,
+    which inherit AttRank's grid restricted elsewhere) are not listed;
+    requesting them raises.
+    """
+    key = method.upper()
+    try:
+        factory = COMPETITOR_GRIDS[key]
+    except KeyError:
+        known = ", ".join(sorted(COMPETITOR_GRIDS))
+        raise ConfigurationError(
+            f"no parameter grid for method {method!r}; grids exist for: "
+            f"{known}"
+        ) from None
+    return factory()
+
+
+def grid_size(method: str) -> int:
+    """Number of settings in a method's grid (sanity-checked in tests)."""
+    return sum(1 for _ in grid_for(method))
+
+
+def no_att_grid(
+    *, windows: tuple[int, ...] = (1, 2, 3, 4, 5)
+) -> Iterator[dict[str, Any]]:
+    """The beta = 0 slice of the AttRank grid (the NO-ATT ablation)."""
+    for params in attrank_grid(windows=windows):
+        if params["beta"] == 0.0:
+            yield params
+
+
+def att_only_grid(
+    *, windows: tuple[int, ...] = (1, 2, 3, 4, 5)
+) -> Iterator[dict[str, Any]]:
+    """The beta = 1 slice of the AttRank grid (the ATT-ONLY ablation)."""
+    for y in windows:
+        yield {
+            "alpha": 0.0,
+            "beta": 1.0,
+            "gamma": 0.0,
+            "attention_window": float(y),
+        }
+
+
+__all__ += ["no_att_grid", "att_only_grid"]

@@ -1,0 +1,182 @@
+"""Statistical significance of method comparisons.
+
+The paper reports point estimates; when corpora are synthetic (or when
+comparing close methods on real data) it is useful to quantify the
+uncertainty.  Two standard tools are provided:
+
+* :func:`bootstrap_metric` — percentile bootstrap confidence interval of
+  a metric by resampling papers;
+* :func:`paired_bootstrap_test` — paired bootstrap comparison of two
+  methods on the same split: resample papers, recompute the metric for
+  both methods, and report how often method A beats method B (a
+  one-sided superiority probability).
+
+Both operate on *score vectors*, so any method and metric combination
+can be analysed without re-running the methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import FloatVector
+from repro.errors import EvaluationError
+from repro.eval.metrics import Metric
+
+__all__ = ["BootstrapResult", "bootstrap_metric", "PairedResult",
+           "paired_bootstrap_test"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A bootstrap estimate of one metric.
+
+    Attributes
+    ----------
+    point:
+        The metric on the full (unresampled) data.
+    low, high:
+        Percentile confidence bounds.
+    samples:
+        Number of bootstrap resamples used.
+    confidence:
+        The nominal coverage (e.g. 0.95).
+    """
+
+    point: float
+    low: float
+    high: float
+    samples: int
+    confidence: float
+
+
+def _resample_indices(
+    n: int, samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    return rng.integers(0, n, size=(samples, n))
+
+
+def bootstrap_metric(
+    method_scores: FloatVector,
+    ground_truth: FloatVector,
+    metric: Metric,
+    *,
+    samples: int = 500,
+    confidence: float = 0.95,
+    seed: int | None = 0,
+) -> BootstrapResult:
+    """Percentile-bootstrap confidence interval for ``metric``.
+
+    Papers are resampled with replacement; metric evaluations that are
+    undefined on a resample (e.g. a constant score vector for Spearman)
+    are skipped.
+
+    Raises
+    ------
+    EvaluationError
+        If fewer than half the resamples produce a defined metric.
+    """
+    if not 0 < confidence < 1:
+        raise EvaluationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if samples < 10:
+        raise EvaluationError(f"samples must be >= 10, got {samples}")
+    scores = np.asarray(method_scores, dtype=np.float64)
+    truth = np.asarray(ground_truth, dtype=np.float64)
+    if scores.shape != truth.shape:
+        raise EvaluationError("score and truth vectors must align")
+    rng = np.random.default_rng(seed)
+    point = float(metric(scores, truth))
+    values = []
+    for indices in _resample_indices(scores.size, samples, rng):
+        try:
+            values.append(float(metric(scores[indices], truth[indices])))
+        except EvaluationError:
+            continue
+    if len(values) < samples / 2:
+        raise EvaluationError(
+            "metric undefined on most bootstrap resamples; the data is "
+            "too degenerate for a bootstrap interval"
+        )
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [tail, 1.0 - tail])
+    return BootstrapResult(
+        point=point,
+        low=float(low),
+        high=float(high),
+        samples=len(values),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedResult:
+    """A paired bootstrap comparison of two methods.
+
+    Attributes
+    ----------
+    point_a, point_b:
+        The metric of each method on the full data.
+    mean_difference:
+        Mean of (A - B) across resamples.
+    p_superior:
+        Fraction of resamples where A strictly beats B — close to 1
+        means A is reliably better, close to 0 reliably worse.
+    samples:
+        Number of (defined) resamples.
+    """
+
+    point_a: float
+    point_b: float
+    mean_difference: float
+    p_superior: float
+    samples: int
+
+
+def paired_bootstrap_test(
+    scores_a: FloatVector,
+    scores_b: FloatVector,
+    ground_truth: FloatVector,
+    metric: Metric,
+    *,
+    samples: int = 500,
+    seed: int | None = 0,
+) -> PairedResult:
+    """Paired bootstrap: does method A beat method B on this split?
+
+    Both methods are evaluated on the *same* resampled paper sets, so
+    the comparison controls for sample composition.
+    """
+    if samples < 10:
+        raise EvaluationError(f"samples must be >= 10, got {samples}")
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    truth = np.asarray(ground_truth, dtype=np.float64)
+    if a.shape != truth.shape or b.shape != truth.shape:
+        raise EvaluationError("score and truth vectors must align")
+    rng = np.random.default_rng(seed)
+    differences = []
+    wins = 0
+    for indices in _resample_indices(truth.size, samples, rng):
+        try:
+            value_a = float(metric(a[indices], truth[indices]))
+            value_b = float(metric(b[indices], truth[indices]))
+        except EvaluationError:
+            continue
+        differences.append(value_a - value_b)
+        if value_a > value_b:
+            wins += 1
+    if len(differences) < samples / 2:
+        raise EvaluationError(
+            "metric undefined on most bootstrap resamples"
+        )
+    return PairedResult(
+        point_a=float(metric(a, truth)),
+        point_b=float(metric(b, truth)),
+        mean_difference=float(np.mean(differences)),
+        p_superior=wins / len(differences),
+        samples=len(differences),
+    )

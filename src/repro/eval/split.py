@@ -1,0 +1,160 @@
+"""Temporal train/test splitting by *test ratio* (paper Section 4.1).
+
+The methodology: sort papers by publication time; the older half forms
+the **current state** ``C(tN)`` that every ranking method sees.  The
+**future state** ``C(tN + tau)`` consists of the oldest ``ratio x |current|``
+papers, so a test ratio of 1.6 means the future network contains 60 %
+more papers than the current one (2.0 = the whole dataset).  The ground
+truth is each current paper's **short-term impact**: the number of
+citations it receives from the future papers that are not in the current
+state.  The implied time horizon ``tau`` in years (the paper's Table 2)
+falls out of the publication times of the added papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._typing import FloatVector, IntVector
+from repro.errors import EvaluationError
+from repro.graph.citation_network import CitationNetwork
+from repro.graph.temporal import chronological_order
+
+__all__ = ["TemporalSplit", "split_by_ratio", "DEFAULT_TEST_RATIOS"]
+
+#: The test ratios of the paper's evaluation (1.6 is the default setting).
+DEFAULT_TEST_RATIOS: tuple[float, ...] = (1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+@dataclass(frozen=True)
+class TemporalSplit:
+    """A current/future partition of a citation network.
+
+    Attributes
+    ----------
+    current:
+        The current state ``C(tN)`` as a re-indexed network — what every
+        ranking method is allowed to see.
+    current_indices:
+        For each paper of :attr:`current`, its index in the full network.
+    sti:
+        Ground-truth short-term impact of each current paper: citations
+        received from future papers outside the current state.
+    test_ratio:
+        The requested ratio ``|future| / |current|``.
+    t_current:
+        ``tN`` — publication time of the newest current paper.
+    t_future:
+        ``tN + tau`` — publication time of the newest future paper.
+    n_future_papers:
+        Number of papers in the future state (current papers included).
+    """
+
+    current: CitationNetwork
+    current_indices: IntVector
+    sti: FloatVector
+    test_ratio: float
+    t_current: float
+    t_future: float
+    n_future_papers: int
+
+    #: Cache of derived arrays (not part of equality/repr).
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def horizon_years(self) -> float:
+        """The implied time horizon ``tau`` in years (paper Table 2)."""
+        return self.t_future - self.t_current
+
+    @property
+    def ground_truth_ranking(self) -> IntVector:
+        """Current-paper indices ranked by decreasing STI (ties by index)."""
+        if "ranking" not in self._cache:
+            from repro.ranking import ranking_from_scores
+
+            self._cache["ranking"] = ranking_from_scores(self.sti)
+        return self._cache["ranking"]
+
+    def top_by_sti(self, k: int) -> IntVector:
+        """The ``k`` current papers with the highest short-term impact."""
+        return self.ground_truth_ranking[:k]
+
+
+def split_by_ratio(
+    network: CitationNetwork,
+    test_ratio: float,
+    *,
+    current_fraction: float = 0.5,
+) -> TemporalSplit:
+    """Split ``network`` according to the paper's test-ratio methodology.
+
+    Parameters
+    ----------
+    network:
+        The full dataset (its final state plays the role of the
+        retrospectively observed future).
+    test_ratio:
+        ``|future| / |current|`` in papers; must lie in
+        ``(1, 1/current_fraction]`` — 2.0 uses the entire dataset when
+        ``current_fraction`` is 0.5.
+    current_fraction:
+        Fraction of papers (oldest first) forming the current state; the
+        paper always uses one half.
+
+    Raises
+    ------
+    EvaluationError
+        If the ratio or fraction is out of range for this network.
+    """
+    if not 0 < current_fraction < 1:
+        raise EvaluationError(
+            f"current_fraction must be in (0, 1), got {current_fraction}"
+        )
+    max_ratio = 1.0 / current_fraction
+    if not 1.0 < test_ratio <= max_ratio + 1e-9:
+        raise EvaluationError(
+            f"test_ratio must be in (1, {max_ratio:.2f}], got {test_ratio}"
+        )
+    n = network.n_papers
+    n_current = int(np.floor(n * current_fraction))
+    if n_current < 2:
+        raise EvaluationError(
+            f"current state would have only {n_current} papers"
+        )
+    order = chronological_order(network)
+    n_future = min(int(round(test_ratio * n_current)), n)
+
+    current_global = np.sort(order[:n_current])
+    future_extra = order[n_current:n_future]
+
+    current = network.subnetwork(current_global)
+
+    # Ground truth: citations from future-only papers to current papers.
+    in_current = np.zeros(n, dtype=bool)
+    in_current[current_global] = True
+    is_future_extra = np.zeros(n, dtype=bool)
+    is_future_extra[future_extra] = True
+
+    edge_mask = is_future_extra[network.citing] & in_current[network.cited]
+    sti_full = np.zeros(n, dtype=np.float64)
+    np.add.at(sti_full, network.cited[edge_mask], 1.0)
+
+    # Map to current-local indexing (subnetwork preserves sorted order).
+    sti = sti_full[current_global]
+
+    times = network.publication_times
+    t_current = float(times[current_global].max())
+    t_future = (
+        float(times[order[:n_future]].max()) if n_future else t_current
+    )
+    return TemporalSplit(
+        current=current,
+        current_indices=current_global.astype(np.int64),
+        sti=sti,
+        test_ratio=float(test_ratio),
+        t_current=t_current,
+        t_future=t_future,
+        n_future_papers=int(n_future),
+    )

@@ -1,0 +1,57 @@
+"""Citation-network substrate: graph structure, matrices, temporal views.
+
+Public entry points:
+
+* :class:`CitationNetwork` — the immutable network (papers, times, edges,
+  optional authors/venues).
+* :class:`NetworkBuilder` — incremental construction with id resolution.
+* :class:`StochasticOperator` — the paper's column-stochastic matrix ``S``
+  with exact dangling handling.
+* :mod:`repro.graph.temporal` — snapshots ``C(t)`` and citation windows.
+* :mod:`repro.graph.statistics` — citation-age distribution (Figure 1a),
+  per-paper yearly trajectories (Figure 1b) and summaries.
+"""
+
+from repro.graph.builder import NetworkBuilder
+from repro.graph.citation_network import CitationNetwork
+from repro.graph.matrix import (
+    StochasticOperator,
+    column_stochastic,
+    is_column_stochastic,
+)
+from repro.graph.statistics import (
+    NetworkSummary,
+    citation_age_distribution,
+    citations_per_year,
+    summarize,
+    top_cited,
+    yearly_citations,
+)
+from repro.graph.temporal import (
+    chronological_order,
+    citation_counts_between,
+    citations_in_window,
+    papers_published_until,
+    prefix_by_count,
+    snapshot_at,
+)
+
+__all__ = [
+    "CitationNetwork",
+    "NetworkBuilder",
+    "StochasticOperator",
+    "column_stochastic",
+    "is_column_stochastic",
+    "NetworkSummary",
+    "citation_age_distribution",
+    "citations_per_year",
+    "summarize",
+    "top_cited",
+    "yearly_citations",
+    "chronological_order",
+    "citation_counts_between",
+    "citations_in_window",
+    "papers_published_until",
+    "prefix_by_count",
+    "snapshot_at",
+]

@@ -1,0 +1,168 @@
+"""Incremental construction of :class:`~repro.graph.CitationNetwork`.
+
+Dataset loaders and the synthetic generator assemble networks paper by
+paper; :class:`NetworkBuilder` collects papers, references and metadata,
+resolves external identifiers, and applies a configurable policy for
+references pointing outside the collection (a routine occurrence in real
+bibliographic dumps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.errors import GraphError
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["NetworkBuilder"]
+
+MissingRefPolicy = Literal["skip", "error"]
+
+
+class NetworkBuilder:
+    """Accumulates papers and references, then builds a network.
+
+    Parameters
+    ----------
+    missing_references:
+        What to do with a reference whose target id was never added:
+        ``"skip"`` silently drops it (default, matching how the paper's
+        datasets treat out-of-collection references), ``"error"`` raises.
+
+    Examples
+    --------
+    >>> builder = NetworkBuilder()
+    >>> builder.add_paper("a", 1999.0)
+    >>> builder.add_paper("b", 2001.0, references=["a"])
+    >>> network = builder.build()
+    >>> network.n_papers, network.n_citations
+    (2, 1)
+    """
+
+    def __init__(self, *, missing_references: MissingRefPolicy = "skip") -> None:
+        if missing_references not in ("skip", "error"):
+            raise GraphError(
+                f"unknown missing-reference policy: {missing_references!r}"
+            )
+        self._policy: MissingRefPolicy = missing_references
+        self._ids: list[str] = []
+        self._index: dict[str, int] = {}
+        self._times: list[float] = []
+        self._references: list[list[str]] = []
+        self._authors: list[tuple[str, ...]] = []
+        self._venues: list[str | None] = []
+        self._any_author = False
+        self._any_venue = False
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, paper_id: object) -> bool:
+        return paper_id in self._index
+
+    def add_paper(
+        self,
+        paper_id: str,
+        publication_time: float,
+        *,
+        references: Iterable[str] = (),
+        authors: Iterable[str] = (),
+        venue: str | None = None,
+    ) -> None:
+        """Register one paper.
+
+        Parameters
+        ----------
+        paper_id:
+            External identifier; must be unique across the collection.
+        publication_time:
+            Publication time in (fractional) years.
+        references:
+            External ids of the papers this paper cites.  Targets may be
+            added later; resolution happens at :meth:`build` time.
+        authors:
+            Author names (any hashable strings); shared names are shared
+            authors.
+        venue:
+            Venue name, or ``None`` if unknown.
+        """
+        pid = str(paper_id)
+        if pid in self._index:
+            raise GraphError(f"duplicate paper id: {pid!r}")
+        self._index[pid] = len(self._ids)
+        self._ids.append(pid)
+        self._times.append(float(publication_time))
+        self._references.append([str(r) for r in references])
+        author_tuple = tuple(str(a) for a in authors)
+        self._authors.append(author_tuple)
+        self._any_author = self._any_author or bool(author_tuple)
+        self._venues.append(None if venue is None else str(venue))
+        self._any_venue = self._any_venue or venue is not None
+
+    def add_reference(self, citing_id: str, cited_id: str) -> None:
+        """Append one reference to an already-registered citing paper."""
+        try:
+            index = self._index[str(citing_id)]
+        except KeyError:
+            raise GraphError(f"unknown citing paper: {citing_id!r}") from None
+        self._references[index].append(str(cited_id))
+
+    def build(self, *, validate: bool = True) -> CitationNetwork:
+        """Resolve references and produce the immutable network.
+
+        Self-references and duplicate references are removed.  Author
+        names and venue names are interned to dense integer indices in
+        first-appearance order.
+        """
+        citing: list[int] = []
+        cited: list[int] = []
+        for source, refs in enumerate(self._references):
+            seen: set[int] = set()
+            for ref in refs:
+                target = self._index.get(ref)
+                if target is None:
+                    if self._policy == "error":
+                        raise GraphError(
+                            f"paper {self._ids[source]!r} references unknown "
+                            f"paper {ref!r}"
+                        )
+                    continue
+                if target == source or target in seen:
+                    continue
+                seen.add(target)
+                citing.append(source)
+                cited.append(target)
+
+        paper_authors = None
+        if self._any_author:
+            author_index: dict[str, int] = {}
+            paper_authors = []
+            for names in self._authors:
+                row = []
+                for name in names:
+                    if name not in author_index:
+                        author_index[name] = len(author_index)
+                    row.append(author_index[name])
+                paper_authors.append(tuple(row))
+
+        paper_venues = None
+        if self._any_venue:
+            venue_index: dict[str, int] = {}
+            paper_venues = []
+            for name in self._venues:
+                if name is None:
+                    paper_venues.append(-1)
+                    continue
+                if name not in venue_index:
+                    venue_index[name] = len(venue_index)
+                paper_venues.append(venue_index[name])
+
+        return CitationNetwork(
+            paper_ids=self._ids,
+            publication_times=self._times,
+            citing=citing,
+            cited=cited,
+            paper_authors=paper_authors,
+            paper_venues=paper_venues,
+            validate=validate,
+        )

@@ -1,0 +1,440 @@
+"""The citation-network data structure at the heart of the library.
+
+A :class:`CitationNetwork` is an immutable snapshot of a scholarly corpus:
+papers with publication times, directed citation edges (citing -> cited),
+and optional author / venue metadata.  All ranking methods in
+:mod:`repro.core` and :mod:`repro.baselines` operate on this structure.
+
+Papers are addressed internally by dense integer indices ``0 .. n_papers-1``
+in insertion order; the external (string) identifiers are kept in
+:attr:`CitationNetwork.paper_ids` and can be translated both ways with
+:meth:`CitationNetwork.index_of` and :meth:`CitationNetwork.id_of`.
+
+The citation matrix follows the paper's convention (Section 2):
+
+    ``C[i, j] = 1``  iff paper ``j`` cites paper ``i``
+
+so that rows index the *cited* paper and columns the *citing* paper.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._typing import FloatVector, IntVector
+from repro.errors import GraphError
+
+__all__ = ["CitationNetwork"]
+
+
+def _as_index_array(values: Iterable[int], *, name: str) -> IntVector:
+    """Convert ``values`` to a 1-D int64 array, validating dimensionality."""
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    if array.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if array.ndim != 1:
+        raise GraphError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if not np.issubdtype(array.dtype, np.integer):
+        raise GraphError(f"{name} must contain integers, got dtype {array.dtype}")
+    return array.astype(np.int64)
+
+
+class CitationNetwork:
+    """An immutable directed citation network with publication times.
+
+    Parameters
+    ----------
+    paper_ids:
+        External identifiers of the papers, one per paper.  Must be unique.
+    publication_times:
+        Publication time of each paper, in (possibly fractional) years,
+        e.g. ``1997.5``.  Length must equal ``len(paper_ids)``.
+    citing, cited:
+        Parallel integer arrays encoding the citation edges: paper
+        ``citing[e]`` cites paper ``cited[e]``.
+    paper_authors:
+        Optional sequence (one entry per paper) of author-index tuples.
+        Author indices are dense integers ``0 .. n_authors-1``.
+    paper_venues:
+        Optional integer array (one entry per paper) of venue indices,
+        with ``-1`` meaning "venue unknown".
+    validate:
+        When true (the default), run structural integrity checks; see
+        :meth:`validate`.
+
+    Notes
+    -----
+    Instances should be treated as immutable: the underlying arrays are
+    flagged read-only, and derived artifacts (degree vectors, sparse
+    matrices) are cached on first use.
+    """
+
+    def __init__(
+        self,
+        paper_ids: Sequence[str],
+        publication_times: Iterable[float],
+        citing: Iterable[int],
+        cited: Iterable[int],
+        *,
+        paper_authors: Sequence[Sequence[int]] | None = None,
+        paper_venues: Iterable[int] | None = None,
+        validate: bool = True,
+    ) -> None:
+        self._paper_ids = tuple(str(p) for p in paper_ids)
+        self._pub_time = np.asarray(list(publication_times), dtype=np.float64)
+        self._citing = _as_index_array(citing, name="citing")
+        self._cited = _as_index_array(cited, name="cited")
+        self._pub_time.setflags(write=False)
+        self._citing.setflags(write=False)
+        self._cited.setflags(write=False)
+
+        if paper_authors is not None:
+            self._paper_authors: tuple[tuple[int, ...], ...] | None = tuple(
+                tuple(int(a) for a in authors) for authors in paper_authors
+            )
+        else:
+            self._paper_authors = None
+
+        if paper_venues is not None:
+            self._paper_venues: IntVector | None = np.asarray(
+                list(paper_venues), dtype=np.int64
+            )
+            self._paper_venues.setflags(write=False)
+        else:
+            self._paper_venues = None
+
+        self._index: dict[str, int] = {
+            pid: i for i, pid in enumerate(self._paper_ids)
+        }
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_papers(self) -> int:
+        """Number of papers (nodes) in the network."""
+        return len(self._paper_ids)
+
+    @property
+    def n_citations(self) -> int:
+        """Number of citation edges in the network."""
+        return int(self._citing.size)
+
+    @property
+    def paper_ids(self) -> tuple[str, ...]:
+        """External identifiers of all papers, in index order."""
+        return self._paper_ids
+
+    @property
+    def publication_times(self) -> FloatVector:
+        """Publication time (in years) of each paper."""
+        return self._pub_time
+
+    @property
+    def citing(self) -> IntVector:
+        """Citing-paper index of each edge (the source of the reference)."""
+        return self._citing
+
+    @property
+    def cited(self) -> IntVector:
+        """Cited-paper index of each edge (the target of the reference)."""
+        return self._cited
+
+    @property
+    def paper_authors(self) -> tuple[tuple[int, ...], ...] | None:
+        """Author indices per paper, or ``None`` when unavailable."""
+        return self._paper_authors
+
+    @property
+    def paper_venues(self) -> IntVector | None:
+        """Venue index per paper (``-1`` = unknown), or ``None``."""
+        return self._paper_venues
+
+    @property
+    def has_authors(self) -> bool:
+        """Whether author metadata is present."""
+        return self._paper_authors is not None
+
+    @property
+    def has_venues(self) -> bool:
+        """Whether venue metadata is present."""
+        return self._paper_venues is not None
+
+    @cached_property
+    def n_authors(self) -> int:
+        """Number of distinct authors (0 when author data is absent)."""
+        if self._paper_authors is None:
+            return 0
+        return 1 + max(
+            (a for authors in self._paper_authors for a in authors), default=-1
+        )
+
+    @cached_property
+    def n_venues(self) -> int:
+        """Number of distinct venues (0 when venue data is absent)."""
+        if self._paper_venues is None:
+            return 0
+        return int(self._paper_venues.max(initial=-1)) + 1
+
+    def index_of(self, paper_id: str) -> int:
+        """Return the dense index of the paper with external id ``paper_id``."""
+        try:
+            return self._index[paper_id]
+        except KeyError:
+            raise GraphError(f"unknown paper id: {paper_id!r}") from None
+
+    def id_of(self, index: int) -> str:
+        """Return the external id of the paper at dense index ``index``."""
+        return self._paper_ids[index]
+
+    def __contains__(self, paper_id: object) -> bool:
+        return paper_id in self._index
+
+    def __len__(self) -> int:
+        return self.n_papers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        span = ""
+        if self.n_papers:
+            span = f", years {self._pub_time.min():.1f}-{self._pub_time.max():.1f}"
+        return (
+            f"CitationNetwork(n_papers={self.n_papers}, "
+            f"n_citations={self.n_citations}{span})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived structure (cached)
+    # ------------------------------------------------------------------
+    @cached_property
+    def citation_matrix(self) -> sp.csr_matrix:
+        """The sparse citation matrix ``C`` with ``C[i, j] = 1`` iff j cites i.
+
+        Duplicate edges (the same reference listed twice in the source
+        data) are collapsed to weight 1.
+        """
+        n = self.n_papers
+        data = np.ones(self.n_citations, dtype=np.float64)
+        matrix = sp.csr_matrix(
+            (data, (self._cited, self._citing)), shape=(n, n)
+        )
+        # Collapse duplicate references to binary entries.
+        matrix.data[:] = 1.0
+        matrix.sum_duplicates()
+        matrix.data[:] = np.minimum(matrix.data, 1.0)
+        return matrix
+
+    @cached_property
+    def in_degree(self) -> IntVector:
+        """Citation count of each paper (number of distinct citing papers)."""
+        counts = np.asarray(self.citation_matrix.sum(axis=1)).ravel()
+        return counts.astype(np.int64)
+
+    @cached_property
+    def out_degree(self) -> IntVector:
+        """Reference-list length of each paper (distinct cited papers)."""
+        counts = np.asarray(self.citation_matrix.sum(axis=0)).ravel()
+        return counts.astype(np.int64)
+
+    @cached_property
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of papers that cite no other paper in the network."""
+        return self.out_degree == 0
+
+    @cached_property
+    def author_matrix(self) -> sp.csr_matrix:
+        """Bipartite author-paper matrix ``A`` with ``A[a, p] = 1``.
+
+        Raises
+        ------
+        GraphError
+            If the network carries no author metadata.
+        """
+        if self._paper_authors is None:
+            raise GraphError("this network has no author metadata")
+        rows: list[int] = []
+        cols: list[int] = []
+        for paper, authors in enumerate(self._paper_authors):
+            for author in authors:
+                rows.append(author)
+                cols.append(paper)
+        data = np.ones(len(rows), dtype=np.float64)
+        matrix = sp.csr_matrix(
+            (data, (rows, cols)), shape=(self.n_authors, self.n_papers)
+        )
+        matrix.sum_duplicates()
+        matrix.data[:] = 1.0
+        return matrix
+
+    @cached_property
+    def venue_matrix(self) -> sp.csr_matrix:
+        """Bipartite venue-paper matrix ``V`` with ``V[v, p] = 1``.
+
+        Papers with unknown venue (index ``-1``) have an all-zero column.
+
+        Raises
+        ------
+        GraphError
+            If the network carries no venue metadata.
+        """
+        if self._paper_venues is None:
+            raise GraphError("this network has no venue metadata")
+        known = self._paper_venues >= 0
+        papers = np.nonzero(known)[0]
+        venues = self._paper_venues[known]
+        data = np.ones(papers.size, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, (venues, papers)), shape=(self.n_venues, self.n_papers)
+        )
+
+    # ------------------------------------------------------------------
+    # Ages and time helpers
+    # ------------------------------------------------------------------
+    @cached_property
+    def latest_time(self) -> float:
+        """Publication time of the most recent paper (the network "now")."""
+        if self.n_papers == 0:
+            raise GraphError("empty network has no latest time")
+        return float(self._pub_time.max())
+
+    def ages(self, now: float | None = None) -> FloatVector:
+        """Age of every paper at time ``now`` (default: :attr:`latest_time`).
+
+        Ages are clipped below at zero so that a caller passing an earlier
+        ``now`` never produces negative ages.
+        """
+        reference = self.latest_time if now is None else float(now)
+        return np.maximum(reference - self._pub_time, 0.0)
+
+    def citation_times(self) -> FloatVector:
+        """Time of each citation edge = publication time of the citing paper."""
+        return self._pub_time[self._citing]
+
+    # ------------------------------------------------------------------
+    # Validation and export
+    # ------------------------------------------------------------------
+    def validate(self, *, require_time_order: bool = False) -> None:
+        """Check structural integrity, raising :class:`GraphError` on failure.
+
+        Always checked: array-length agreement, unique external ids,
+        edge-index bounds, absence of self-citations, finite publication
+        times.  With ``require_time_order=True`` also require that no
+        paper cites a paper published strictly after itself.
+        """
+        n = self.n_papers
+        if self._pub_time.shape != (n,):
+            raise GraphError(
+                f"publication_times has length {self._pub_time.size}, "
+                f"expected {n}"
+            )
+        if len(self._index) != n:
+            raise GraphError("paper ids are not unique")
+        if not np.all(np.isfinite(self._pub_time)):
+            raise GraphError("publication times must be finite")
+        if self._citing.shape != self._cited.shape:
+            raise GraphError("citing and cited arrays differ in length")
+        if self.n_citations:
+            for name, arr in (("citing", self._citing), ("cited", self._cited)):
+                if arr.min(initial=0) < 0 or arr.max(initial=0) >= n:
+                    raise GraphError(f"{name} index out of range [0, {n})")
+            if np.any(self._citing == self._cited):
+                raise GraphError("self-citations are not allowed")
+        if self._paper_authors is not None and len(self._paper_authors) != n:
+            raise GraphError("paper_authors length must equal n_papers")
+        if self._paper_venues is not None and self._paper_venues.shape != (n,):
+            raise GraphError("paper_venues length must equal n_papers")
+        if require_time_order and self.n_citations:
+            citing_t = self._pub_time[self._citing]
+            cited_t = self._pub_time[self._cited]
+            bad = citing_t < cited_t
+            if np.any(bad):
+                count = int(bad.sum())
+                raise GraphError(
+                    f"{count} citations point to papers published later "
+                    "than the citing paper"
+                )
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (edges citing -> cited).
+
+        Node attributes: ``time`` (publication time), ``paper_id``.  Intended
+        for interoperability and visualisation, not for the ranking paths.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for i, pid in enumerate(self._paper_ids):
+            graph.add_node(i, paper_id=pid, time=float(self._pub_time[i]))
+        graph.add_edges_from(zip(self._citing.tolist(), self._cited.tolist()))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Subsetting
+    # ------------------------------------------------------------------
+    def subnetwork(self, paper_indices: Iterable[int]) -> "CitationNetwork":
+        """Return the induced subnetwork on ``paper_indices``.
+
+        Papers are re-indexed densely, preserving the relative order given
+        by ``paper_indices``.  Edges with either endpoint outside the subset
+        are dropped.  Author indices are preserved verbatim (they remain
+        globally meaningful); venue indices likewise.
+        """
+        keep = _as_index_array(paper_indices, name="paper_indices")
+        if keep.size != np.unique(keep).size:
+            raise GraphError("paper_indices contains duplicates")
+        if keep.size and (keep.min() < 0 or keep.max() >= self.n_papers):
+            raise GraphError("paper_indices out of range")
+
+        remap = np.full(self.n_papers, -1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size, dtype=np.int64)
+        edge_ok = (remap[self._citing] >= 0) & (remap[self._cited] >= 0)
+
+        authors = None
+        if self._paper_authors is not None:
+            authors = [self._paper_authors[i] for i in keep]
+        venues = None
+        if self._paper_venues is not None:
+            venues = self._paper_venues[keep]
+
+        return CitationNetwork(
+            paper_ids=[self._paper_ids[i] for i in keep],
+            publication_times=self._pub_time[keep],
+            citing=remap[self._citing[edge_ok]],
+            cited=remap[self._cited[edge_ok]],
+            paper_authors=authors,
+            paper_venues=venues,
+            validate=False,
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[str, str]],
+        publication_times: Mapping[str, float],
+        **kwargs,
+    ) -> "CitationNetwork":
+        """Build a network from ``(citing_id, cited_id)`` pairs.
+
+        Papers are indexed in the sorted order of their external ids for
+        determinism.  Every id appearing in ``edges`` must have an entry
+        in ``publication_times``; papers without edges may also be listed
+        in ``publication_times`` and become isolated nodes.
+        """
+        edge_list = [(str(a), str(b)) for a, b in edges]
+        ids = set(publication_times)
+        for a, b in edge_list:
+            if a not in ids:
+                raise GraphError(f"no publication time for citing paper {a!r}")
+            if b not in ids:
+                raise GraphError(f"no publication time for cited paper {b!r}")
+        ordered = sorted(ids)
+        index = {pid: i for i, pid in enumerate(ordered)}
+        citing = [index[a] for a, _ in edge_list]
+        cited = [index[b] for _, b in edge_list]
+        times = [float(publication_times[pid]) for pid in ordered]
+        return cls(ordered, times, citing, cited, **kwargs)

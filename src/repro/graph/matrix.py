@@ -1,0 +1,159 @@
+"""Stochastic-matrix machinery shared by all PageRank-style methods.
+
+The paper (Section 2) defines the column-stochastic matrix ``S`` derived
+from the citation matrix ``C``:
+
+* ``S[i, j] = 1 / k_j``  if paper ``j`` cites ``k_j`` papers, one of which
+  is ``i``;
+* ``S[i, j] = 0``        if ``j`` cites papers but not ``i``;
+* ``S[i, j] = 1 / |P|``  if ``j`` is *dangling* (cites nothing).
+
+Materialising the dangling columns would make ``S`` dense, so this module
+represents ``S`` as a sparse part plus a dangling rank-one correction and
+exposes :class:`StochasticOperator` whose :meth:`StochasticOperator.apply`
+computes the exact product ``S @ v`` in O(nnz) time.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._typing import FloatVector
+from repro.errors import GraphError
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["StochasticOperator", "column_stochastic", "is_column_stochastic"]
+
+
+def column_stochastic(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Normalise the columns of a non-negative sparse matrix to sum to one.
+
+    Columns that sum to zero are left as all-zero (the caller decides how
+    to treat dangling nodes).
+
+    Raises
+    ------
+    GraphError
+        If ``matrix`` is not square or contains negative entries.
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"matrix must be square, got shape {matrix.shape}")
+    csr = sp.csr_matrix(matrix, dtype=np.float64)
+    if csr.nnz and csr.data.min() < 0:
+        raise GraphError("matrix entries must be non-negative")
+    col_sums = np.asarray(csr.sum(axis=0)).ravel()
+    scale = np.ones_like(col_sums)
+    nonzero = col_sums > 0
+    scale[nonzero] = 1.0 / col_sums[nonzero]
+    return csr @ sp.diags(scale)
+
+
+def is_column_stochastic(
+    matrix: sp.spmatrix,
+    *,
+    allow_zero_columns: bool = False,
+    atol: float = 1e-10,
+) -> bool:
+    """Return whether every column of ``matrix`` sums to one (within ``atol``).
+
+    With ``allow_zero_columns=True``, all-zero columns are also accepted
+    (the dangling-column convention used by the sparse part of ``S``).
+    """
+    col_sums = np.asarray(sp.csr_matrix(matrix).sum(axis=0)).ravel()
+    ok = np.abs(col_sums - 1.0) <= atol
+    if allow_zero_columns:
+        ok |= np.abs(col_sums) <= atol
+    return bool(np.all(ok))
+
+
+class StochasticOperator:
+    """The exact column-stochastic citation operator ``S`` of the paper.
+
+    The operator is stored as ``S = S_sparse + (1/n) * 1 @ d^T`` where
+    ``S_sparse`` holds the reference-normalised columns and ``d`` is the
+    indicator of dangling papers.  :meth:`apply` evaluates ``S @ v``
+    without densifying.
+
+    Parameters
+    ----------
+    network:
+        The citation network whose matrix to build.
+    weights:
+        Optional per-edge weight vector (aligned with
+        ``network.citing`` / ``network.cited``).  Used by time-weighted
+        variants (e.g. retained adjacency matrices); defaults to all-ones.
+    """
+
+    def __init__(
+        self,
+        network: CitationNetwork,
+        *,
+        weights: FloatVector | None = None,
+    ) -> None:
+        self._n = network.n_papers
+        if weights is None:
+            data = np.ones(network.n_citations, dtype=np.float64)
+        else:
+            data = np.asarray(weights, dtype=np.float64)
+            if data.shape != (network.n_citations,):
+                raise GraphError(
+                    "weights must have one entry per citation edge; got "
+                    f"{data.shape}, expected ({network.n_citations},)"
+                )
+            if data.size and data.min() < 0:
+                raise GraphError("edge weights must be non-negative")
+        raw = sp.csr_matrix(
+            (data, (network.cited, network.citing)), shape=(self._n, self._n)
+        )
+        raw.sum_duplicates()
+        self._sparse = column_stochastic(raw)
+        col_sums = np.asarray(raw.sum(axis=0)).ravel()
+        self._dangling = col_sums == 0.0
+        # CSR is efficient for matvec; keep a CSC view for column slicing.
+        self._sparse = sp.csr_matrix(self._sparse)
+
+    @property
+    def n(self) -> int:
+        """Dimension of the operator (number of papers)."""
+        return self._n
+
+    @property
+    def sparse_part(self) -> sp.csr_matrix:
+        """The reference-normalised sparse part of ``S`` (zero dangling cols)."""
+        return self._sparse
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of dangling (reference-free) papers."""
+        return self._dangling
+
+    @cached_property
+    def n_dangling(self) -> int:
+        """Number of dangling papers."""
+        return int(self._dangling.sum())
+
+    def apply(self, vector: FloatVector) -> FloatVector:
+        """Compute ``S @ vector`` exactly, including dangling columns.
+
+        The dangling correction redistributes the probability mass sitting
+        on dangling papers uniformly: ``(1/n) * sum(vector[dangling])``.
+        """
+        v = np.asarray(vector, dtype=np.float64)
+        if v.shape != (self._n,):
+            raise GraphError(
+                f"vector has shape {v.shape}, expected ({self._n},)"
+            )
+        result = self._sparse @ v
+        if self.n_dangling:
+            result += v[self._dangling].sum() / self._n
+        return result
+
+    def dense(self) -> np.ndarray:
+        """Materialise ``S`` as a dense array (tests / tiny networks only)."""
+        full = self._sparse.toarray()
+        if self.n_dangling:
+            full[:, self._dangling] = 1.0 / self._n
+        return full

@@ -1,0 +1,115 @@
+"""Temporal views of a citation network: snapshots and citation windows.
+
+The evaluation methodology of the paper revolves around two temporal
+operations:
+
+* the *state* of the network at a time ``t`` — papers published up to
+  ``t`` and the citations among them (``C(t)`` in the paper), and
+* the *citation window* ``C[t0 : t1]`` — only citations *made* (i.e. whose
+  citing paper was published) inside a time interval, which drives the
+  attention vector (Eq. 2) and the RAM/ECM baselines.
+
+Both are provided here, along with count-based prefixes used by the
+test-ratio split of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import FloatVector, IntVector
+from repro.errors import GraphError
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = [
+    "snapshot_at",
+    "prefix_by_count",
+    "papers_published_until",
+    "chronological_order",
+    "citations_in_window",
+    "citation_counts_between",
+]
+
+
+def chronological_order(network: CitationNetwork) -> IntVector:
+    """Paper indices sorted by publication time (stable on ties).
+
+    The stable tie-break on the original index makes every split
+    deterministic, which the test-ratio methodology relies on.
+    """
+    return np.argsort(network.publication_times, kind="stable").astype(np.int64)
+
+
+def papers_published_until(network: CitationNetwork, t: float) -> IntVector:
+    """Indices of papers with publication time <= ``t``, in index order."""
+    return np.nonzero(network.publication_times <= t)[0].astype(np.int64)
+
+
+def snapshot_at(
+    network: CitationNetwork, t: float
+) -> tuple[CitationNetwork, IntVector]:
+    """The network state ``C(t)``: papers published up to ``t``.
+
+    Returns
+    -------
+    (snapshot, kept_indices):
+        ``snapshot`` is the induced subnetwork re-indexed densely;
+        ``kept_indices[i]`` gives the index in the *original* network of
+        snapshot paper ``i``.
+    """
+    keep = papers_published_until(network, t)
+    return network.subnetwork(keep), keep
+
+
+def prefix_by_count(
+    network: CitationNetwork, n_papers: int
+) -> tuple[CitationNetwork, IntVector]:
+    """The subnetwork of the ``n_papers`` chronologically oldest papers.
+
+    This is the count-based state used by the paper's test-ratio split
+    ("we partition each dataset according to time in two parts, each
+    having equal number of papers").
+    """
+    if not 0 <= n_papers <= network.n_papers:
+        raise GraphError(
+            f"n_papers must be in [0, {network.n_papers}], got {n_papers}"
+        )
+    order = chronological_order(network)
+    keep = np.sort(order[:n_papers])
+    return network.subnetwork(keep), keep
+
+
+def citations_in_window(
+    network: CitationNetwork,
+    t_start: float,
+    t_end: float,
+) -> np.ndarray:
+    """Boolean edge mask of citations made in the half-open window
+    ``(t_start, t_end]``.
+
+    A citation is *made* at the publication time of its citing paper,
+    matching the paper's ``C[tN-y : tN]`` notation for the attention
+    window.
+    """
+    if t_end < t_start:
+        raise GraphError(
+            f"empty window: t_end ({t_end}) earlier than t_start ({t_start})"
+        )
+    made_at = network.citation_times()
+    return (made_at > t_start) & (made_at <= t_end)
+
+
+def citation_counts_between(
+    network: CitationNetwork,
+    t_start: float,
+    t_end: float,
+) -> FloatVector:
+    """Per-paper count of citations received in the window ``(t_start, t_end]``.
+
+    Entry ``i`` is the number of edges pointing at paper ``i`` whose citing
+    paper was published in the window — the row sums of ``C[t_start : t_end]``.
+    """
+    mask = citations_in_window(network, t_start, t_end)
+    counts = np.zeros(network.n_papers, dtype=np.float64)
+    np.add.at(counts, network.cited[mask], 1.0)
+    return counts

@@ -1,0 +1,95 @@
+"""Loader for the AMiner/DBLP citation-network "V" text format.
+
+The paper's DBLP dataset ships from https://aminer.org/citation in a
+line-tagged format, one block per paper:
+
+    #* title
+    #@ author1, author2, ...
+    #t year
+    #c venue
+    #index paper-id
+    #% reference-id        (repeated, one per reference)
+
+Blocks are separated by blank lines.  Papers without a year are dropped
+(their references too); references to unknown ids are skipped.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import DataFormatError
+from repro.graph.builder import NetworkBuilder
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["load_aminer"]
+
+
+@dataclass
+class _Record:
+    index: str | None = None
+    year: int | None = None
+    authors: list[str] = field(default_factory=list)
+    venue: str | None = None
+    references: list[str] = field(default_factory=list)
+
+    def complete(self) -> bool:
+        return self.index is not None and self.year is not None
+
+
+def _flush(record: _Record, builder: NetworkBuilder) -> None:
+    if not record.complete() or record.index in builder:
+        return
+    builder.add_paper(
+        record.index,  # type: ignore[arg-type]
+        float(record.year),  # type: ignore[arg-type]
+        references=record.references,
+        authors=record.authors,
+        venue=record.venue or None,
+    )
+
+
+def load_aminer(path: str) -> CitationNetwork:
+    """Load an AMiner V-format citation dump.
+
+    Raises
+    ------
+    DataFormatError
+        If the file is missing or a ``#t`` year is not an integer.
+    """
+    if not os.path.exists(path):
+        raise DataFormatError(f"file not found: {path}")
+
+    builder = NetworkBuilder(missing_references="skip")
+    record = _Record()
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                _flush(record, builder)
+                record = _Record()
+                continue
+            if line.startswith("#index"):
+                record.index = line[len("#index"):].strip()
+            elif line.startswith("#t"):
+                text = line[2:].strip()
+                try:
+                    record.year = int(text)
+                except ValueError:
+                    raise DataFormatError(
+                        f"{path}:{number}: non-integer year {text!r}"
+                    ) from None
+            elif line.startswith("#@"):
+                names = [n.strip() for n in line[2:].split(",")]
+                record.authors = [n for n in names if n]
+            elif line.startswith("#c"):
+                record.venue = line[2:].strip() or None
+            elif line.startswith("#%"):
+                reference = line[2:].strip()
+                if reference:
+                    record.references.append(reference)
+            elif line.startswith("#*") or line.startswith("#!"):
+                pass  # title / abstract: not needed for ranking
+    _flush(record, builder)
+    return builder.build()

@@ -1,0 +1,160 @@
+"""Generic delimited loaders: edge lists + metadata tables.
+
+Covers the remaining corpora of the paper — APS ships as a citing/cited
+CSV plus a per-article metadata table, and PMC-style exports reduce to
+the same shape — as well as any user-supplied dataset in the common
+"edges file + dates file" form.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable
+
+from repro.errors import DataFormatError
+from repro.graph.builder import NetworkBuilder
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["load_edge_list", "load_csv_dataset"]
+
+
+def _rows(path: str, delimiter: str | None) -> Iterable[tuple[int, list[str]]]:
+    with open(path, "r", encoding="utf-8", errors="replace", newline="") as handle:
+        if delimiter is None:
+            for number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    yield number, stripped.split()
+        else:
+            reader = csv.reader(handle, delimiter=delimiter)
+            for number, row in enumerate(reader, start=1):
+                if row and not row[0].lstrip().startswith("#"):
+                    yield number, [cell.strip() for cell in row]
+
+
+def load_edge_list(
+    edges_path: str,
+    times_path: str,
+    *,
+    delimiter: str | None = None,
+) -> CitationNetwork:
+    """Load a network from an edge file and a publication-time file.
+
+    ``edges_path`` holds ``<citing> <cited>`` rows; ``times_path`` holds
+    ``<paper> <time>`` rows with time in (fractional) years.  With the
+    default ``delimiter=None`` fields are whitespace-separated;
+    otherwise rows are parsed as delimited CSV.  ``#`` lines are
+    comments.  Citations involving papers without a time entry are
+    dropped.
+    """
+    for path in (edges_path, times_path):
+        if not os.path.exists(path):
+            raise DataFormatError(f"file not found: {path}")
+
+    builder = NetworkBuilder(missing_references="skip")
+    for number, row in _rows(times_path, delimiter):
+        if len(row) != 2:
+            raise DataFormatError(
+                f"{times_path}:{number}: expected '<paper> <time>', got {row!r}"
+            )
+        paper, time_text = row
+        if paper in builder:
+            raise DataFormatError(
+                f"{times_path}:{number}: duplicate paper id {paper!r}"
+            )
+        try:
+            time = float(time_text)
+        except ValueError:
+            raise DataFormatError(
+                f"{times_path}:{number}: non-numeric time {time_text!r}"
+            ) from None
+        builder.add_paper(paper, time)
+
+    for number, row in _rows(edges_path, delimiter):
+        if len(row) != 2:
+            raise DataFormatError(
+                f"{edges_path}:{number}: expected '<citing> <cited>', got {row!r}"
+            )
+        citing, cited = row
+        if citing in builder:
+            builder.add_reference(citing, cited)
+
+    return builder.build()
+
+
+def load_csv_dataset(
+    metadata_path: str,
+    citations_path: str,
+    *,
+    delimiter: str = ",",
+    id_column: str = "id",
+    year_column: str = "year",
+    authors_column: str | None = "authors",
+    venue_column: str | None = "venue",
+    author_separator: str = ";",
+) -> CitationNetwork:
+    """Load an APS/PMC-style dataset: a metadata CSV plus a citation CSV.
+
+    ``metadata_path`` must have a header row containing at least the id
+    and year columns; the optional author column holds
+    ``author_separator``-joined names.  ``citations_path`` has two
+    columns, ``citing,cited`` (header optional — a first row whose second
+    field is not an id present in the metadata is treated as a header
+    only if it matches 'citing'/'cited' case-insensitively).
+    """
+    for path in (metadata_path, citations_path):
+        if not os.path.exists(path):
+            raise DataFormatError(f"file not found: {path}")
+
+    builder = NetworkBuilder(missing_references="skip")
+    with open(metadata_path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise DataFormatError(f"{metadata_path}: empty metadata file")
+        for column in (id_column, year_column):
+            if column not in reader.fieldnames:
+                raise DataFormatError(
+                    f"{metadata_path}: missing required column {column!r} "
+                    f"(found {reader.fieldnames})"
+                )
+        for number, row in enumerate(reader, start=2):
+            paper = (row.get(id_column) or "").strip()
+            year_text = (row.get(year_column) or "").strip()
+            if not paper or not year_text:
+                continue
+            try:
+                year = float(year_text)
+            except ValueError:
+                raise DataFormatError(
+                    f"{metadata_path}:{number}: non-numeric year "
+                    f"{year_text!r}"
+                ) from None
+            authors: list[str] = []
+            if authors_column and row.get(authors_column):
+                authors = [
+                    name.strip()
+                    for name in row[authors_column].split(author_separator)
+                    if name.strip()
+                ]
+            venue = None
+            if venue_column and row.get(venue_column):
+                venue = row[venue_column].strip() or None
+            if paper in builder:
+                raise DataFormatError(
+                    f"{metadata_path}:{number}: duplicate paper id {paper!r}"
+                )
+            builder.add_paper(paper, year, authors=authors, venue=venue)
+
+    with open(citations_path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for number, row in enumerate(reader, start=1):
+            if len(row) < 2:
+                continue
+            citing, cited = row[0].strip(), row[1].strip()
+            if number == 1 and citing.lower() in ("citing", "source", "from"):
+                continue
+            if citing in builder:
+                builder.add_reference(citing, cited)
+
+    return builder.build()

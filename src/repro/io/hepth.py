@@ -1,0 +1,104 @@
+"""Loader for the arXiv hep-th collection (KDD Cup 2003 format).
+
+The paper's first dataset.  The KDD Cup distribution consists of two
+plain-text files:
+
+* ``cit-HepTh.txt`` — one citation per line, ``<citing> <cited>``, with
+  ``#``-prefixed comment lines;
+* ``cit-HepTh-dates.txt`` — one line per paper, ``<paper> <YYYY-MM-DD>``,
+  also with ``#`` comments.  Paper ids may carry the cross-listing
+  prefix ``11`` (e.g. ``119901234`` for ``9901234``), which is stripped,
+  matching the dataset's documented convention.
+
+Papers appearing in the citation file without a date entry are dropped
+(with their edges), as are citations whose endpoints are unknown.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.errors import DataFormatError
+from repro.graph.builder import NetworkBuilder
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["load_hepth", "parse_hepth_date"]
+
+
+def parse_hepth_date(text: str) -> float:
+    """Convert ``YYYY-MM-DD`` to a fractional year.
+
+    >>> parse_hepth_date("1997-07-01")
+    1997.5
+    """
+    parts = text.strip().split("-")
+    if len(parts) != 3:
+        raise DataFormatError(f"malformed date {text!r}, expected YYYY-MM-DD")
+    try:
+        year, month, day = (int(p) for p in parts)
+    except ValueError:
+        raise DataFormatError(f"non-numeric date components in {text!r}") from None
+    if not 1 <= month <= 12 or not 1 <= day <= 31:
+        raise DataFormatError(f"out-of-range date {text!r}")
+    return year + (month - 1) / 12.0 + (day - 1) / 365.0
+
+
+def _normalize_id(raw: str) -> str:
+    """Strip the KDD-Cup cross-list prefix: 11-prefixed 9-digit ids."""
+    token = raw.strip()
+    if len(token) == 9 and token.startswith("11"):
+        token = token[2:]
+    return token.lstrip("0") or "0"
+
+
+def _data_lines(path: str) -> Iterable[tuple[int, str]]:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                yield number, stripped
+
+
+def load_hepth(
+    citations_path: str,
+    dates_path: str,
+) -> CitationNetwork:
+    """Load the hep-th network from the two KDD-Cup files.
+
+    Raises
+    ------
+    DataFormatError
+        On malformed lines; missing papers are skipped silently (the
+        public dump contains citations to withdrawn papers).
+    """
+    for path in (citations_path, dates_path):
+        if not os.path.exists(path):
+            raise DataFormatError(f"file not found: {path}")
+
+    builder = NetworkBuilder(missing_references="skip")
+    for number, line in _data_lines(dates_path):
+        tokens = line.split()
+        if len(tokens) != 2:
+            raise DataFormatError(
+                f"{dates_path}:{number}: expected '<paper> <date>', got "
+                f"{line!r}"
+            )
+        paper_id = _normalize_id(tokens[0])
+        if paper_id in builder:
+            continue  # the dump contains a handful of duplicate date rows
+        builder.add_paper(paper_id, parse_hepth_date(tokens[1]))
+
+    for number, line in _data_lines(citations_path):
+        tokens = line.split()
+        if len(tokens) != 2:
+            raise DataFormatError(
+                f"{citations_path}:{number}: expected '<citing> <cited>', "
+                f"got {line!r}"
+            )
+        citing = _normalize_id(tokens[0])
+        cited = _normalize_id(tokens[1])
+        if citing in builder:
+            builder.add_reference(citing, cited)
+
+    return builder.build()

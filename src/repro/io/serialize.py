@@ -1,0 +1,97 @@
+"""Binary save/load of citation networks (single ``.npz`` file).
+
+Loaders and generators can be slow on large corpora; serialising the
+parsed :class:`~repro.graph.CitationNetwork` lets experiments reload it
+in milliseconds.  The format is a plain NumPy ``.npz`` archive:
+
+* ``paper_ids``  — unicode array,
+* ``pub_time``   — float64,
+* ``citing`` / ``cited`` — int64 edge arrays,
+* ``author_indptr`` / ``author_indices`` — CSR-encoded author lists
+  (present only when the network has author data),
+* ``venues``     — int64 (present only with venue data),
+* ``format_version`` — for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DataFormatError
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = ["save_network", "load_network", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_network(network: CitationNetwork, path: str) -> None:
+    """Write ``network`` to ``path`` (conventionally ``*.npz``)."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.asarray([FORMAT_VERSION], dtype=np.int64),
+        "paper_ids": np.asarray(network.paper_ids, dtype=np.str_),
+        "pub_time": network.publication_times,
+        "citing": network.citing,
+        "cited": network.cited,
+    }
+    if network.paper_authors is not None:
+        lengths = [len(authors) for authors in network.paper_authors]
+        indptr = np.concatenate(
+            ([0], np.cumsum(np.asarray(lengths, dtype=np.int64)))
+        )
+        indices = np.asarray(
+            [a for authors in network.paper_authors for a in authors],
+            dtype=np.int64,
+        )
+        payload["author_indptr"] = indptr
+        payload["author_indices"] = indices
+    if network.paper_venues is not None:
+        payload["venues"] = network.paper_venues
+    np.savez_compressed(path, **payload)
+
+
+def load_network(path: str) -> CitationNetwork:
+    """Read a network previously written by :func:`save_network`.
+
+    Raises
+    ------
+    DataFormatError
+        If the file is missing, lacks mandatory arrays, or declares an
+        unsupported format version.
+    """
+    if not os.path.exists(path):
+        raise DataFormatError(f"file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        members = set(archive.files)
+        required = {"format_version", "paper_ids", "pub_time", "citing", "cited"}
+        missing = required - members
+        if missing:
+            raise DataFormatError(
+                f"{path}: not a repro network file (missing {sorted(missing)})"
+            )
+        version = int(archive["format_version"][0])
+        if version != FORMAT_VERSION:
+            raise DataFormatError(
+                f"{path}: unsupported format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        paper_authors = None
+        if "author_indptr" in members:
+            indptr = archive["author_indptr"]
+            indices = archive["author_indices"]
+            paper_authors = [
+                tuple(int(a) for a in indices[indptr[i]: indptr[i + 1]])
+                for i in range(len(indptr) - 1)
+            ]
+        venues = archive["venues"] if "venues" in members else None
+        return CitationNetwork(
+            paper_ids=[str(p) for p in archive["paper_ids"]],
+            publication_times=archive["pub_time"],
+            citing=archive["citing"],
+            cited=archive["cited"],
+            paper_authors=paper_authors,
+            paper_venues=venues,
+            validate=True,
+        )

@@ -1,0 +1,111 @@
+"""The common interface every paper-ranking method implements.
+
+A *ranking method* maps a :class:`~repro.graph.CitationNetwork` (the
+current state ``C(tN)``) to one non-negative score per paper; papers are
+then ranked in decreasing score order as a proxy for their unknown
+short-term impact (Problem 1 of the paper).  AttRank and all baselines
+subclass :class:`RankingMethod`, which gives the evaluation framework a
+single uniform handle for running, tuning and comparing them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._typing import FloatVector, IntVector
+from repro.errors import ConfigurationError
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = [
+    "RankingMethod",
+    "ConvergenceInfo",
+    "ranking_from_scores",
+    "top_k_indices",
+]
+
+
+@dataclass(frozen=True)
+class ConvergenceInfo:
+    """Diagnostics of an iterative solve.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed.
+    residual:
+        Final L1 change between successive iterates.
+    converged:
+        Whether the residual dropped below the requested tolerance within
+        the iteration budget.
+    residual_history:
+        Residual after each iteration (length = ``iterations``).
+    """
+
+    iterations: int
+    residual: float
+    converged: bool
+    residual_history: tuple[float, ...]
+
+
+class RankingMethod(ABC):
+    """Abstract base class of all ranking methods.
+
+    Subclasses set the class attribute :attr:`name` (the short label used
+    in the paper's plots: ``"AR"``, ``"CR"``, ``"FR"``, ...), implement
+    :meth:`scores`, and report their configuration from :meth:`params`.
+    Iterative methods additionally expose a :attr:`last_convergence`
+    attribute after :meth:`scores` has run.
+    """
+
+    #: Short label for reports (matches the paper's legends).
+    name: str = "?"
+
+    #: Populated by iterative subclasses after ``scores()``.
+    last_convergence: ConvergenceInfo | None = None
+
+    @abstractmethod
+    def scores(self, network: CitationNetwork) -> FloatVector:
+        """Compute one non-negative score per paper of ``network``."""
+
+    def params(self) -> Mapping[str, Any]:
+        """The method's configuration, for experiment reports."""
+        return {}
+
+    def rank(self, network: CitationNetwork) -> IntVector:
+        """Paper indices in decreasing score order (ties by index)."""
+        return ranking_from_scores(self.scores(network))
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``AR(alpha=0.2, beta=0.5)``."""
+        inner = ", ".join(f"{k}={v}" for k, v in self.params().items())
+        return f"{self.name}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def ranking_from_scores(scores: FloatVector) -> IntVector:
+    """Indices sorted by decreasing score, ties broken by ascending index.
+
+    The deterministic tie-break makes every evaluation reproducible even
+    when a method assigns identical scores (e.g. citation count).
+    """
+    array = np.asarray(scores, dtype=np.float64)
+    if array.ndim != 1:
+        raise ConfigurationError(
+            f"scores must be a vector, got shape {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError("scores contain non-finite values")
+    return np.lexsort((np.arange(array.size), -array)).astype(np.int64)
+
+
+def top_k_indices(scores: FloatVector, k: int) -> IntVector:
+    """The ``k`` highest-scoring paper indices, deterministic on ties."""
+    if k < 0:
+        raise ConfigurationError(f"k must be non-negative, got {k}")
+    return ranking_from_scores(scores)[:k]

@@ -1,0 +1,45 @@
+"""Synthetic citation-network generation (the offline dataset substitute).
+
+* :func:`generate_network` / :class:`GrowthConfig` — the growth model
+  (preferential attachment x fitness x exponential aging).
+* :func:`generate_dataset` / :data:`DATASET_PROFILES` — named stand-ins
+  for the paper's four corpora (hep-th, APS, PMC, DBLP).
+* :func:`two_paper_overtaking`, :func:`toy_network` — scenario networks.
+"""
+
+from repro.synth.authors import AuthorConfig, VenueConfig, assign_authors, assign_venues
+from repro.synth.models import GrowthConfig, generate_network
+from repro.synth.profiles import (
+    DATASET_NAMES,
+    DATASET_PROFILES,
+    SIZE_FACTORS,
+    DatasetProfile,
+    generate_dataset,
+    profile_for,
+)
+from repro.synth.rng import make_rng, spawn_rngs
+from repro.synth.scenarios import (
+    OvertakingScenario,
+    toy_network,
+    two_paper_overtaking,
+)
+
+__all__ = [
+    "AuthorConfig",
+    "VenueConfig",
+    "assign_authors",
+    "assign_venues",
+    "GrowthConfig",
+    "generate_network",
+    "DATASET_NAMES",
+    "DATASET_PROFILES",
+    "SIZE_FACTORS",
+    "DatasetProfile",
+    "generate_dataset",
+    "profile_for",
+    "make_rng",
+    "spawn_rngs",
+    "OvertakingScenario",
+    "toy_network",
+    "two_paper_overtaking",
+]

@@ -1,0 +1,388 @@
+"""Growing citation-network model with aging, fitness and attention.
+
+This is the library's substitute for the paper's four real datasets (see
+DESIGN.md §4).  The generative process is the standard *relevance model*
+of citation-network growth — preferential attachment modulated by paper
+fitness and an exponentially decaying age factor — which is precisely the
+family of mechanisms the paper itself appeals to ("a time-restricted
+version of preferential attachment", Section 1).
+
+Papers arrive in discrete batches (e.g. monthly).  A new paper selects
+its references through two mechanisms:
+
+* **kernel sampling** — an existing paper ``i`` is chosen with
+  probability proportional to the attachment kernel
+
+      (recent_citations_i + total_weight * citations_i + k0)
+          * fitness_i * exp(aging_rate * age_i)
+
+  where ``recent_citations_i`` counts citations received within the last
+  ``attention_window`` years;
+* **reference copying** — with probability ``copy_probability`` per
+  remaining slot, the paper copies a random entry from the reference
+  list of a paper it already cites (the classic copying model): authors
+  discover literature by following the reference lists of the papers
+  they read.  This is what makes the PageRank-style flow component of
+  ranking methods informative.
+
+Together the mechanisms produce the phenomena the paper's evaluation
+depends on: citation lag and age bias (Figure 1a), heavy-tailed citation
+counts, persistence of recent attention (Table 1), and citation flow
+along reference chains.  Optionally, paper fitness is boosted by the
+past productivity of the paper's authors, giving author-aware baselines
+(FutureRank, WSDM) genuine signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.citation_network import CitationNetwork
+from repro.synth.authors import AuthorConfig, VenueConfig, assign_authors, assign_venues
+from repro.synth.rng import spawn_rngs
+
+__all__ = ["GrowthConfig", "generate_network"]
+
+
+@dataclass(frozen=True)
+class GrowthConfig:
+    """Parameters of the synthetic citation-network growth model.
+
+    Attributes
+    ----------
+    n_papers:
+        Total number of papers to generate.
+    first_year, last_year:
+        Calendar span of the corpus.  Papers are published at batch
+        midpoints inside this interval.
+    batches_per_year:
+        Temporal resolution of the growth process (12 = monthly).
+    growth_rate:
+        Exponential growth rate of the publication volume per year
+        (0 = constant volume).  Real corpora grow at roughly 3-5 %/year.
+    mean_references:
+        Mean reference-list length; actual list lengths are drawn from a
+        lognormal and clipped to the available pool.
+    reference_sigma:
+        Lognormal sigma of the reference-list length distribution.
+    aging_rate:
+        The (negative) exponential aging rate of the attachment kernel,
+        in 1/years.  Matches the paper's fitted ``w`` per dataset
+        (hep-th: -0.48, APS: -0.12, PMC/DBLP: -0.16).
+    maturation_exponent:
+        Exponent ``m`` of the rising factor ``age^m`` in the kernel's
+        age response ``age^m * exp(aging_rate * age)``.  Models *citation
+        lag* (Figure 1a): a paper's citation rate peaks
+        ``-m / aging_rate`` years after publication instead of at birth.
+        0 disables maturation.
+    fitness_sigma:
+        Sigma of the lognormal paper-fitness distribution (0 = all papers
+        equally fit; larger = heavier-tailed citation counts).
+    attention_window:
+        Length in years of the "recent citations" window of the kernel.
+    initial_attractiveness:
+        The additive constant ``k0`` — how attractive an uncited paper is.
+    total_citation_weight:
+        Weight of *lifetime* citations in the kernel relative to recent
+        ones; > 0 keeps long-lived classics citable beyond the attention
+        window.
+    copy_probability:
+        Per-slot probability of choosing a reference by copying from an
+        already-selected paper's reference list instead of sampling the
+        kernel.
+    author_fitness_boost:
+        Multiplies each paper's fitness by
+        ``1 + boost * log1p(mean prior productivity of its authors)``;
+        0 disables the coupling.  Requires ``authors``.
+    authors:
+        Optional author-assignment configuration (None = no author data).
+    venues:
+        Optional venue-assignment configuration (None = no venue data).
+    """
+
+    n_papers: int
+    first_year: float = 1990.0
+    last_year: float = 2010.0
+    batches_per_year: int = 12
+    growth_rate: float = 0.04
+    mean_references: float = 12.0
+    reference_sigma: float = 0.6
+    aging_rate: float = -0.2
+    maturation_exponent: float = 0.4
+    fitness_sigma: float = 1.1
+    attention_window: float = 3.0
+    initial_attractiveness: float = 1.0
+    total_citation_weight: float = 0.25
+    copy_probability: float = 0.25
+    author_fitness_boost: float = 0.1
+    authors: AuthorConfig | None = field(default_factory=lambda: AuthorConfig())
+    venues: VenueConfig | None = field(default_factory=lambda: VenueConfig())
+
+    def __post_init__(self) -> None:
+        if self.n_papers < 2:
+            raise ConfigurationError("n_papers must be at least 2")
+        if self.last_year <= self.first_year:
+            raise ConfigurationError("last_year must exceed first_year")
+        if self.batches_per_year < 1:
+            raise ConfigurationError("batches_per_year must be >= 1")
+        if self.mean_references <= 0:
+            raise ConfigurationError("mean_references must be positive")
+        if self.aging_rate >= 0:
+            raise ConfigurationError("aging_rate must be negative (papers age)")
+        if self.maturation_exponent < 0:
+            raise ConfigurationError("maturation_exponent must be >= 0")
+        if self.fitness_sigma < 0:
+            raise ConfigurationError("fitness_sigma must be non-negative")
+        if self.attention_window <= 0:
+            raise ConfigurationError("attention_window must be positive")
+        if self.initial_attractiveness <= 0:
+            raise ConfigurationError("initial_attractiveness must be positive")
+        if self.total_citation_weight < 0:
+            raise ConfigurationError("total_citation_weight must be >= 0")
+        if not 0 <= self.copy_probability < 1:
+            raise ConfigurationError("copy_probability must be in [0, 1)")
+        if self.author_fitness_boost < 0:
+            raise ConfigurationError("author_fitness_boost must be >= 0")
+        if self.author_fitness_boost > 0 and self.authors is None:
+            raise ConfigurationError(
+                "author_fitness_boost requires an authors configuration"
+            )
+
+
+def _batch_sizes(config: GrowthConfig, rng: np.random.Generator) -> np.ndarray:
+    """Split ``n_papers`` into per-batch publication counts.
+
+    Batch volumes follow the exponential growth curve with multiplicative
+    lognormal noise, then are scaled to sum exactly to ``n_papers``.
+    """
+    n_batches = int(
+        round((config.last_year - config.first_year) * config.batches_per_year)
+    )
+    n_batches = max(n_batches, 2)
+    t = np.arange(n_batches) / config.batches_per_year
+    volume = np.exp(config.growth_rate * t)
+    volume *= rng.lognormal(mean=0.0, sigma=0.08, size=n_batches)
+    raw = volume / volume.sum() * config.n_papers
+    sizes = np.floor(raw).astype(np.int64)
+    # Distribute the rounding remainder to the largest fractional parts.
+    deficit = config.n_papers - int(sizes.sum())
+    if deficit > 0:
+        order = np.argsort(-(raw - sizes))
+        sizes[order[:deficit]] += 1
+    # Guarantee a seed batch so the very first papers have something to cite.
+    if sizes[0] == 0:
+        donor = int(np.argmax(sizes))
+        sizes[0] += 1
+        sizes[donor] -= 1
+    return sizes
+
+
+def _reference_counts(
+    config: GrowthConfig, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw reference-list lengths (>= 0) with the configured mean."""
+    mu = np.log(config.mean_references) - config.reference_sigma**2 / 2.0
+    lengths = rng.lognormal(mean=mu, sigma=config.reference_sigma, size=n)
+    return np.maximum(np.round(lengths).astype(np.int64), 0)
+
+
+def _author_fitness_factor(
+    paper_authors: list[tuple[int, ...]], boost: float
+) -> np.ndarray:
+    """Fitness multipliers from the authors' productivity *before* each
+    paper (papers are in chronological order, so the prior is causal)."""
+    n = len(paper_authors)
+    factor = np.ones(n, dtype=np.float64)
+    productivity: dict[int, int] = {}
+    for paper, team in enumerate(paper_authors):
+        if team:
+            prior = sum(productivity.get(a, 0) for a in team) / len(team)
+            factor[paper] = 1.0 + boost * np.log1p(prior)
+        for author in team:
+            productivity[author] = productivity.get(author, 0) + 1
+    return factor
+
+
+class _RollingAttention:
+    """Per-paper citation counts over a sliding window of recent batches."""
+
+    def __init__(self, capacity: int, window_batches: int) -> None:
+        self._counts = np.zeros(capacity, dtype=np.float64)
+        self._window = max(window_batches, 1)
+        self._deltas: list[tuple[np.ndarray, np.ndarray]] = []
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    def push_batch(self, cited: np.ndarray) -> None:
+        """Record the citations of one batch and expire the oldest batch."""
+        targets, increments = np.unique(cited, return_counts=True)
+        np.add.at(self._counts, targets, increments.astype(np.float64))
+        self._deltas.append((targets, increments))
+        if len(self._deltas) > self._window:
+            old_targets, old_counts = self._deltas.pop(0)
+            np.subtract.at(
+                self._counts, old_targets, old_counts.astype(np.float64)
+            )
+
+
+def generate_network(
+    config: GrowthConfig, *, seed: int | None = 0
+) -> CitationNetwork:
+    """Generate a citation network according to ``config``.
+
+    The process is batched: all papers of a batch observe the same
+    attachment weights (computed once per batch) and cannot cite papers
+    of their own or later batches, which guarantees time-consistency of
+    every edge.
+
+    Returns
+    -------
+    CitationNetwork
+        With paper ids ``P0000001, ...`` in chronological order, and
+        author/venue metadata if configured.
+    """
+    structure_rng, ref_rng, author_rng, venue_rng = spawn_rngs(seed, 4)
+
+    sizes = _batch_sizes(config, structure_rng)
+    n_batches = sizes.size
+    batch_times = config.first_year + (np.arange(n_batches) + 0.5) / (
+        config.batches_per_year
+    )
+
+    n = config.n_papers
+    pub_time = np.zeros(n, dtype=np.float64)
+    fitness = np.exp(
+        structure_rng.normal(0.0, config.fitness_sigma, size=n)
+        - config.fitness_sigma**2 / 2.0
+    )
+    ref_counts = _reference_counts(config, n, ref_rng)
+
+    paper_authors = (
+        assign_authors(n, config.authors, author_rng)
+        if config.authors is not None
+        else None
+    )
+    if paper_authors is not None and config.author_fitness_boost > 0:
+        fitness *= _author_fitness_factor(
+            paper_authors, config.author_fitness_boost
+        )
+
+    window_batches = int(
+        round(config.attention_window * config.batches_per_year)
+    )
+    attention = _RollingAttention(n, window_batches)
+    total_counts = np.zeros(n, dtype=np.float64)
+    references: list[np.ndarray] = [np.zeros(0, dtype=np.int64)] * n
+
+    citing_chunks: list[np.ndarray] = []
+    cited_chunks: list[np.ndarray] = []
+
+    next_paper = 0
+    for batch, batch_size in enumerate(sizes):
+        if batch_size == 0:
+            continue
+        t = batch_times[batch]
+        start, stop = next_paper, next_paper + int(batch_size)
+        pub_time[start:stop] = t
+        next_paper = stop
+
+        pool = start  # papers published strictly before this batch
+        if pool == 0:
+            continue  # the seed batch has nothing to cite
+
+        ages = t - pub_time[:pool]
+        age_response = np.exp(config.aging_rate * ages)
+        if config.maturation_exponent > 0:
+            # Citation lag: response rises as age^m before the decay wins.
+            floored = np.maximum(ages, 1.0 / config.batches_per_year)
+            age_response *= floored**config.maturation_exponent
+        weights = (
+            (
+                attention.counts[:pool]
+                + config.total_citation_weight * total_counts[:pool]
+                + config.initial_attractiveness
+            )
+            * fitness[:pool]
+            * age_response
+        )
+        total = weights.sum()
+        if total <= 0:  # pragma: no cover - kernel is strictly positive
+            continue
+        cumulative = np.cumsum(weights / total)
+        cumulative[-1] = 1.0
+
+        batch_cited: list[np.ndarray] = []
+        batch_citing: list[np.ndarray] = []
+        for paper in range(start, stop):
+            k = min(int(ref_counts[paper]), pool)
+            if k == 0:
+                continue
+            n_copy = (
+                int(ref_rng.binomial(k - 1, config.copy_probability))
+                if k > 1 and config.copy_probability > 0
+                else 0
+            )
+            n_kernel = k - n_copy
+            draws = np.searchsorted(
+                cumulative, ref_rng.random(n_kernel + 4), side="left"
+            )
+            chosen = list(np.unique(draws)[:n_kernel])
+            for _ in range(n_copy):
+                anchor = chosen[int(ref_rng.integers(len(chosen)))]
+                anchor_refs = references[anchor]
+                if anchor_refs.size:
+                    pick = int(
+                        anchor_refs[int(ref_rng.integers(anchor_refs.size))]
+                    )
+                else:  # anchor cites nothing: fall back to the kernel
+                    pick = int(
+                        np.searchsorted(
+                            cumulative, ref_rng.random(), side="left"
+                        )
+                    )
+                chosen.append(min(pick, pool - 1))
+            targets = np.unique(np.asarray(chosen, dtype=np.int64))[:k]
+            references[paper] = targets
+            batch_cited.append(targets)
+            batch_citing.append(np.full(targets.size, paper, dtype=np.int64))
+
+        if batch_cited:
+            cited_now = np.concatenate(batch_cited)
+            citing_now = np.concatenate(batch_citing)
+            citing_chunks.append(citing_now)
+            cited_chunks.append(cited_now)
+            attention.push_batch(cited_now)
+            np.add.at(total_counts, cited_now, 1.0)
+        else:
+            attention.push_batch(np.zeros(0, dtype=np.int64))
+
+    citing = (
+        np.concatenate(citing_chunks) if citing_chunks else np.zeros(0, np.int64)
+    )
+    cited = (
+        np.concatenate(cited_chunks) if cited_chunks else np.zeros(0, np.int64)
+    )
+
+    paper_ids = [f"P{i + 1:07d}" for i in range(n)]
+    paper_venues = (
+        assign_venues(n, config.venues, venue_rng)
+        if config.venues is not None
+        else None
+    )
+
+    network = CitationNetwork(
+        paper_ids=paper_ids,
+        publication_times=pub_time,
+        citing=citing,
+        cited=cited,
+        paper_authors=paper_authors,
+        paper_venues=paper_venues,
+        validate=True,
+    )
+    network.validate(require_time_order=True)
+    return network

@@ -1,0 +1,34 @@
+"""Deterministic random-number utilities for the synthetic generators.
+
+All generators in :mod:`repro.synth` take an integer seed and derive
+independent :class:`numpy.random.Generator` streams from it, so that a
+given (profile, seed) pair always produces the identical network across
+processes and platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generator streams from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so streams do not
+    overlap regardless of how many draws each consumes.
+    """
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]

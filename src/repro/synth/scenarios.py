@@ -1,0 +1,160 @@
+"""Hand-crafted scenario networks used by examples, tests and Figure 1b.
+
+The paper motivates short-term impact with the two BLAST papers
+(Altschul et al. 1990 and 1997): by 1998 the older paper has the larger
+citation count, but the newer one is collecting citations faster.  Since
+the COCI citation data behind that figure is unavailable offline, this
+module synthesises the same *shape*: an incumbent paper whose yearly
+citations decay, and a challenger whose yearly citations overtake the
+incumbent's within a couple of years of publication (DESIGN.md §4,
+substitution 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.builder import NetworkBuilder
+from repro.graph.citation_network import CitationNetwork
+from repro.synth.rng import make_rng
+
+__all__ = ["OvertakingScenario", "two_paper_overtaking", "toy_network"]
+
+
+@dataclass(frozen=True)
+class OvertakingScenario:
+    """An incumbent-vs-challenger citation scenario (Figure 1b shape).
+
+    Attributes
+    ----------
+    network:
+        The generated network: two focal papers plus background papers
+        that cite them (and each other sparsely).
+    incumbent_id, challenger_id:
+        External ids of the two focal papers.
+    crossover_year:
+        First calendar year in which the challenger's yearly citation
+        count strictly exceeds the incumbent's (or ``None`` if never —
+        which the default parameters make impossible).
+    """
+
+    network: CitationNetwork
+    incumbent_id: str
+    challenger_id: str
+    crossover_year: int | None
+
+
+def two_paper_overtaking(
+    *,
+    incumbent_year: int = 1990,
+    challenger_year: int = 1997,
+    last_year: int = 2001,
+    incumbent_peak: int = 60,
+    challenger_peak: int = 110,
+    incumbent_decay: float = 0.12,
+    challenger_ramp: float = 1.6,
+    seed: int | None = 7,
+) -> OvertakingScenario:
+    """Build the two-paper overtaking scenario.
+
+    The incumbent receives ``incumbent_peak * exp(-decay * age)`` citations
+    per year (rounded, with Poisson noise); the challenger ramps up as
+    ``challenger_peak * (1 - exp(-ramp * age))``.  Background papers are
+    created as needed to carry the citations; each also cites a few other
+    background papers so that the network is not a pure star.
+    """
+    if challenger_year <= incumbent_year:
+        raise ConfigurationError("challenger must be newer than incumbent")
+    if last_year <= challenger_year:
+        raise ConfigurationError("last_year must exceed challenger_year")
+    rng = make_rng(seed)
+
+    builder = NetworkBuilder()
+    incumbent, challenger = "BLAST-1990", "BLAST-1997"
+    builder.add_paper(incumbent, float(incumbent_year))
+    builder.add_paper(challenger, float(challenger_year))
+
+    old_background: list[str] = []  # papers from strictly earlier years
+    this_year: list[str] = []
+    serial = 0
+    inc_counts: dict[int, int] = {}
+    chal_counts: dict[int, int] = {}
+
+    for year in range(incumbent_year + 1, last_year + 1):
+        old_background.extend(this_year)
+        this_year = []
+        inc_rate = incumbent_peak * np.exp(
+            -incumbent_decay * (year - incumbent_year)
+        )
+        n_inc = int(rng.poisson(inc_rate))
+        if year > challenger_year:
+            age = year - challenger_year
+            chal_rate = challenger_peak * (1.0 - np.exp(-challenger_ramp * age))
+            n_chal = int(rng.poisson(chal_rate))
+        else:
+            n_chal = 0
+        inc_counts[year] = n_inc
+        chal_counts[year] = n_chal
+
+        cites_incumbent = [True] * n_inc + [False] * n_chal
+        rng.shuffle(cites_incumbent)
+        for hits_incumbent in cites_incumbent:
+            serial += 1
+            pid = f"BG{serial:05d}"
+            refs = [incumbent if hits_incumbent else challenger]
+            if old_background:
+                extra = rng.integers(0, min(3, len(old_background)) + 1)
+                if extra:
+                    picks = rng.choice(
+                        len(old_background), size=extra, replace=False
+                    )
+                    refs.extend(old_background[p] for p in picks)
+            builder.add_paper(
+                pid, year + float(rng.random()) * 0.9, references=refs
+            )
+            this_year.append(pid)
+
+    network = builder.build()
+    crossover = None
+    for year in range(challenger_year + 1, last_year + 1):
+        if chal_counts.get(year, 0) > inc_counts.get(year, 0):
+            crossover = year
+            break
+    return OvertakingScenario(
+        network=network,
+        incumbent_id=incumbent,
+        challenger_id=challenger,
+        crossover_year=crossover,
+    )
+
+
+def toy_network() -> CitationNetwork:
+    """A fixed 8-paper network with hand-checkable structure.
+
+    Used across the unit tests: two "old classics" (A, B), a mid-life
+    paper (C) bridging them, and recent papers (D..H) among which F and G
+    concentrate the recent citations.  All edges respect time order.
+    """
+    builder = NetworkBuilder()
+    builder.add_paper("A", 1990.0, authors=["ada"], venue="J1")
+    builder.add_paper("B", 1991.0, references=["A"], authors=["bob"], venue="J1")
+    builder.add_paper(
+        "C", 1995.0, references=["A", "B"], authors=["ada", "bob"], venue="J2"
+    )
+    builder.add_paper("D", 1999.0, references=["C"], authors=["cyd"], venue="J2")
+    builder.add_paper(
+        "E", 2000.0, references=["C", "D"], authors=["cyd", "ada"], venue="J3"
+    )
+    builder.add_paper(
+        "F", 2001.0, references=["D", "E", "A"], authors=["eve"], venue="J3"
+    )
+    builder.add_paper(
+        "G", 2002.0, references=["F", "E"], authors=["eve", "bob"], venue="J1"
+    )
+    builder.add_paper(
+        "H", 2003.0, references=["F", "G"], authors=["hal"], venue="J2"
+    )
+    return builder.build()

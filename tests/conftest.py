@@ -1,0 +1,83 @@
+"""Shared fixtures: hand-checkable toy networks and small synthetic corpora.
+
+Session-scoped fixtures cache the expensive synthetic datasets so the
+whole suite generates each of them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import NetworkBuilder
+from repro.graph.citation_network import CitationNetwork
+from repro.synth.profiles import generate_dataset
+from repro.synth.scenarios import toy_network
+from repro.eval.split import split_by_ratio
+
+
+@pytest.fixture
+def toy() -> CitationNetwork:
+    """The fixed 8-paper network (A..H) of repro.synth.scenarios."""
+    return toy_network()
+
+
+@pytest.fixture
+def chain() -> CitationNetwork:
+    """A 4-paper chain: D -> C -> B -> A (each cites its predecessor)."""
+    builder = NetworkBuilder()
+    builder.add_paper("A", 2000.0)
+    builder.add_paper("B", 2001.0, references=["A"])
+    builder.add_paper("C", 2002.0, references=["B"])
+    builder.add_paper("D", 2003.0, references=["C"])
+    return builder.build()
+
+
+@pytest.fixture
+def star() -> CitationNetwork:
+    """A star: papers S1..S5 (2001..2005) all cite HUB (2000)."""
+    builder = NetworkBuilder()
+    builder.add_paper("HUB", 2000.0)
+    for i in range(1, 6):
+        builder.add_paper(f"S{i}", 2000.0 + i, references=["HUB"])
+    return builder.build()
+
+
+@pytest.fixture
+def two_dangling() -> CitationNetwork:
+    """Two isolated papers (both dangling, no citations at all)."""
+    builder = NetworkBuilder()
+    builder.add_paper("X", 1999.0)
+    builder.add_paper("Y", 2004.0)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def hepth_tiny() -> CitationNetwork:
+    """A 750-paper synthetic hep-th corpus (fast, deterministic)."""
+    return generate_dataset("hep-th", size="tiny", seed=42)
+
+
+@pytest.fixture(scope="session")
+def dblp_tiny() -> CitationNetwork:
+    """A 2000-paper synthetic DBLP corpus with authors and venues."""
+    return generate_dataset("dblp", size="tiny", seed=42)
+
+
+@pytest.fixture(scope="session")
+def hepth_split(hepth_tiny):
+    """The default (ratio 1.6) temporal split of the tiny hep-th corpus."""
+    return split_by_ratio(hepth_tiny, 1.6)
+
+
+@pytest.fixture(scope="session")
+def dblp_split(dblp_tiny):
+    """The default (ratio 1.6) temporal split of the tiny DBLP corpus."""
+    return split_by_ratio(dblp_tiny, 1.6)
+
+
+def assert_probability_vector(vector: np.ndarray, *, atol: float = 1e-9) -> None:
+    """Assert that ``vector`` is a valid probability vector."""
+    assert vector.ndim == 1
+    assert np.all(vector >= -atol), "negative entries"
+    assert abs(float(vector.sum()) - 1.0) <= atol, "does not sum to 1"

@@ -1,0 +1,87 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    format_heatmap,
+    format_kv_block,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["alpha", 1], ["b", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # All rows padded to the same width per column.
+        assert lines[1].startswith("-----")
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_trimming(self):
+        text = format_table(["x"], [[0.30000000000004]])
+        assert "0.3" in text and "0.30000000000004" not in text
+
+
+class TestFormatSeries:
+    def test_rows_per_method(self):
+        text = format_series(
+            "ratio",
+            [1.2, 1.6],
+            {"AR": [0.5, 0.6], "RAM": [0.4, 0.45]},
+        )
+        lines = text.splitlines()
+        assert any(line.startswith("AR") for line in lines)
+        assert any(line.startswith("RAM") for line in lines)
+        assert "0.6000" in text
+
+    def test_precision(self):
+        text = format_series("k", [5], {"AR": [0.123456]}, precision=2)
+        assert "0.12" in text and "0.1235" not in text
+
+
+class TestFormatHeatmap:
+    def test_nan_rendered_as_dot(self):
+        grid = np.array([[0.5, np.nan], [0.25, 0.75]])
+        text = format_heatmap(grid, [0.0, 0.1], [0.0, 0.1])
+        assert "." in text
+        assert "0.500" in text
+
+    def test_beta_rows_top_down(self):
+        grid = np.array([[1.0, 1.0], [2.0, 2.0]])
+        text = format_heatmap(grid, [0.0, 0.1], [0.0, 0.1])
+        lines = text.splitlines()
+        # The row labelled 0.1 (grid row 1, value 2.0) is printed first.
+        assert "2.000" in lines[1]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_heatmap(np.ones((2, 2)), [0.0], [0.0, 0.1])
+
+    def test_title_and_axes(self):
+        text = format_heatmap(
+            np.ones((1, 1)),
+            [0.0],
+            [0.0],
+            title="T",
+            row_axis="beta",
+            col_axis="alpha",
+        )
+        assert text.splitlines()[0] == "T"
+        assert "beta\\alpha" in text
+
+
+class TestFormatKvBlock:
+    def test_alignment(self):
+        text = format_kv_block({"a": 1, "long-key": 2.5})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv_block({}) == ""

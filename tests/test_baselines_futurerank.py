@@ -1,0 +1,67 @@
+"""Unit tests for repro.baselines.futurerank."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.futurerank import FutureRank
+from repro.errors import ConfigurationError, GraphError
+from tests.conftest import assert_probability_vector
+
+
+class TestConfiguration:
+    def test_coefficients_validated(self):
+        with pytest.raises(ConfigurationError):
+            FutureRank(alpha=0.5, beta=0.4, gamma=0.3)  # sum > 1
+        with pytest.raises(ConfigurationError):
+            FutureRank(alpha=-0.1, beta=0.0, gamma=0.5)
+
+    def test_rho_must_be_negative(self):
+        with pytest.raises(ConfigurationError):
+            FutureRank(rho=0.0)
+        with pytest.raises(ConfigurationError):
+            FutureRank(rho=0.5)
+
+    def test_params(self):
+        params = FutureRank(alpha=0.4, beta=0.1, gamma=0.5, rho=-0.62).params()
+        assert params["rho"] == -0.62
+
+
+class TestScores:
+    def test_probability_vector(self, toy):
+        scores = FutureRank(alpha=0.4, beta=0.1, gamma=0.5).scores(toy)
+        assert_probability_vector(scores)
+
+    def test_requires_authors_when_beta_positive(self, chain):
+        with pytest.raises(GraphError, match="author metadata"):
+            FutureRank(alpha=0.4, beta=0.1, gamma=0.5).scores(chain)
+
+    def test_beta_zero_works_without_authors(self, chain):
+        scores = FutureRank(alpha=0.4, beta=0.0, gamma=0.5).scores(chain)
+        assert_probability_vector(scores)
+
+    def test_recency_weights_favor_new(self, toy):
+        weights = FutureRank().recency_weights(toy)
+        assert weights[toy.index_of("H")] > weights[toy.index_of("A")]
+
+    def test_author_component_changes_scores(self, dblp_tiny):
+        without = FutureRank(alpha=0.4, beta=0.0, gamma=0.5).scores(dblp_tiny)
+        with_authors = FutureRank(alpha=0.4, beta=0.3, gamma=0.3).scores(
+            dblp_tiny
+        )
+        assert not np.allclose(without, with_authors)
+
+    def test_never_raises_on_nonconvergence(self, hepth_tiny):
+        """FR 'did not, in practice, converge under all possible
+        settings' (paper §4.3): the budget is a soft cap."""
+        method = FutureRank(
+            alpha=0.5, beta=0.3, gamma=0.2, max_iterations=3
+        )
+        scores = method.scores(hepth_tiny)
+        assert scores.shape == (hepth_tiny.n_papers,)
+        assert method.last_convergence is not None
+
+    def test_uniform_mass_completes_budget(self, toy):
+        """When alpha+beta+gamma < 1 the remainder is uniform jumps."""
+        scores = FutureRank(alpha=0.2, beta=0.0, gamma=0.2).scores(toy)
+        assert_probability_vector(scores)
+        assert np.all(scores > 0)

@@ -1,0 +1,106 @@
+"""Unit tests for the RAM and ECM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.citation_count import CitationCount
+from repro.baselines.ecm import EffectiveContagion
+from repro.baselines.ram import RetainedAdjacency, retained_edge_weights
+from repro.errors import ConfigurationError
+
+
+class TestRetainedEdgeWeights:
+    def test_weights_decay_with_age(self, chain):
+        weights = retained_edge_weights(chain, 0.5)
+        # Citations made at 2001, 2002, 2003; now = 2003.
+        # Ages 2, 1, 0 -> weights 0.25, 0.5, 1.0 (edge order as stored).
+        assert sorted(weights.tolist()) == [0.25, 0.5, 1.0]
+
+    def test_gamma_one_gives_unit_weights(self, chain):
+        assert np.allclose(retained_edge_weights(chain, 1.0), 1.0)
+
+    def test_explicit_now_clips_negative_ages(self, chain):
+        weights = retained_edge_weights(chain, 0.5, now=2000.0)
+        assert np.all(weights <= 1.0)
+
+    def test_gamma_validated(self, chain):
+        with pytest.raises(ConfigurationError):
+            retained_edge_weights(chain, 0.0)
+        with pytest.raises(ConfigurationError):
+            retained_edge_weights(chain, 1.5)
+
+
+class TestRAM:
+    def test_hand_computed_scores(self, star):
+        """Star: HUB cited in 2001..2005, now = 2005, gamma = 0.5:
+        RAM(HUB) = 0.5^4 + 0.5^3 + 0.5^2 + 0.5 + 1 = 1.9375."""
+        scores = RetainedAdjacency(gamma=0.5).scores(star)
+        assert scores[star.index_of("HUB")] == pytest.approx(1.9375)
+
+    def test_gamma_one_equals_citation_count(self, hepth_tiny):
+        ram = RetainedAdjacency(gamma=1.0).scores(hepth_tiny)
+        cc = CitationCount().scores(hepth_tiny)
+        assert np.allclose(ram, cc)
+
+    def test_small_gamma_prefers_recent_citations(self, toy):
+        """With gamma -> 0 only the newest citations matter."""
+        scores = RetainedAdjacency(gamma=0.1).scores(toy)
+        f = toy.index_of("F")  # cited at 2002, 2003 (recent)
+        b = toy.index_of("B")  # cited at 1995 only
+        assert scores[f] > scores[b]
+
+    def test_gamma_validated(self):
+        with pytest.raises(ConfigurationError):
+            RetainedAdjacency(gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            RetainedAdjacency(gamma=1.0001)
+
+    def test_params(self):
+        assert RetainedAdjacency(gamma=0.3).params() == {"gamma": 0.3}
+
+
+class TestECM:
+    def test_reduces_to_ram_as_alpha_vanishes(self, hepth_tiny):
+        """ECM = RAM + alpha * (chain corrections): as alpha -> 0 the
+        scores approach RAM's."""
+        ram = RetainedAdjacency(gamma=0.3).scores(hepth_tiny)
+        ecm = EffectiveContagion(alpha=1e-9, gamma=0.3).scores(hepth_tiny)
+        assert np.allclose(ecm, ram, atol=1e-5)
+
+    def test_chain_contributions_on_path(self, chain):
+        """On the 4-chain with gamma = 1: ECM(A) counts the chains
+        B->A (1), C->B->A (alpha), D->C->B->A (alpha^2)."""
+        alpha = 0.5
+        scores = EffectiveContagion(alpha=alpha, gamma=1.0).scores(chain)
+        a = chain.index_of("A")
+        assert scores[a] == pytest.approx(1 + alpha * (1 + alpha * 1))
+
+    def test_terminates_exactly_on_dag(self, chain):
+        method = EffectiveContagion(alpha=0.5, gamma=0.5)
+        method.scores(chain)
+        info = method.last_convergence
+        assert info.converged
+        # Longest chain has 3 edges: at most a handful of iterations.
+        assert info.iterations <= 6
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            EffectiveContagion(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EffectiveContagion(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            EffectiveContagion(gamma=0.0)
+
+    def test_ecm_dominates_ram_pointwise(self, hepth_tiny):
+        """Chain corrections are non-negative, so ECM >= RAM."""
+        ram = RetainedAdjacency(gamma=0.3).scores(hepth_tiny)
+        ecm = EffectiveContagion(alpha=0.3, gamma=0.3).scores(hepth_tiny)
+        assert np.all(ecm >= ram - 1e-12)
+
+    def test_retained_matrix_weights(self, chain):
+        matrix = EffectiveContagion(alpha=0.1, gamma=0.5).retained_matrix(
+            chain
+        )
+        a, b = chain.index_of("A"), chain.index_of("B")
+        # B cited A at 2001, age 2 at now=2003 -> weight 0.25.
+        assert matrix[a, b] == pytest.approx(0.25)

@@ -1,0 +1,89 @@
+"""Unit tests for CitationCount, PageRank and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import METHOD_REGISTRY, make_method
+from repro.baselines.citation_count import CitationCount
+from repro.baselines.pagerank import PageRank
+from repro.errors import ConfigurationError
+from tests.conftest import assert_probability_vector
+
+
+class TestCitationCount:
+    def test_equals_in_degree(self, toy):
+        scores = CitationCount().scores(toy)
+        assert np.array_equal(scores, toy.in_degree.astype(float))
+
+    def test_ranking_most_cited_first(self, toy):
+        ranking = CitationCount().rank(toy)
+        assert toy.id_of(int(ranking[0])) == "A"
+
+    def test_no_params(self):
+        assert dict(CitationCount().params()) == {}
+
+
+class TestPageRank:
+    def test_probability_vector(self, toy):
+        assert_probability_vector(PageRank(alpha=0.5).scores(toy))
+
+    def test_matches_networkx(self, hepth_tiny):
+        """Cross-check against networkx's PageRank on the reversed graph
+        (networkx propagates along edges; our S propagates citing -> cited)."""
+        import networkx as nx
+
+        alpha = 0.5
+        ours = PageRank(alpha=alpha, tol=1e-12).scores(hepth_tiny)
+        graph = hepth_tiny.to_networkx()
+        theirs_dict = nx.pagerank(graph, alpha=alpha, tol=1e-12, max_iter=500)
+        theirs = np.array([theirs_dict[i] for i in range(hepth_tiny.n_papers)])
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_uniform_on_edgeless_network(self, two_dangling):
+        scores = PageRank(alpha=0.85).scores(two_dangling)
+        assert np.allclose(scores, 0.5)
+
+    def test_alpha_zero_is_uniform(self, toy):
+        scores = PageRank(alpha=0.0).scores(toy)
+        assert np.allclose(scores, 1.0 / toy.n_papers)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            PageRank(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            PageRank(alpha=-0.1)
+
+    def test_age_bias(self, hepth_tiny):
+        """The motivation for time-aware methods: PageRank mass sits on
+        old papers (they had time to accumulate citations)."""
+        scores = PageRank(alpha=0.5).scores(hepth_tiny)
+        ages = hepth_tiny.ages()
+        old_mass = scores[ages > ages.mean()].sum()
+        young_mass = scores[ages <= ages.mean()].sum()
+        # Old papers are fewer but hold disproportionate mass per paper.
+        old_count = (ages > ages.mean()).sum()
+        young_count = (ages <= ages.mean()).sum()
+        assert old_mass / old_count > young_mass / young_count
+
+
+class TestRegistry:
+    def test_all_labels_present(self):
+        assert set(METHOD_REGISTRY) == {
+            "CC", "PR", "CR", "FR", "RAM", "ECM", "WSDM",
+            "AR", "NO-ATT", "ATT-ONLY", "KATZ", "HITS",
+        }
+
+    def test_make_method_case_insensitive(self):
+        assert make_method("ram", gamma=0.3).name == "RAM"
+
+    def test_make_method_passes_params(self):
+        method = make_method("CR", alpha=0.3, tau_dir=4.0)
+        assert method.params()["tau_dir"] == 4.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown method"):
+            make_method("nope")
+
+    def test_labels_match_instances(self):
+        for label, cls in METHOD_REGISTRY.items():
+            assert cls.name == label

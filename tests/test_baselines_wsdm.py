@@ -1,0 +1,58 @@
+"""Unit tests for the reconstructed WSDM Cup 2016 winner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wsdm import WSDMRanker
+from repro.errors import ConfigurationError, GraphError
+from tests.conftest import assert_probability_vector
+
+
+class TestConfiguration:
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WSDMRanker(alpha=-1.0)
+        with pytest.raises(ConfigurationError):
+            WSDMRanker(beta=-0.5)
+
+    def test_iterations_validated(self):
+        with pytest.raises(ConfigurationError):
+            WSDMRanker(iterations=0)
+
+    def test_params(self):
+        params = WSDMRanker(alpha=1.7, beta=3.0, iterations=4).params()
+        assert params == {"alpha": 1.7, "beta": 3.0, "iterations": 4}
+
+
+class TestMetadataRequirements:
+    def test_requires_authors_and_venues(self, chain):
+        with pytest.raises(GraphError, match="author and venue"):
+            WSDMRanker().scores(chain)
+
+    def test_runs_with_full_metadata(self, toy):
+        assert_probability_vector(WSDMRanker().scores(toy))
+
+
+class TestBehaviour:
+    def test_fixed_iterations_deterministic(self, dblp_tiny):
+        a = WSDMRanker(iterations=5).scores(dblp_tiny)
+        b = WSDMRanker(iterations=5).scores(dblp_tiny)
+        assert np.array_equal(a, b)
+
+    def test_iteration_count_changes_result(self, dblp_tiny):
+        four = WSDMRanker(iterations=4).scores(dblp_tiny)
+        five = WSDMRanker(iterations=5).scores(dblp_tiny)
+        assert not np.allclose(four, five)
+
+    def test_degree_prior_influences_ranking(self, dblp_tiny):
+        """Larger alpha weights the in-degree prior more heavily, pulling
+        the ranking toward citation count."""
+        from repro.eval.metrics import spearman_rho
+
+        heavy_in = WSDMRanker(alpha=10.0, beta=0.0).scores(dblp_tiny)
+        cc = dblp_tiny.in_degree.astype(float)
+        light_in = WSDMRanker(alpha=0.0, beta=10.0).scores(dblp_tiny)
+        assert spearman_rho(heavy_in, cc) > spearman_rho(light_in, cc)
+
+    def test_probability_vector_on_synthetic(self, dblp_tiny):
+        assert_probability_vector(WSDMRanker().scores(dblp_tiny))

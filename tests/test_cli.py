@@ -1,0 +1,102 @@
+"""Smoke and behaviour tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.io.serialize import save_network
+
+
+@pytest.fixture
+def toy_file(toy, tmp_path):
+    path = str(tmp_path / "toy.npz")
+    save_network(toy, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def hepth_file(tmp_path_factory):
+    from repro.synth.profiles import generate_dataset
+
+    path = str(tmp_path_factory.mktemp("nets") / "hepth.npz")
+    save_network(generate_dataset("hep-th", size="tiny", seed=42), path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = str(tmp_path / "net.npz")
+        code = main(
+            ["generate", "hep-th", out, "--size", "tiny", "--seed", "1"]
+        )
+        assert code == 0
+        assert os.path.exists(out)
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSummarize:
+    def test_summarize_input(self, toy_file, capsys):
+        assert main(["summarize", "--input", toy_file]) == 0
+        out = capsys.readouterr().out
+        assert "papers" in out and "8" in out
+
+    def test_summarize_generated(self, capsys):
+        code = main(
+            ["summarize", "--dataset", "hep-th", "--size", "tiny",
+             "--seed", "1"]
+        )
+        assert code == 0
+        assert "citations" in capsys.readouterr().out
+
+
+class TestRank:
+    def test_rank_default_method(self, hepth_file, capsys):
+        assert main(["rank", "--input", hepth_file, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "AR(" in out
+        assert len([l for l in out.splitlines() if l.startswith(" ") or l]) >= 5
+
+    def test_rank_specific_method(self, toy_file, capsys):
+        assert main(
+            ["rank", "--input", toy_file, "--method", "CC", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "A" in out  # most-cited toy paper
+
+
+class TestEvaluate:
+    def test_evaluate_runs(self, hepth_file, capsys):
+        code = main(
+            [
+                "evaluate", "--input", hepth_file,
+                "--methods", "RAM", "ATT-ONLY",
+                "--ratio", "1.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spearman" in out and "RAM" in out
+
+
+class TestHorizons:
+    def test_horizons_table(self, hepth_file, capsys):
+        assert main(["horizons", "--input", hepth_file]) == 0
+        out = capsys.readouterr().out
+        assert "test ratio" in out and "2" in out
+
+
+class TestPopular:
+    def test_popular(self, hepth_file, capsys):
+        code = main(
+            ["popular", "--input", hepth_file, "--k", "50"]
+        )
+        assert code == 0
+        assert "recently popular" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_error_exit_code(self, tmp_path, capsys):
+        code = main(["summarize", "--input", str(tmp_path / "nope.npz")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.attention (Equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.attention import attention_counts, attention_vector
+from tests.conftest import assert_probability_vector
+
+
+class TestAttentionCounts:
+    def test_toy_window(self, toy):
+        # Window (2000, 2003]: F->D,E,A; G->F,E; H->F,G.
+        counts = attention_counts(toy, 3.0)
+        assert counts[toy.index_of("F")] == 2
+        assert counts[toy.index_of("E")] == 2
+        assert counts[toy.index_of("A")] == 1
+        assert counts.sum() == 7
+
+    def test_explicit_now(self, toy):
+        # now=2001, window 1 year -> only F's citations (made at 2001).
+        counts = attention_counts(toy, 1.0, now=2001.0)
+        assert counts.sum() == 3
+
+    def test_non_positive_window_rejected(self, toy):
+        with pytest.raises(ConfigurationError):
+            attention_counts(toy, 0.0)
+        with pytest.raises(ConfigurationError):
+            attention_counts(toy, -2.0)
+
+
+class TestAttentionVector:
+    def test_equation_2_normalisation(self, toy):
+        vector = attention_vector(toy, 3.0)
+        assert_probability_vector(vector)
+        # A received 1 of the 7 windowed citations.
+        assert vector[toy.index_of("A")] == pytest.approx(1 / 7)
+
+    def test_empty_window_falls_back_to_uniform(self, two_dangling):
+        vector = attention_vector(two_dangling, 5.0)
+        assert np.allclose(vector, 0.5)
+
+    def test_window_growth_monotone_mass(self, hepth_tiny):
+        """A longer window can only add citations, never remove them."""
+        short = attention_counts(hepth_tiny, 1.0)
+        long = attention_counts(hepth_tiny, 4.0)
+        assert np.all(long >= short)
+
+    def test_synthetic_is_probability_vector(self, hepth_tiny):
+        for window in (1.0, 2.0, 5.0):
+            assert_probability_vector(attention_vector(hepth_tiny, window))
+
+    def test_recent_papers_dominate_small_window(self, hepth_tiny):
+        """With a 1-year window, attention mass sits on papers that are
+        being cited now, not on long-dead ones."""
+        vector = attention_vector(hepth_tiny, 1.0)
+        ages = hepth_tiny.ages()
+        old = ages > 8.0
+        # The oldest papers should hold a small share of recent attention.
+        assert vector[old].sum() < 0.5

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.recency (Equation 3 and the w fit)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EvaluationError
+from repro.core.recency import fit_decay_rate, recency_vector
+from tests.conftest import assert_probability_vector
+
+
+class TestRecencyVector:
+    def test_probability_vector(self, toy):
+        assert_probability_vector(recency_vector(toy, -0.5))
+
+    def test_newer_papers_score_higher(self, toy):
+        vector = recency_vector(toy, -0.5)
+        h = toy.index_of("H")  # newest
+        a = toy.index_of("A")  # oldest
+        assert vector[h] > vector[a]
+
+    def test_exact_exponential_ratios(self, chain):
+        # Ages 3, 2, 1, 0 at w = -1: ratios must be e^-1 apart.
+        vector = recency_vector(chain, -1.0)
+        ratios = vector[1:] / vector[:-1]
+        assert np.allclose(ratios, np.e)
+
+    def test_w_zero_gives_uniform(self, toy):
+        """The paper notes w = 0 (with beta = 0) recovers PageRank; the
+        recency vector must then be uniform."""
+        vector = recency_vector(toy, 0.0)
+        assert np.allclose(vector, 1.0 / toy.n_papers)
+
+    def test_positive_w_rejected(self, toy):
+        with pytest.raises(ConfigurationError):
+            recency_vector(toy, 0.2)
+
+    def test_explicit_now(self, toy):
+        later = recency_vector(toy, -1.0, now=2010.0)
+        assert_probability_vector(later)
+
+    def test_numerically_stable_on_long_spans(self):
+        from repro.graph.citation_network import CitationNetwork
+
+        network = CitationNetwork(
+            ["old", "new"], [1000.0, 2000.0], [], []
+        )
+        vector = recency_vector(network, -1.0)
+        assert_probability_vector(vector)
+        assert vector[1] == pytest.approx(1.0)
+
+
+class TestFitDecayRate:
+    def test_exact_exponential_recovered(self):
+        """A hand-built network whose citation ages are exactly
+        geometric must recover the decay rate with r^2 = 1."""
+        from repro.graph.builder import NetworkBuilder
+
+        w_true = -0.5
+        builder = NetworkBuilder()
+        builder.add_paper("root", 2000.0)
+        serial = 0
+        # number of citations at age n proportional to exp(w*n)
+        for age in range(1, 8):
+            count = int(round(1000 * np.exp(w_true * age)))
+            for _ in range(count):
+                serial += 1
+                builder.add_paper(
+                    f"c{serial}", 2000.0 + age, references=["root"]
+                )
+        fit = fit_decay_rate(builder.build(), max_age=7, tail_start=1)
+        assert fit.decay_rate == pytest.approx(w_true, abs=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_fit_on_synthetic_hepth(self, hepth_tiny):
+        """The calibrated hep-th profile must fit a clearly negative w
+        in the vicinity of the paper's -0.48."""
+        fit = fit_decay_rate(hepth_tiny)
+        assert -1.0 < fit.decay_rate < -0.2
+
+    def test_tail_start_override(self, hepth_tiny):
+        fit = fit_decay_rate(hepth_tiny, tail_start=2)
+        assert fit.ages[0] == 2
+
+    def test_bad_tail_start_rejected(self, hepth_tiny):
+        with pytest.raises(ConfigurationError):
+            fit_decay_rate(hepth_tiny, max_age=10, tail_start=11)
+
+    def test_too_few_points_raises(self, chain):
+        # All chain citations have age exactly 1: one positive point.
+        with pytest.raises(EvaluationError):
+            fit_decay_rate(chain, max_age=5)
+
+    def test_fit_never_returns_positive_rate(self, star):
+        # Star ages 1..5, flat-ish counts; the clamp guards w <= 0.
+        fit = fit_decay_rate(star, max_age=5)
+        assert fit.decay_rate <= 0

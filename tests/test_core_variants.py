@@ -1,0 +1,87 @@
+"""Unit tests for the NO-ATT and ATT-ONLY ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import attention_vector
+from repro.core.attrank import AttRank
+from repro.core.variants import AttentionOnly, NoAttention
+from repro.errors import ConfigurationError
+from tests.conftest import assert_probability_vector
+
+
+class TestNoAttention:
+    def test_beta_fixed_to_zero(self):
+        method = NoAttention(alpha=0.4)
+        assert method.beta == 0.0
+        assert method.gamma == pytest.approx(0.6)
+
+    def test_name(self):
+        assert NoAttention().name == "NO-ATT"
+
+    def test_explicit_nonzero_beta_rejected(self):
+        with pytest.raises(ConfigurationError, match="fixes beta"):
+            NoAttention(alpha=0.3, beta=0.2)
+
+    def test_grid_style_construction(self):
+        # The tuning grids pass beta=0 and gamma explicitly.
+        method = NoAttention(alpha=0.3, beta=0.0, gamma=0.7)
+        assert method.gamma == pytest.approx(0.7)
+
+    def test_matches_attrank_beta0(self, hepth_tiny):
+        ablation = NoAttention(alpha=0.4, decay_rate=-0.5)
+        full = AttRank(alpha=0.4, beta=0.0, gamma=0.6, decay_rate=-0.5)
+        assert np.allclose(
+            ablation.scores(hepth_tiny), full.scores(hepth_tiny), atol=1e-10
+        )
+
+    def test_scores_ignore_attention_window(self, hepth_tiny):
+        a = NoAttention(alpha=0.4, attention_window=1, decay_rate=-0.5)
+        b = NoAttention(alpha=0.4, attention_window=5, decay_rate=-0.5)
+        assert np.allclose(
+            a.scores(hepth_tiny), b.scores(hepth_tiny), atol=1e-10
+        )
+
+
+class TestAttentionOnly:
+    def test_fixed_coefficients(self):
+        method = AttentionOnly(attention_window=2)
+        assert (method.alpha, method.beta, method.gamma) == (0.0, 1.0, 0.0)
+
+    def test_name(self):
+        assert AttentionOnly().name == "ATT-ONLY"
+
+    def test_non_canonical_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError, match="fixes"):
+            AttentionOnly(alpha=0.1, beta=0.9, gamma=0.0)
+
+    def test_score_is_exactly_the_attention_vector(self, hepth_tiny):
+        method = AttentionOnly(attention_window=3)
+        scores = method.scores(hepth_tiny)
+        assert np.allclose(scores, attention_vector(hepth_tiny, 3.0))
+
+    def test_probability_vector(self, toy):
+        assert_probability_vector(AttentionOnly(attention_window=3).scores(toy))
+
+    def test_no_iteration_needed(self, toy):
+        method = AttentionOnly(attention_window=3)
+        method.scores(toy)
+        assert method.last_convergence is None
+
+
+class TestAblationOrdering:
+    def test_attention_matters_on_synthetic_data(self, hepth_split):
+        """The paper's central finding, in miniature: ranking quality
+        drops when attention is removed entirely."""
+        from repro.eval.metrics import spearman_rho
+
+        sti = hepth_split.sti
+        network = hepth_split.current
+        full = AttRank(
+            alpha=0.2, beta=0.5, gamma=0.3, attention_window=2,
+            decay_rate=-0.5,
+        )
+        no_att = NoAttention(alpha=0.2, decay_rate=-0.5)
+        rho_full = spearman_rho(full.scores(network), sti)
+        rho_no_att = spearman_rho(no_att.scores(network), sti)
+        assert rho_full > rho_no_att

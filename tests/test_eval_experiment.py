@@ -1,0 +1,106 @@
+"""Unit tests for repro.eval.experiment (Figure 3/4/5 drivers).
+
+The full paper grids are exercised in the benchmarks; these tests use
+restricted lineups and small networks to validate the orchestration
+logic quickly.
+"""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.experiment import (
+    COMPARISON_METHODS,
+    compare_over_k,
+    compare_over_ratios,
+    methods_available,
+    run_comparison_at_ratio,
+)
+from repro.eval.metrics import NDCG, SpearmanRho
+
+
+class TestMethodsAvailable:
+    def test_full_lineup_with_metadata(self, dblp_tiny):
+        assert methods_available(dblp_tiny) == COMPARISON_METHODS
+
+    def test_wsdm_dropped_without_venues(self, chain):
+        lineup = methods_available(chain)
+        assert "WSDM" not in lineup
+        assert "FR" not in lineup  # no authors either
+        assert "AR" in lineup
+
+
+class TestRunComparisonAtRatio:
+    def test_restricted_lineup(self, hepth_tiny):
+        tuned = run_comparison_at_ratio(
+            hepth_tiny,
+            1.6,
+            SpearmanRho(),
+            methods=("RAM", "ECM"),
+        )
+        assert set(tuned) == {"RAM", "ECM"}
+        for result in tuned.values():
+            assert -1 <= result.best_score <= 1
+
+    def test_unknown_method_rejected(self, hepth_tiny):
+        with pytest.raises(EvaluationError, match="not part of"):
+            run_comparison_at_ratio(
+                hepth_tiny, 1.6, SpearmanRho(), methods=("XX",)
+            )
+
+
+class TestCompareOverRatios:
+    def test_series_shape(self, hepth_tiny):
+        series = compare_over_ratios(
+            hepth_tiny,
+            dataset="hep-th",
+            metric=SpearmanRho(),
+            test_ratios=(1.4, 1.8),
+            methods=("RAM", "ATT-ONLY"),
+        )
+        assert series.x_values == (1.4, 1.8)
+        assert set(series.cells) == {"RAM", "ATT-ONLY"}
+        assert len(series.series("RAM")) == 2
+
+    def test_winner_at(self, hepth_tiny):
+        series = compare_over_ratios(
+            hepth_tiny,
+            metric=SpearmanRho(),
+            test_ratios=(1.6,),
+            methods=("RAM", "ATT-ONLY"),
+        )
+        winner = series.winner_at(1.6)
+        assert winner in ("RAM", "ATT-ONLY")
+        loser_scores = [
+            series.cells[m][0].score for m in ("RAM", "ATT-ONLY")
+        ]
+        assert series.cells[winner][0].score == max(loser_scores)
+
+    def test_default_metric_is_spearman(self, hepth_tiny):
+        series = compare_over_ratios(
+            hepth_tiny, test_ratios=(1.6,), methods=("RAM",)
+        )
+        assert series.metric == "spearman"
+
+
+class TestCompareOverK:
+    def test_k_axis(self, hepth_tiny):
+        series = compare_over_k(
+            hepth_tiny,
+            test_ratio=1.6,
+            k_values=(5, 50),
+            methods=("RAM", "ATT-ONLY"),
+        )
+        assert series.x_label == "k"
+        assert series.x_values == (5.0, 50.0)
+        for method in ("RAM", "ATT-ONLY"):
+            for value in series.series(method):
+                assert 0.0 <= value <= 1.0
+
+    def test_cells_record_tuning_results(self, hepth_tiny):
+        series = compare_over_k(
+            hepth_tiny, k_values=(10,), methods=("RAM",)
+        )
+        cell = series.cells["RAM"][0]
+        assert cell.method == "RAM"
+        assert cell.result.metric == "ndcg@10"
+        assert cell.score == cell.result.best_score

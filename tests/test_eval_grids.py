@@ -1,0 +1,126 @@
+"""Unit tests for the paper's parameter grids (Tables 3 and 4)."""
+
+import pytest
+
+from repro.baselines import make_method
+from repro.errors import ConfigurationError
+from repro.eval.grids import (
+    att_only_grid,
+    attrank_grid,
+    citerank_grid,
+    ecm_grid,
+    futurerank_grid,
+    grid_for,
+    grid_size,
+    no_att_grid,
+    ram_grid,
+    wsdm_grid,
+)
+
+
+class TestGridSizesMatchPaper:
+    """Section 4.3 reports the exact number of settings per method."""
+
+    def test_citerank_20(self):
+        assert grid_size("CR") == 20
+
+    def test_futurerank_120(self):
+        assert grid_size("FR") == 120
+
+    def test_ram_9(self):
+        assert grid_size("RAM") == 9
+
+    def test_ecm_25(self):
+        assert grid_size("ECM") == 25
+
+    def test_wsdm_50(self):
+        assert grid_size("WSDM") == 50
+
+    def test_attrank_250(self):
+        # 50 coefficient pairs x 5 attention windows (Table 3).
+        assert grid_size("AR") == 250
+
+
+class TestGridContents:
+    def test_attrank_constraints(self):
+        for params in attrank_grid():
+            total = params["alpha"] + params["beta"] + params["gamma"]
+            assert total == pytest.approx(1.0)
+            assert 0.0 <= params["alpha"] <= 0.5
+            assert 0.0 <= params["beta"] <= 1.0
+            assert 0.0 <= params["gamma"] <= 0.9
+            assert params["attention_window"] in (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_attrank_includes_paper_optima(self):
+        """The settings the paper reports as optimal must be reachable."""
+        grid = list(attrank_grid())
+        for alpha, beta, gamma, y in [
+            (0.3, 0.4, 0.3, 1.0),   # hep-th
+            (0.3, 0.3, 0.4, 3.0),   # APS
+            (0.0, 0.4, 0.6, 4.0),   # PMC
+            (0.2, 0.4, 0.4, 3.0),   # DBLP
+            (0.5, 0.3, 0.2, 1.0),   # DBLP nDCG
+        ]:
+            assert any(
+                p["alpha"] == pytest.approx(alpha)
+                and p["beta"] == pytest.approx(beta)
+                and p["gamma"] == pytest.approx(gamma)
+                and p["attention_window"] == y
+                for p in grid
+            ), (alpha, beta, gamma, y)
+
+    def test_futurerank_sums_to_one(self):
+        for params in futurerank_grid():
+            total = params["alpha"] + params["beta"] + params["gamma"]
+            assert total == pytest.approx(1.0)
+
+    def test_citerank_values(self):
+        settings = list(citerank_grid())
+        alphas = {p["alpha"] for p in settings}
+        taus = {p["tau_dir"] for p in settings}
+        assert alphas == {0.1, 0.3, 0.5, 0.7}
+        assert taus == {2.0, 4.0, 6.0, 8.0, 10.0}
+
+    def test_ram_values(self):
+        gammas = [p["gamma"] for p in ram_grid()]
+        assert gammas == pytest.approx([0.1 * i for i in range(1, 10)])
+
+    def test_ecm_values(self):
+        for params in ecm_grid():
+            assert 0.1 <= params["alpha"] <= 0.5
+            assert 0.1 <= params["gamma"] <= 0.5
+
+    def test_wsdm_values(self):
+        for params in wsdm_grid():
+            assert params["iterations"] in (4, 5)
+            assert 1.0 <= params["beta"] <= 5.0
+
+
+class TestAblationSlices:
+    def test_no_att_all_beta_zero(self):
+        settings = list(no_att_grid())
+        assert settings
+        assert all(p["beta"] == 0.0 for p in settings)
+
+    def test_att_only_five_windows(self):
+        settings = list(att_only_grid())
+        assert len(settings) == 5
+        assert all(p["beta"] == 1.0 and p["alpha"] == 0.0 for p in settings)
+
+    def test_ablation_slices_inside_attrank_grid(self):
+        full = {tuple(sorted(p.items())) for p in attrank_grid()}
+        for p in att_only_grid():
+            assert tuple(sorted(p.items())) in full
+        for p in no_att_grid():
+            assert tuple(sorted(p.items())) in full
+
+
+class TestGridConstructibility:
+    @pytest.mark.parametrize("method", ["CR", "FR", "RAM", "ECM", "WSDM", "AR"])
+    def test_every_setting_constructs(self, method):
+        for params in grid_for(method):
+            make_method(method, **params)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_for("CC")

@@ -1,0 +1,136 @@
+"""Unit tests for repro.eval.metrics (Spearman's rho and nDCG@k)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    NDCG,
+    SpearmanRho,
+    dcg_at_k,
+    ndcg_at_k,
+    spearman_rho,
+)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(a, 10 * a) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(a, -a) == pytest.approx(-1.0)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 5, size=200).astype(float)  # many ties
+        b = a + rng.normal(0, 1.0, size=200)
+        expected = stats.spearmanr(a, b).statistic
+        assert spearman_rho(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_matches_scipy_continuous(self):
+        rng = np.random.default_rng(8)
+        a = rng.random(500)
+        b = rng.random(500)
+        expected = stats.spearmanr(a, b).statistic
+        assert spearman_rho(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_constant_vector_rejected(self):
+        with pytest.raises(EvaluationError, match="constant"):
+            spearman_rho(np.ones(5), np.arange(5.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            spearman_rho(np.ones(3), np.ones(4))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(EvaluationError):
+            spearman_rho(np.array([1.0]), np.array([2.0]))
+
+    def test_metric_object(self):
+        metric = SpearmanRho()
+        assert metric.name == "spearman"
+        a = np.array([1.0, 2.0, 3.0])
+        assert metric(a, a) == pytest.approx(1.0)
+
+
+class TestDCG:
+    def test_hand_computed(self):
+        # DCG@3 of gains [3, 2, 1] = 3/log2(2) + 2/log2(3) + 1/log2(4).
+        gains = np.array([3.0, 2.0, 1.0])
+        expected = 3 / 1 + 2 / np.log2(3) + 1 / 2
+        assert dcg_at_k(gains, 3) == pytest.approx(expected)
+
+    def test_k_truncates(self):
+        gains = np.array([3.0, 2.0, 1.0])
+        assert dcg_at_k(gains, 1) == pytest.approx(3.0)
+
+    def test_k_validated(self):
+        with pytest.raises(EvaluationError):
+            dcg_at_k(np.array([1.0]), 0)
+
+    def test_empty_gains(self):
+        assert dcg_at_k(np.array([]), 5) == 0.0
+
+
+class TestNDCG:
+    def test_perfect_ranking_scores_one(self):
+        relevance = np.array([5.0, 3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(relevance, relevance, 5) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        relevance = np.array([5.0, 3.0, 2.0, 1.0, 0.0])
+        reversed_scores = -relevance
+        value = ndcg_at_k(reversed_scores, relevance, 5)
+        assert 0 < value < 1
+
+    def test_hand_computed_swap(self):
+        """Swapping the top two items gives a computable nDCG@2."""
+        relevance = np.array([2.0, 1.0])
+        scores = np.array([1.0, 2.0])  # ranks item 1 first
+        ideal = 2 / 1 + 1 / np.log2(3)
+        achieved = 1 / 1 + 2 / np.log2(3)
+        assert ndcg_at_k(scores, relevance, 2) == pytest.approx(
+            achieved / ideal
+        )
+
+    def test_all_zero_relevance_defined_as_zero(self):
+        assert ndcg_at_k(np.array([1.0, 2.0]), np.zeros(2), 2) == 0.0
+
+    def test_range(self, hepth_split):
+        rng = np.random.default_rng(0)
+        scores = rng.random(hepth_split.current.n_papers)
+        for k in (5, 10, 50, 100, 500):
+            value = ndcg_at_k(scores, hepth_split.sti, k)
+            assert 0.0 <= value <= 1.0
+
+    def test_negative_relevance_rejected(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k(np.array([1.0, 2.0]), np.array([-1.0, 2.0]), 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k(np.ones(3), np.ones(4), 2)
+
+    def test_k_larger_than_list(self):
+        relevance = np.array([2.0, 1.0])
+        assert ndcg_at_k(relevance, relevance, 100) == pytest.approx(1.0)
+
+    def test_metric_object(self):
+        metric = NDCG(10)
+        assert metric.name == "ndcg@10"
+        with pytest.raises(EvaluationError):
+            NDCG(0)
+
+    def test_oracle_beats_noise(self, hepth_split):
+        """Scoring by the ground truth itself must dominate random
+        scores at every cut-off."""
+        rng = np.random.default_rng(1)
+        noise = rng.random(hepth_split.current.n_papers)
+        for k in (5, 50, 500):
+            oracle = ndcg_at_k(hepth_split.sti, hepth_split.sti, k)
+            random_score = ndcg_at_k(noise, hepth_split.sti, k)
+            assert oracle == pytest.approx(1.0)
+            assert random_score < oracle

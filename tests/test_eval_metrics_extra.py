@@ -1,0 +1,132 @@
+"""Unit tests for the extended metric battery."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import EvaluationError
+from repro.eval.metrics_extra import (
+    AveragePrecisionAtK,
+    KendallTau,
+    OverlapAtK,
+    average_precision_at_k,
+    kendall_tau,
+    overlap_at_k,
+)
+
+
+class TestKendall:
+    def test_perfect_agreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(a, a * 3) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(a, -a) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 8, 150).astype(float)
+        b = a + rng.normal(0, 2, 150)
+        expected = stats.kendalltau(a, b).statistic
+        assert kendall_tau(a, b) == pytest.approx(expected)
+
+    def test_kendall_below_spearman_magnitude(self, hepth_split):
+        """|tau| <= |rho| in typical monotone-ish data."""
+        from repro.eval.metrics import spearman_rho
+        from repro.baselines.ram import RetainedAdjacency
+
+        scores = RetainedAdjacency(gamma=0.5).scores(hepth_split.current)
+        tau = kendall_tau(scores, hepth_split.sti)
+        rho = spearman_rho(scores, hepth_split.sti)
+        assert 0 < tau < rho
+
+    def test_constant_rejected(self):
+        with pytest.raises(EvaluationError):
+            kendall_tau(np.ones(5), np.arange(5.0))
+
+    def test_metric_object(self):
+        assert KendallTau().name == "kendall"
+
+
+class TestOverlap:
+    def test_identical_rankings(self):
+        gains = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert overlap_at_k(gains, gains, 3) == 1.0
+
+    def test_disjoint_tops(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])  # top-2: {3, 2}
+        gains = np.array([4.0, 3.0, 2.0, 1.0])  # top-2: {0, 1}
+        assert overlap_at_k(scores, gains, 2) == 0.0
+
+    def test_partial(self):
+        scores = np.array([10.0, 9.0, 1.0, 2.0])  # top-2 {0, 1}
+        gains = np.array([5.0, 0.0, 4.0, 1.0])  # top-2 {0, 2}
+        assert overlap_at_k(scores, gains, 2) == 0.5
+
+    def test_k_clipped_to_size(self):
+        gains = np.array([1.0, 2.0])
+        assert overlap_at_k(gains, gains, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            overlap_at_k(np.ones(3), np.ones(4), 2)
+        with pytest.raises(EvaluationError):
+            overlap_at_k(np.ones(3), np.ones(3), 0)
+
+    def test_metric_object(self):
+        assert OverlapAtK(25).name == "overlap@25"
+
+
+class TestAveragePrecision:
+    def test_perfect_prefix(self):
+        gains = np.array([5.0, 4.0, 3.0, 0.0, 0.0])
+        assert average_precision_at_k(gains, gains, 3) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # Truth top-2 = {0, 1}; method's top-2 is [0, 2]:
+        # hit@1 (precision 1), miss@2 -> AP@2 = 1/2.
+        gains = np.array([9.0, 8.0, 1.0, 0.0])
+        scores = np.array([10.0, 5.0, 7.0, 1.0])
+        assert average_precision_at_k(scores, gains, 2) == pytest.approx(0.5)
+
+    def test_hand_computed_depth_three(self):
+        # Truth top-3 = {0, 1, 2}; method ranks [0, 3, 1] in its top-3:
+        # hits at positions 1 and 3 -> AP@3 = (1 + 2/3) / 3.
+        gains = np.array([9.0, 8.0, 7.0, 0.0])
+        scores = np.array([10.0, 5.0, 1.0, 7.0])
+        expected = (1.0 + 2.0 / 3.0) / 3.0
+        assert average_precision_at_k(scores, gains, 3) == pytest.approx(
+            expected
+        )
+
+    def test_total_miss_is_zero(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        gains = np.array([4.0, 3.0, 2.0, 1.0])
+        assert average_precision_at_k(scores, gains, 2) == 0.0
+
+    def test_range_on_synthetic(self, hepth_split):
+        from repro.baselines.citation_count import CitationCount
+
+        scores = CitationCount().scores(hepth_split.current)
+        value = average_precision_at_k(scores, hepth_split.sti, 50)
+        assert 0.0 <= value <= 1.0
+
+    def test_metric_object(self):
+        assert AveragePrecisionAtK(10).name == "ap@10"
+
+
+class TestMetricsInTuning:
+    def test_extra_metrics_plug_into_tuning(self, hepth_split):
+        """The extended metrics satisfy the Metric protocol end-to-end."""
+        from repro.eval.tuning import tune_method
+
+        for metric in (KendallTau(), OverlapAtK(20), AveragePrecisionAtK(20)):
+            result = tune_method(
+                "RAM",
+                [{"gamma": 0.3}, {"gamma": 0.7}],
+                hepth_split,
+                metric,
+            )
+            assert result.metric == metric.name
+            assert len(result.sweep) == 2

@@ -1,0 +1,106 @@
+"""Unit tests for repro.eval.split (the test-ratio methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.split import DEFAULT_TEST_RATIOS, split_by_ratio
+
+
+class TestSplitSizes:
+    def test_current_is_older_half(self, toy):
+        split = split_by_ratio(toy, 1.5)
+        assert split.current.n_papers == 4
+        assert set(split.current.paper_ids) == {"A", "B", "C", "D"}
+
+    def test_future_count_by_ratio(self, toy):
+        split = split_by_ratio(toy, 1.5)
+        assert split.n_future_papers == 6  # 1.5 * 4
+
+    def test_ratio_two_uses_everything(self, toy):
+        split = split_by_ratio(toy, 2.0)
+        assert split.n_future_papers == toy.n_papers
+
+    def test_ratio_bounds(self, toy):
+        with pytest.raises(EvaluationError):
+            split_by_ratio(toy, 1.0)
+        with pytest.raises(EvaluationError):
+            split_by_ratio(toy, 2.5)
+
+    def test_custom_fraction(self, toy):
+        split = split_by_ratio(toy, 1.5, current_fraction=0.25)
+        assert split.current.n_papers == 2
+        with pytest.raises(EvaluationError):
+            split_by_ratio(toy, 1.5, current_fraction=1.5)
+
+    def test_tiny_network_rejected(self, two_dangling):
+        with pytest.raises(EvaluationError):
+            split_by_ratio(two_dangling, 1.5)
+
+
+class TestGroundTruth:
+    def test_hand_computed_sti(self, toy):
+        """Current = {A,B,C,D}; ratio 1.5 adds E (2000) and F (2001).
+        STI counts citations from {E, F} into the current set:
+        E -> C, D; F -> D, A (E not in current)."""
+        split = split_by_ratio(toy, 1.5)
+        sti = {
+            split.current.id_of(i): split.sti[i]
+            for i in range(split.current.n_papers)
+        }
+        assert sti == {"A": 1.0, "B": 0.0, "C": 1.0, "D": 2.0}
+
+    def test_sti_excludes_current_internal_citations(self, toy):
+        """Citations among current papers are part of C(tN), not STI."""
+        split = split_by_ratio(toy, 1.5)
+        # B was cited by C (current-internal): must not count.
+        assert split.sti[split.current.index_of("B")] == 0.0
+
+    def test_sti_monotone_in_ratio(self, hepth_tiny):
+        """A larger future window can only add citations."""
+        lo = split_by_ratio(hepth_tiny, 1.2)
+        hi = split_by_ratio(hepth_tiny, 2.0)
+        assert np.all(hi.sti >= lo.sti)
+        assert hi.sti.sum() > lo.sti.sum()
+
+    def test_ground_truth_ranking_sorted_by_sti(self, hepth_split):
+        ranking = hepth_split.ground_truth_ranking
+        values = hepth_split.sti[ranking]
+        assert np.all(np.diff(values) <= 0)
+
+    def test_top_by_sti(self, hepth_split):
+        top = hepth_split.top_by_sti(10)
+        assert top.shape == (10,)
+        assert np.array_equal(top, hepth_split.ground_truth_ranking[:10])
+
+
+class TestHorizon:
+    def test_horizon_positive_and_monotone(self, hepth_tiny):
+        horizons = [
+            split_by_ratio(hepth_tiny, r).horizon_years
+            for r in DEFAULT_TEST_RATIOS
+        ]
+        assert all(h > 0 for h in horizons)
+        assert horizons == sorted(horizons)
+
+    def test_t_current_is_newest_current_paper(self, toy):
+        split = split_by_ratio(toy, 1.5)
+        assert split.t_current == 1999.0  # D
+        assert split.t_future == 2001.0  # F
+        assert split.horizon_years == pytest.approx(2.0)
+
+
+class TestMethodVisibility:
+    def test_current_network_has_no_future_information(self, toy):
+        """The current network must contain only citations among current
+        papers — a method cannot peek at the future."""
+        split = split_by_ratio(toy, 2.0)
+        current_times = split.current.publication_times
+        made_at = split.current.citation_times()
+        assert np.all(made_at <= split.t_current)
+        assert np.all(current_times <= split.t_current)
+
+    def test_metadata_carried_into_current(self, dblp_tiny):
+        split = split_by_ratio(dblp_tiny, 1.6)
+        assert split.current.has_authors
+        assert split.current.has_venues

@@ -1,0 +1,68 @@
+"""Unit tests for repro.eval.tuning (grid search)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import NDCG, SpearmanRho
+from repro.eval.tuning import evaluate_setting, tune_method, tune_methods
+
+
+class TestEvaluateSetting:
+    def test_single_setting(self, hepth_split):
+        score = evaluate_setting(
+            "RAM", {"gamma": 0.3}, hepth_split, SpearmanRho()
+        )
+        assert -1.0 <= score <= 1.0
+
+    def test_deterministic(self, hepth_split):
+        metric = NDCG(50)
+        a = evaluate_setting("RAM", {"gamma": 0.5}, hepth_split, metric)
+        b = evaluate_setting("RAM", {"gamma": 0.5}, hepth_split, metric)
+        assert a == b
+
+
+class TestTuneMethod:
+    def test_best_is_argmax_of_sweep(self, hepth_split):
+        grid = [{"gamma": g} for g in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        result = tune_method("RAM", grid, hepth_split, SpearmanRho())
+        assert result.best_score == max(s.score for s in result.sweep)
+        assert len(result.sweep) == 5
+
+    def test_tie_keeps_first_setting(self, hepth_split):
+        grid = [{"gamma": 0.4}, {"gamma": 0.4}]
+        result = tune_method("RAM", grid, hepth_split, SpearmanRho())
+        assert result.best is result.sweep[0]
+
+    def test_empty_grid_rejected(self, hepth_split):
+        with pytest.raises(EvaluationError, match="empty parameter grid"):
+            tune_method("RAM", [], hepth_split, SpearmanRho())
+
+    def test_result_metadata(self, hepth_split):
+        result = tune_method(
+            "RAM", [{"gamma": 0.2}], hepth_split, NDCG(10)
+        )
+        assert result.method == "RAM"
+        assert result.metric == "ndcg@10"
+        assert result.best_params == {"gamma": 0.2}
+
+    def test_tuned_beats_or_equals_any_single_setting(self, hepth_split):
+        grid = [{"gamma": round(0.1 * i, 1)} for i in range(1, 10)]
+        result = tune_method("RAM", grid, hepth_split, SpearmanRho())
+        fixed = evaluate_setting(
+            "RAM", {"gamma": 0.6}, hepth_split, SpearmanRho()
+        )
+        assert result.best_score >= fixed
+
+
+class TestTuneMethods:
+    def test_multiple_methods(self, hepth_split):
+        results = tune_methods(
+            {
+                "RAM": [{"gamma": 0.3}, {"gamma": 0.6}],
+                "CR": [{"alpha": 0.5, "tau_dir": 2.0}],
+            },
+            hepth_split,
+            SpearmanRho(),
+        )
+        assert set(results) == {"RAM", "CR"}
+        assert results["CR"].best_params["tau_dir"] == 2.0

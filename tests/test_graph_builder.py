@@ -1,0 +1,121 @@
+"""Unit tests for repro.graph.builder.NetworkBuilder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import NetworkBuilder
+
+
+class TestAddPaper:
+    def test_basic_build(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        builder.add_paper("b", 2001.0, references=["a"])
+        network = builder.build()
+        assert network.n_papers == 2
+        assert network.n_citations == 1
+
+    def test_duplicate_id_rejected(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        with pytest.raises(GraphError, match="duplicate"):
+            builder.add_paper("a", 2000.0)
+
+    def test_len_and_contains(self):
+        builder = NetworkBuilder()
+        assert len(builder) == 0
+        builder.add_paper("a", 1999.0)
+        assert len(builder) == 1
+        assert "a" in builder
+        assert "b" not in builder
+
+    def test_forward_references_resolved_at_build(self):
+        builder = NetworkBuilder()
+        builder.add_paper("b", 2001.0, references=["a"])  # a added later
+        builder.add_paper("a", 1999.0)
+        assert builder.build().n_citations == 1
+
+
+class TestMissingReferencePolicy:
+    def test_skip_policy_drops(self):
+        builder = NetworkBuilder(missing_references="skip")
+        builder.add_paper("a", 1999.0, references=["ghost"])
+        assert builder.build().n_citations == 0
+
+    def test_error_policy_raises(self):
+        builder = NetworkBuilder(missing_references="error")
+        builder.add_paper("a", 1999.0, references=["ghost"])
+        with pytest.raises(GraphError, match="unknown paper"):
+            builder.build()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(GraphError, match="unknown missing-reference"):
+            NetworkBuilder(missing_references="ignore")
+
+
+class TestReferenceNormalisation:
+    def test_self_reference_dropped(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0, references=["a"])
+        assert builder.build().n_citations == 0
+
+    def test_duplicate_references_deduped(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        builder.add_paper("b", 2001.0, references=["a", "a", "a"])
+        assert builder.build().n_citations == 1
+
+    def test_add_reference_after_paper(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        builder.add_paper("b", 2001.0)
+        builder.add_reference("b", "a")
+        assert builder.build().n_citations == 1
+
+    def test_add_reference_unknown_citing_raises(self):
+        builder = NetworkBuilder()
+        with pytest.raises(GraphError, match="unknown citing"):
+            builder.add_reference("nope", "a")
+
+
+class TestMetadataInterning:
+    def test_shared_author_names_shared_indices(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0, authors=["smith", "jones"])
+        builder.add_paper("b", 2001.0, authors=["smith"])
+        network = builder.build()
+        assert network.n_authors == 2
+        smith = network.paper_authors[0][0]
+        assert network.paper_authors[1] == (smith,)
+
+    def test_no_authors_anywhere_means_none(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        assert builder.build().paper_authors is None
+
+    def test_partial_authorship_allowed(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0, authors=["x"])
+        builder.add_paper("b", 2001.0)
+        network = builder.build()
+        assert network.paper_authors == ((0,), ())
+
+    def test_venue_interning(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0, venue="ICDE")
+        builder.add_paper("b", 2001.0, venue="VLDB")
+        builder.add_paper("c", 2002.0, venue="ICDE")
+        network = builder.build()
+        assert network.n_venues == 2
+        assert network.paper_venues.tolist() == [0, 1, 0]
+
+    def test_missing_venue_is_minus_one(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0, venue="ICDE")
+        builder.add_paper("b", 2001.0)
+        assert builder.build().paper_venues.tolist() == [0, -1]
+
+    def test_no_venues_anywhere_means_none(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        assert builder.build().paper_venues is None

@@ -1,0 +1,234 @@
+"""Unit tests for repro.graph.citation_network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.citation_network import CitationNetwork
+
+
+def make(ids, times, citing, cited, **kwargs):
+    return CitationNetwork(ids, times, citing, cited, **kwargs)
+
+
+class TestConstruction:
+    def test_basic_counts(self, toy):
+        assert toy.n_papers == 8
+        assert toy.n_citations == 13
+        assert len(toy) == 8
+
+    def test_paper_ids_preserved(self, toy):
+        assert toy.paper_ids == ("A", "B", "C", "D", "E", "F", "G", "H")
+
+    def test_index_round_trip(self, toy):
+        for i, pid in enumerate(toy.paper_ids):
+            assert toy.index_of(pid) == i
+            assert toy.id_of(i) == pid
+
+    def test_contains(self, toy):
+        assert "A" in toy
+        assert "nope" not in toy
+
+    def test_unknown_id_raises(self, toy):
+        with pytest.raises(GraphError, match="unknown paper id"):
+            toy.index_of("nope")
+
+    def test_empty_network(self):
+        network = make([], [], [], [])
+        assert network.n_papers == 0
+        assert network.n_citations == 0
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GraphError, match="not unique"):
+            make(["a", "a"], [2000.0, 2001.0], [], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            make(["a", "b"], [2000.0], [], [])
+
+    def test_self_citation_rejected(self):
+        with pytest.raises(GraphError, match="self-citations"):
+            make(["a", "b"], [2000.0, 2001.0], [1, 0], [1, 0])
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            make(["a", "b"], [2000.0, 2001.0], [1], [5])
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(GraphError, match="finite"):
+            make(["a", "b"], [2000.0, float("nan")], [], [])
+
+    def test_mismatched_edge_arrays_rejected(self):
+        with pytest.raises(GraphError, match="differ in length"):
+            make(["a", "b"], [2000.0, 2001.0], [1], [])
+
+    def test_time_order_validation_optional(self):
+        # b (2000) cites a (2005): allowed by default, rejected on demand.
+        network = make(["a", "b"], [2005.0, 2000.0], [1], [0])
+        with pytest.raises(GraphError, match="published later"):
+            network.validate(require_time_order=True)
+
+    def test_arrays_read_only(self, toy):
+        with pytest.raises(ValueError):
+            toy.publication_times[0] = 0.0
+        with pytest.raises(ValueError):
+            toy.citing[0] = 0
+
+
+class TestCitationMatrix:
+    def test_convention_cited_rows(self, chain):
+        # C[i, j] = 1 iff j cites i; chain: B cites A etc.
+        matrix = chain.citation_matrix.toarray()
+        a, b, c, d = (chain.index_of(x) for x in "ABCD")
+        assert matrix[a, b] == 1
+        assert matrix[b, c] == 1
+        assert matrix[c, d] == 1
+        assert matrix.sum() == 3
+
+    def test_duplicate_references_collapse(self):
+        network = make(["a", "b"], [2000.0, 2001.0], [1, 1], [0, 0])
+        assert network.citation_matrix.toarray()[0, 1] == 1.0
+        assert network.in_degree[0] == 1
+
+    def test_degrees(self, toy):
+        a = toy.index_of("A")
+        f = toy.index_of("F")
+        # A is cited by B, C, F.
+        assert toy.in_degree[a] == 3
+        # F cites D, E, A.
+        assert toy.out_degree[f] == 3
+
+    def test_degree_totals_match_edges(self, toy):
+        assert toy.in_degree.sum() == toy.n_citations
+        assert toy.out_degree.sum() == toy.n_citations
+
+    def test_dangling_mask(self, toy):
+        # Only A cites nothing.
+        expected = np.zeros(8, dtype=bool)
+        expected[toy.index_of("A")] = True
+        assert np.array_equal(toy.dangling_mask, expected)
+
+
+class TestMetadata:
+    def test_authors_present(self, toy):
+        assert toy.has_authors
+        assert toy.n_authors == 5  # ada, bob, cyd, eve, hal
+
+    def test_author_matrix_shape_and_content(self, toy):
+        matrix = toy.author_matrix
+        assert matrix.shape == (5, 8)
+        # ada wrote A, C, E.
+        ada_row = matrix.toarray()[0]
+        assert ada_row.sum() == 3
+
+    def test_venues_present(self, toy):
+        assert toy.has_venues
+        assert toy.n_venues == 3
+
+    def test_venue_matrix_columns(self, toy):
+        matrix = toy.venue_matrix.toarray()
+        # every paper has a venue -> every column sums to 1
+        assert np.array_equal(matrix.sum(axis=0), np.ones(8))
+
+    def test_no_author_metadata_raises(self, chain):
+        assert not chain.has_authors
+        with pytest.raises(GraphError, match="no author metadata"):
+            chain.author_matrix
+
+    def test_no_venue_metadata_raises(self, chain):
+        with pytest.raises(GraphError, match="no venue metadata"):
+            chain.venue_matrix
+
+    def test_unknown_venue_column_empty(self):
+        network = make(
+            ["a", "b"],
+            [2000.0, 2001.0],
+            [1],
+            [0],
+            paper_venues=[0, -1],
+        )
+        matrix = network.venue_matrix.toarray()
+        assert matrix[:, 0].sum() == 1
+        assert matrix[:, 1].sum() == 0
+
+
+class TestAgesAndTimes:
+    def test_latest_time(self, toy):
+        assert toy.latest_time == 2003.0
+
+    def test_latest_time_empty_raises(self):
+        with pytest.raises(GraphError):
+            make([], [], [], []).latest_time
+
+    def test_ages_default_now(self, toy):
+        ages = toy.ages()
+        assert ages[toy.index_of("A")] == pytest.approx(13.0)
+        assert ages[toy.index_of("H")] == pytest.approx(0.0)
+
+    def test_ages_clipped_at_zero(self, toy):
+        ages = toy.ages(now=1995.0)
+        assert np.all(ages >= 0.0)
+
+    def test_citation_times_are_citing_pub_times(self, chain):
+        times = chain.citation_times()
+        assert sorted(times.tolist()) == [2001.0, 2002.0, 2003.0]
+
+
+class TestSubnetwork:
+    def test_induced_edges_only(self, toy):
+        indices = [toy.index_of(x) for x in ("A", "B", "C")]
+        sub = toy.subnetwork(indices)
+        assert sub.n_papers == 3
+        # Edges among A, B, C: B->A, C->A, C->B.
+        assert sub.n_citations == 3
+
+    def test_preserves_metadata(self, toy):
+        sub = toy.subnetwork([0, 1, 2])
+        assert sub.has_authors and sub.has_venues
+
+    def test_duplicate_indices_rejected(self, toy):
+        with pytest.raises(GraphError, match="duplicates"):
+            toy.subnetwork([0, 0])
+
+    def test_out_of_range_rejected(self, toy):
+        with pytest.raises(GraphError, match="out of range"):
+            toy.subnetwork([0, 99])
+
+    def test_empty_subnetwork(self, toy):
+        sub = toy.subnetwork([])
+        assert sub.n_papers == 0
+
+    def test_reindexing_consistency(self, toy):
+        indices = [toy.index_of(x) for x in ("C", "E", "F")]
+        sub = toy.subnetwork(sorted(indices))
+        assert set(sub.paper_ids) == {"C", "E", "F"}
+        for pid in sub.paper_ids:
+            original = toy.publication_times[toy.index_of(pid)]
+            assert sub.publication_times[sub.index_of(pid)] == original
+
+
+class TestFromEdges:
+    def test_basic(self):
+        network = CitationNetwork.from_edges(
+            [("b", "a"), ("c", "a")],
+            {"a": 2000.0, "b": 2001.0, "c": 2002.0},
+        )
+        assert network.n_papers == 3
+        assert network.in_degree[network.index_of("a")] == 2
+
+    def test_isolated_paper_allowed(self):
+        network = CitationNetwork.from_edges(
+            [("b", "a")], {"a": 2000.0, "b": 2001.0, "z": 1999.0}
+        )
+        assert "z" in network
+        assert network.in_degree[network.index_of("z")] == 0
+
+    def test_missing_time_raises(self):
+        with pytest.raises(GraphError, match="no publication time"):
+            CitationNetwork.from_edges([("b", "a")], {"b": 2001.0})
+
+    def test_networkx_export(self, chain):
+        graph = chain.to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+        assert graph.nodes[0]["paper_id"] == "A"

@@ -1,0 +1,115 @@
+"""Unit tests for repro.graph.matrix (the stochastic operator S)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph.matrix import (
+    StochasticOperator,
+    column_stochastic,
+    is_column_stochastic,
+)
+
+
+class TestColumnStochastic:
+    def test_normalises_columns(self):
+        raw = sp.csr_matrix(np.array([[2.0, 0.0], [2.0, 3.0]]))
+        result = column_stochastic(raw).toarray()
+        assert np.allclose(result[:, 0], [0.5, 0.5])
+        assert np.allclose(result[:, 1], [0.0, 1.0])
+
+    def test_zero_columns_left_alone(self):
+        raw = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 1.0]]))
+        result = column_stochastic(raw).toarray()
+        assert np.allclose(result[:, 0], 0.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError, match="square"):
+            column_stochastic(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            column_stochastic(sp.csr_matrix(np.array([[-1.0]])))
+
+
+class TestIsColumnStochastic:
+    def test_accepts_stochastic(self):
+        matrix = sp.csr_matrix(np.array([[0.5, 1.0], [0.5, 0.0]]))
+        assert is_column_stochastic(matrix)
+
+    def test_rejects_non_stochastic(self):
+        matrix = sp.csr_matrix(np.array([[0.5, 0.5], [0.1, 0.5]]))
+        assert not is_column_stochastic(matrix)
+
+    def test_zero_column_flag(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert not is_column_stochastic(matrix)
+        assert is_column_stochastic(matrix, allow_zero_columns=True)
+
+
+class TestStochasticOperator:
+    def test_paper_convention_on_toy(self, toy):
+        """S[i, j] = 1/k_j when j cites i; dangling columns = 1/N."""
+        operator = StochasticOperator(toy)
+        dense = operator.dense()
+        n = toy.n_papers
+        # Column sums are exactly one (S is column-stochastic).
+        assert np.allclose(dense.sum(axis=0), 1.0)
+        # A cites nothing -> its column is uniform.
+        a = toy.index_of("A")
+        assert np.allclose(dense[:, a], 1.0 / n)
+        # F cites D, E, A -> those entries are 1/3.
+        f = toy.index_of("F")
+        for target in ("D", "E", "A"):
+            assert dense[toy.index_of(target), f] == pytest.approx(1 / 3)
+
+    def test_apply_matches_dense(self, toy):
+        operator = StochasticOperator(toy)
+        rng = np.random.default_rng(0)
+        vector = rng.random(toy.n_papers)
+        expected = operator.dense() @ vector
+        assert np.allclose(operator.apply(vector), expected)
+
+    def test_apply_preserves_probability_mass(self, toy):
+        operator = StochasticOperator(toy)
+        vector = np.full(toy.n_papers, 1.0 / toy.n_papers)
+        result = operator.apply(vector)
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_dangling_count(self, toy, two_dangling):
+        assert StochasticOperator(toy).n_dangling == 1
+        assert StochasticOperator(two_dangling).n_dangling == 2
+
+    def test_all_dangling_gives_uniform(self, two_dangling):
+        operator = StochasticOperator(two_dangling)
+        vector = np.array([0.7, 0.3])
+        assert np.allclose(operator.apply(vector), [0.5, 0.5])
+
+    def test_wrong_vector_shape_rejected(self, toy):
+        operator = StochasticOperator(toy)
+        with pytest.raises(GraphError, match="shape"):
+            operator.apply(np.ones(3))
+
+    def test_edge_weights(self, chain):
+        # Down-weight one edge: the column is still normalised to 1.
+        weights = np.array([1.0, 0.5, 0.25])
+        operator = StochasticOperator(chain, weights=weights)
+        dense = operator.sparse_part.toarray()
+        # Each citing paper has exactly one reference -> weight cancels.
+        assert np.allclose(dense.sum(axis=0)[1:], 1.0)
+
+    def test_weight_length_mismatch_rejected(self, chain):
+        with pytest.raises(GraphError, match="one entry per citation"):
+            StochasticOperator(chain, weights=np.ones(99))
+
+    def test_negative_weights_rejected(self, chain):
+        with pytest.raises(GraphError, match="non-negative"):
+            StochasticOperator(chain, weights=-np.ones(chain.n_citations))
+
+    def test_large_network_column_sums(self, hepth_tiny):
+        operator = StochasticOperator(hepth_tiny)
+        sums = np.asarray(operator.sparse_part.sum(axis=0)).ravel()
+        non_dangling = ~operator.dangling_mask
+        assert np.allclose(sums[non_dangling], 1.0)
+        assert np.allclose(sums[operator.dangling_mask], 0.0)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.graph.statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.statistics import (
+    citation_age_distribution,
+    citations_per_year,
+    summarize,
+    top_cited,
+    yearly_citations,
+)
+
+
+class TestCitationAgeDistribution:
+    def test_chain_ages(self, chain):
+        # Every citation is exactly 1 year after the cited paper.
+        distribution = citation_age_distribution(chain, max_age=5)
+        assert distribution[1] == pytest.approx(1.0)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_partial_mass_beyond_max_age(self, star):
+        # Star citations arrive 1..5 years after HUB; cap at 3.
+        distribution = citation_age_distribution(star, max_age=3)
+        assert distribution.sum() == pytest.approx(3 / 5)
+
+    def test_empty_network_raises(self, two_dangling):
+        with pytest.raises(GraphError):
+            citation_age_distribution(two_dangling)
+
+    def test_synthetic_distribution_decays(self, hepth_tiny):
+        """Figure 1a shape: mass concentrates in the first few years."""
+        distribution = citation_age_distribution(hepth_tiny, max_age=10)
+        assert distribution.sum() > 0.8  # most citations within 10 years
+        assert distribution[:4].sum() > distribution[4:].sum()
+
+    def test_length(self, chain):
+        assert citation_age_distribution(chain, max_age=7).shape == (8,)
+
+
+class TestYearlyCitations:
+    def test_star_trajectory(self, star):
+        years, counts = yearly_citations(star, "HUB")
+        assert years.tolist() == [2000, 2001, 2002, 2003, 2004, 2005]
+        assert counts.tolist() == [0, 1, 1, 1, 1, 1]
+
+    def test_accepts_index_or_id(self, star):
+        by_id = yearly_citations(star, "HUB")
+        by_index = yearly_citations(star, star.index_of("HUB"))
+        assert np.array_equal(by_id[1], by_index[1])
+
+    def test_custom_year_range(self, star):
+        years, counts = yearly_citations(
+            star, "HUB", first_year=2002, last_year=2004
+        )
+        assert years.tolist() == [2002, 2003, 2004]
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_empty_range_rejected(self, star):
+        with pytest.raises(GraphError, match="empty year range"):
+            yearly_citations(star, "HUB", first_year=2005, last_year=2001)
+
+    def test_out_of_range_paper_rejected(self, star):
+        with pytest.raises(GraphError):
+            yearly_citations(star, 99)
+
+
+class TestCitationsPerYear:
+    def test_counts_sum_to_edges(self, toy):
+        _, counts = citations_per_year(toy)
+        assert counts.sum() == toy.n_citations
+
+    def test_empty_raises(self, two_dangling):
+        with pytest.raises(GraphError):
+            citations_per_year(two_dangling)
+
+
+class TestTopCited:
+    def test_orders_by_in_degree(self, toy):
+        top = top_cited(toy, 2)
+        ids = {toy.id_of(int(i)) for i in top}
+        # A (3 citations) and one of C/D/E/F (2 each, tie -> lowest index = C).
+        assert ids == {"A", "C"}
+
+    def test_recent_window_changes_ranking(self, toy):
+        # Only citations made after 2000: F and E lead.
+        top = top_cited(toy, 2, since=2000.0)
+        ids = {toy.id_of(int(i)) for i in top}
+        assert ids == {"E", "F"}
+
+    def test_k_zero(self, toy):
+        assert top_cited(toy, 0).size == 0
+
+    def test_negative_k_rejected(self, toy):
+        with pytest.raises(GraphError):
+            top_cited(toy, -1)
+
+
+class TestSummarize:
+    def test_toy_summary(self, toy):
+        summary = summarize(toy)
+        assert summary.n_papers == 8
+        assert summary.n_citations == 13
+        assert summary.n_authors == 5
+        assert summary.n_venues == 3
+        assert summary.first_year == 1990.0
+        assert summary.last_year == 2003.0
+        assert summary.dangling_fraction == pytest.approx(1 / 8)
+
+    def test_as_rows_shape(self, toy):
+        rows = summarize(toy).as_rows()
+        assert all(len(row) == 2 for row in rows)
+        assert len(rows) == 8
+
+    def test_empty_raises(self):
+        from repro.graph.citation_network import CitationNetwork
+
+        with pytest.raises(GraphError):
+            summarize(CitationNetwork([], [], [], []))

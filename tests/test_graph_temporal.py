@@ -1,0 +1,104 @@
+"""Unit tests for repro.graph.temporal (snapshots and citation windows)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.temporal import (
+    chronological_order,
+    citation_counts_between,
+    citations_in_window,
+    papers_published_until,
+    prefix_by_count,
+    snapshot_at,
+)
+
+
+class TestChronologicalOrder:
+    def test_sorted_by_time(self, toy):
+        order = chronological_order(toy)
+        times = toy.publication_times[order]
+        assert np.all(np.diff(times) >= 0)
+
+    def test_stable_on_ties(self):
+        from repro.graph.citation_network import CitationNetwork
+
+        network = CitationNetwork(
+            ["x", "y", "z"], [2000.0, 2000.0, 1999.0], [], []
+        )
+        order = chronological_order(network)
+        # z first, then x before y (stable ties by original index).
+        assert order.tolist() == [2, 0, 1]
+
+
+class TestSnapshot:
+    def test_snapshot_at_cutoff(self, toy):
+        snapshot, kept = snapshot_at(toy, 1999.0)
+        assert set(snapshot.paper_ids) == {"A", "B", "C", "D"}
+        assert kept.tolist() == [0, 1, 2, 3]
+
+    def test_snapshot_keeps_internal_edges_only(self, toy):
+        snapshot, _ = snapshot_at(toy, 1999.0)
+        # Edges among A-D: B->A, C->A, C->B, D->C.
+        assert snapshot.n_citations == 4
+
+    def test_snapshot_before_everything_is_empty(self, toy):
+        snapshot, kept = snapshot_at(toy, 1900.0)
+        assert snapshot.n_papers == 0
+        assert kept.size == 0
+
+    def test_snapshot_at_latest_is_whole_network(self, toy):
+        snapshot, _ = snapshot_at(toy, toy.latest_time)
+        assert snapshot.n_papers == toy.n_papers
+        assert snapshot.n_citations == toy.n_citations
+
+    def test_papers_published_until(self, toy):
+        indices = papers_published_until(toy, 1995.0)
+        assert indices.tolist() == [0, 1, 2]
+
+
+class TestPrefixByCount:
+    def test_prefix_sizes(self, toy):
+        prefix, kept = prefix_by_count(toy, 3)
+        assert prefix.n_papers == 3
+        assert set(prefix.paper_ids) == {"A", "B", "C"}
+
+    def test_prefix_zero(self, toy):
+        prefix, _ = prefix_by_count(toy, 0)
+        assert prefix.n_papers == 0
+
+    def test_prefix_full(self, toy):
+        prefix, _ = prefix_by_count(toy, toy.n_papers)
+        assert prefix.n_citations == toy.n_citations
+
+    def test_prefix_out_of_range(self, toy):
+        with pytest.raises(GraphError):
+            prefix_by_count(toy, 99)
+
+
+class TestCitationWindows:
+    def test_window_mask_half_open(self, chain):
+        # Citations made at 2001, 2002, 2003.
+        mask = citations_in_window(chain, 2001.0, 2003.0)
+        # (2001, 2003] excludes the citation made exactly at 2001.
+        assert mask.sum() == 2
+
+    def test_window_counts(self, toy):
+        # Citations made in (2000, 2003]: F(2001)->D,E,A; G(2002)->F,E; H(2003)->F,G.
+        counts = citation_counts_between(toy, 2000.0, 2003.0)
+        assert counts[toy.index_of("F")] == 2
+        assert counts[toy.index_of("E")] == 2
+        assert counts[toy.index_of("A")] == 1
+        assert counts.sum() == 7
+
+    def test_empty_window(self, toy):
+        counts = citation_counts_between(toy, 2050.0, 2060.0)
+        assert counts.sum() == 0
+
+    def test_inverted_window_rejected(self, toy):
+        with pytest.raises(GraphError, match="empty window"):
+            citations_in_window(toy, 2005.0, 2000.0)
+
+    def test_full_window_equals_in_degree(self, hepth_tiny):
+        counts = citation_counts_between(hepth_tiny, -np.inf, np.inf)
+        assert np.array_equal(counts, hepth_tiny.in_degree.astype(float))

@@ -1,0 +1,212 @@
+"""Unit tests for the dataset loaders (hep-th, AMiner, CSV, edge list)."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import DataFormatError
+from repro.io.aminer import load_aminer
+from repro.io.edgelist import load_csv_dataset, load_edge_list
+from repro.io.hepth import load_hepth, parse_hepth_date
+
+
+class TestHepthDates:
+    def test_parse_basic(self):
+        assert parse_hepth_date("1997-07-01") == pytest.approx(1997.5)
+
+    def test_parse_january_first(self):
+        assert parse_hepth_date("2000-01-01") == pytest.approx(2000.0)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DataFormatError):
+            parse_hepth_date("1997/07/01")
+        with pytest.raises(DataFormatError):
+            parse_hepth_date("1997-13-01")
+        with pytest.raises(DataFormatError):
+            parse_hepth_date("not-a-date-x")
+
+
+class TestLoadHepth:
+    @pytest.fixture
+    def files(self, tmp_path):
+        citations = tmp_path / "cit-HepTh.txt"
+        citations.write_text(
+            textwrap.dedent(
+                """\
+                # FromNodeId ToNodeId
+                9901002 9901001
+                9901003 9901001
+                9901003 9901002
+                9901003 7777777
+                """
+            )
+        )
+        dates = tmp_path / "cit-HepTh-dates.txt"
+        dates.write_text(
+            textwrap.dedent(
+                """\
+                # paper date
+                9901001 1999-01-15
+                9901002 1999-06-01
+                119901003 2000-01-01
+                """
+            )
+        )
+        return str(citations), str(dates)
+
+    def test_load(self, files):
+        network = load_hepth(*files)
+        assert network.n_papers == 3
+        # The 11-prefixed id is normalised; reference to 7777777 dropped.
+        assert network.n_citations == 3
+        assert network.in_degree[network.index_of("9901001")] == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataFormatError, match="not found"):
+            load_hepth(str(tmp_path / "none"), str(tmp_path / "none2"))
+
+    def test_malformed_citation_line(self, tmp_path, files):
+        citations, dates = files
+        bad = tmp_path / "bad.txt"
+        bad.write_text("9901002 9901001 extra\n")
+        with pytest.raises(DataFormatError, match="expected"):
+            load_hepth(str(bad), dates)
+
+
+class TestLoadAminer:
+    @pytest.fixture
+    def v_file(self, tmp_path):
+        path = tmp_path / "dblp.txt"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                #*Foundations of Databases
+                #@Serge Abiteboul, Richard Hull
+                #t1995
+                #cAddison-Wesley
+                #index100
+
+                #*A Relational Model
+                #@E. F. Codd
+                #t1970
+                #cCACM
+                #index200
+
+                #*Later Survey
+                #@Serge Abiteboul
+                #t2001
+                #cVLDB
+                #index300
+                #%100
+                #%200
+                #%999
+                """
+            )
+        )
+        return str(path)
+
+    def test_load(self, v_file):
+        network = load_aminer(v_file)
+        assert network.n_papers == 3
+        assert network.n_citations == 2  # reference to 999 dropped
+        survey = network.index_of("300")
+        assert network.publication_times[survey] == 2001.0
+        assert network.has_authors and network.has_venues
+        # Abiteboul authored two papers.
+        assert network.n_authors == 3
+
+    def test_paper_without_year_dropped(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("#*No year\n#index1\n\n#*Ok\n#t2000\n#index2\n")
+        network = load_aminer(str(path))
+        assert network.n_papers == 1
+
+    def test_bad_year_raises(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("#*T\n#tnineteen\n#index1\n")
+        with pytest.raises(DataFormatError, match="non-integer year"):
+            load_aminer(str(path))
+
+    def test_missing_file(self):
+        with pytest.raises(DataFormatError):
+            load_aminer("/does/not/exist.txt")
+
+
+class TestLoadEdgeList:
+    def test_whitespace_format(self, tmp_path):
+        edges = tmp_path / "edges.txt"
+        edges.write_text("# comment\nb a\nc a\nc b\n")
+        times = tmp_path / "times.txt"
+        times.write_text("a 2000\nb 2001.5\nc 2003\n")
+        network = load_edge_list(str(edges), str(times))
+        assert network.n_papers == 3
+        assert network.n_citations == 3
+        assert network.publication_times[network.index_of("b")] == 2001.5
+
+    def test_csv_delimiter(self, tmp_path):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("b,a\n")
+        times = tmp_path / "times.csv"
+        times.write_text("a,2000\nb,2001\n")
+        network = load_edge_list(str(edges), str(times), delimiter=",")
+        assert network.n_citations == 1
+
+    def test_duplicate_time_row_rejected(self, tmp_path):
+        edges = tmp_path / "e.txt"
+        edges.write_text("")
+        times = tmp_path / "t.txt"
+        times.write_text("a 2000\na 2001\n")
+        with pytest.raises(DataFormatError, match="duplicate"):
+            load_edge_list(str(edges), str(times))
+
+    def test_non_numeric_time_rejected(self, tmp_path):
+        edges = tmp_path / "e.txt"
+        edges.write_text("")
+        times = tmp_path / "t.txt"
+        times.write_text("a year2000\n")
+        with pytest.raises(DataFormatError, match="non-numeric"):
+            load_edge_list(str(edges), str(times))
+
+
+class TestLoadCsvDataset:
+    @pytest.fixture
+    def files(self, tmp_path):
+        metadata = tmp_path / "papers.csv"
+        metadata.write_text(
+            "id,year,authors,venue\n"
+            "p1,1990,Alice;Bob,PRL\n"
+            "p2,1995,Alice,PRB\n"
+            "p3,2000,Carol,\n"
+        )
+        citations = tmp_path / "citations.csv"
+        citations.write_text("citing,cited\np2,p1\np3,p1\np3,p2\n")
+        return str(metadata), str(citations)
+
+    def test_load(self, files):
+        network = load_csv_dataset(*files)
+        assert network.n_papers == 3
+        assert network.n_citations == 3
+        assert network.n_authors == 3
+        # p3 has empty venue -> -1.
+        assert network.paper_venues[network.index_of("p3")] == -1
+
+    def test_missing_required_column(self, tmp_path, files):
+        _, citations = files
+        bad = tmp_path / "bad.csv"
+        bad.write_text("id,date\np1,1990\n")
+        with pytest.raises(DataFormatError, match="missing required column"):
+            load_csv_dataset(str(bad), citations)
+
+    def test_bad_year(self, tmp_path, files):
+        _, citations = files
+        bad = tmp_path / "bad.csv"
+        bad.write_text("id,year\np1,ninety\n")
+        with pytest.raises(DataFormatError, match="non-numeric year"):
+            load_csv_dataset(str(bad), citations)
+
+    def test_rows_without_id_or_year_skipped(self, tmp_path, files):
+        _, citations = files
+        sparse = tmp_path / "sparse.csv"
+        sparse.write_text("id,year\np1,1990\n,\np2,\n")
+        network = load_csv_dataset(str(sparse), citations)
+        assert network.n_papers == 1

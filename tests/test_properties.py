@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+Strategy: generate random time-consistent citation networks (a DAG whose
+edges always point backwards in time) and random method configurations,
+then assert the structural invariants of the paper:
+
+* the stochastic matrix S is exactly column-stochastic (Theorem 1's
+  premise),
+* attention / recency / AttRank vectors are probability vectors,
+* AttRank's fixed point is independent of the starting vector,
+* metric ranges and identities (Spearman symmetry, nDCG bounds),
+* split ground truth is consistent under every ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attention import attention_vector
+from repro.core.attrank import AttRank, attrank_matrix
+from repro.core.power_iteration import power_iterate
+from repro.core.recency import recency_vector
+from repro.eval.metrics import ndcg_at_k, spearman_rho
+from repro.eval.split import split_by_ratio
+from repro.graph.citation_network import CitationNetwork
+from repro.graph.matrix import StochasticOperator
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def citation_networks(draw, min_papers: int = 3, max_papers: int = 40):
+    """A random time-consistent citation network."""
+    n = draw(st.integers(min_papers, max_papers))
+    base_year = draw(st.integers(1950, 2010))
+    # Non-decreasing publication times with random gaps.
+    gaps = draw(
+        st.lists(
+            st.floats(0.0, 2.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    times = base_year + np.cumsum(np.asarray(gaps))
+    citing: list[int] = []
+    cited: list[int] = []
+    edge_flags = draw(
+        st.lists(st.integers(0, 3), min_size=n, max_size=n)
+    )
+    for source in range(1, n):
+        # Cite up to edge_flags[source] strictly older papers.
+        older = [
+            t for t in range(source) if times[t] < times[source]
+        ]
+        for target in older[: edge_flags[source]]:
+            citing.append(source)
+            cited.append(target)
+    return CitationNetwork(
+        [f"p{i}" for i in range(n)], times, citing, cited
+    )
+
+
+coefficients = st.tuples(
+    st.floats(0.0, 0.5), st.floats(0.05, 0.9)
+).map(
+    lambda ab: (
+        round(ab[0], 3),
+        round(min(ab[1], 1.0 - ab[0]) * 0.9, 3),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+
+
+@given(citation_networks())
+@settings(max_examples=40, deadline=None)
+def test_stochastic_operator_columns_sum_to_one(network):
+    dense = StochasticOperator(network).dense()
+    assert np.allclose(dense.sum(axis=0), 1.0, atol=1e-9)
+    assert dense.min() >= 0.0
+
+
+@given(citation_networks())
+@settings(max_examples=40, deadline=None)
+def test_degree_conservation(network):
+    assert network.in_degree.sum() == network.out_degree.sum()
+
+
+@given(citation_networks(), st.floats(0.5, 8.0))
+@settings(max_examples=40, deadline=None)
+def test_attention_is_probability_vector(network, window):
+    vector = attention_vector(network, window)
+    assert vector.min() >= 0.0
+    assert abs(vector.sum() - 1.0) < 1e-9
+
+
+@given(citation_networks(), st.floats(-3.0, 0.0))
+@settings(max_examples=40, deadline=None)
+def test_recency_is_probability_vector(network, decay):
+    vector = recency_vector(network, decay)
+    assert vector.min() >= 0.0
+    assert abs(vector.sum() - 1.0) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# AttRank invariants (Theorem 1)
+# ---------------------------------------------------------------------------
+
+
+@given(citation_networks(), coefficients)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_attrank_fixed_point_properties(network, alpha_beta):
+    alpha, beta = alpha_beta
+    gamma = round(1.0 - alpha - beta, 10)
+    method = AttRank(
+        alpha=alpha,
+        beta=beta,
+        gamma=gamma,
+        attention_window=2.0,
+        decay_rate=-0.5,
+        max_iterations=3000,
+    )
+    scores = method.scores(network)
+    # Probability vector.
+    assert scores.min() >= -1e-12
+    assert abs(scores.sum() - 1.0) < 1e-9
+    # Fixed point of Eq. 4.
+    attention, recency = method.jump_vectors(network)
+    rhs = (
+        alpha * StochasticOperator(network).apply(scores)
+        + beta * attention
+        + gamma * recency
+    )
+    assert np.allclose(scores, rhs, atol=1e-8)
+
+
+@given(citation_networks(min_papers=4, max_papers=20), coefficients)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_attrank_matrix_is_stochastic(network, alpha_beta):
+    alpha, beta = alpha_beta
+    gamma = round(1.0 - alpha - beta, 10)
+    matrix = attrank_matrix(
+        network, alpha=alpha, beta=beta, gamma=gamma, decay_rate=-0.4
+    )
+    assert np.allclose(matrix.sum(axis=0), 1.0, atol=1e-9)
+    if gamma > 0:
+        assert matrix.min() > 0.0  # irreducible + aperiodic
+
+
+@given(citation_networks(min_papers=4, max_papers=20))
+@settings(max_examples=20, deadline=None)
+def test_attrank_start_independence(network):
+    method = AttRank(
+        alpha=0.4, beta=0.3, gamma=0.3, attention_window=2.0,
+        decay_rate=-0.5, max_iterations=3000,
+    )
+    # Solve once via the method, once via raw power iteration from a
+    # deliberately skewed start.
+    reference = method.scores(network)
+    attention, recency = method.jump_vectors(network)
+    jump = 0.3 * attention + 0.3 * recency
+    operator = StochasticOperator(network)
+    skewed = np.zeros(network.n_papers)
+    skewed[0] = 1.0
+    result, _ = power_iterate(
+        lambda x: 0.4 * operator.apply(x) + jump,
+        network.n_papers,
+        start=skewed,
+        max_iterations=3000,
+    )
+    assert np.allclose(reference, result, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Metric invariants
+# ---------------------------------------------------------------------------
+
+
+score_vectors = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=3, max_size=60
+)
+
+
+@given(score_vectors, st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_spearman_symmetry_and_range(values, rand):
+    a = np.asarray(values)
+    b = np.asarray(values.copy())
+    rand.shuffle(values)
+    c = np.asarray(values)
+    if np.unique(a).size < 2 or np.unique(c).size < 2:
+        return  # undefined correlation
+    forward = spearman_rho(a, c)
+    backward = spearman_rho(c, a)
+    assert forward == backward
+    assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+    assert spearman_rho(a, b) == 1.0
+
+
+@given(score_vectors, st.integers(1, 100))
+@settings(max_examples=50, deadline=None)
+def test_ndcg_bounds_and_oracle(values, k):
+    gains = np.asarray(values)
+    rng = np.random.default_rng(0)
+    noise = rng.random(gains.size)
+    value = ndcg_at_k(noise, gains, k)
+    assert 0.0 <= value <= 1.0 + 1e-12
+    if gains.sum() > 0:
+        assert ndcg_at_k(gains, gains, k) == 1.0
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_ndcg_monotone_under_improvement(seed):
+    """Moving a high-gain paper up the ranking cannot lower nDCG."""
+    rng = np.random.default_rng(seed)
+    gains = rng.integers(0, 20, size=30).astype(float)
+    scores = rng.random(30)
+    best = int(np.argmax(gains))
+    improved = scores.copy()
+    improved[best] = scores.max() + 1.0
+    assert ndcg_at_k(improved, gains, 10) >= ndcg_at_k(scores, gains, 10) - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Split invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    citation_networks(min_papers=8, max_papers=40),
+    st.sampled_from([1.2, 1.4, 1.6, 1.8, 2.0]),
+)
+@settings(max_examples=30, deadline=None)
+def test_split_ground_truth_consistency(network, ratio):
+    split = split_by_ratio(network, ratio)
+    # STI is non-negative and bounded by the future papers' references.
+    assert split.sti.min() >= 0
+    assert split.current.n_papers == network.n_papers // 2
+    assert split.n_future_papers <= network.n_papers
+    # Every citation in the current network is between current papers.
+    assert split.current.citation_times().max(initial=-np.inf) <= split.t_current
+    # Total STI equals the number of future->current edges.
+    order = np.argsort(network.publication_times, kind="stable")
+    n_current = network.n_papers // 2
+    n_future = min(int(round(ratio * n_current)), network.n_papers)
+    current_set = set(order[:n_current].tolist())
+    future_only = set(order[n_current:n_future].tolist())
+    expected = sum(
+        1
+        for s, t in zip(network.citing, network.cited)
+        if int(s) in future_only and int(t) in current_set
+    )
+    assert int(split.sti.sum()) == expected

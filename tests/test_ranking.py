@@ -1,0 +1,77 @@
+"""Unit tests for repro.ranking (the method interface)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ranking import (
+    RankingMethod,
+    ranking_from_scores,
+    top_k_indices,
+)
+
+
+class TestRankingFromScores:
+    def test_descending_order(self):
+        ranking = ranking_from_scores(np.array([0.1, 0.9, 0.5]))
+        assert ranking.tolist() == [1, 2, 0]
+
+    def test_ties_broken_by_index(self):
+        ranking = ranking_from_scores(np.array([0.5, 0.9, 0.5, 0.5]))
+        assert ranking.tolist() == [1, 0, 2, 3]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            ranking_from_scores(np.ones((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            ranking_from_scores(np.array([1.0, np.nan]))
+
+    def test_empty(self):
+        assert ranking_from_scores(np.array([])).size == 0
+
+
+class TestTopK:
+    def test_top_k(self):
+        scores = np.array([0.3, 0.9, 0.1, 0.5])
+        assert top_k_indices(scores, 2).tolist() == [1, 3]
+
+    def test_k_exceeds_length(self):
+        assert top_k_indices(np.array([1.0, 2.0]), 10).size == 2
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            top_k_indices(np.array([1.0]), -1)
+
+
+class TestRankingMethodInterface:
+    class Constant(RankingMethod):
+        name = "CONST"
+
+        def __init__(self, values):
+            self.values = np.asarray(values, dtype=float)
+
+        def scores(self, network):
+            return self.values
+
+        def params(self):
+            return {"n": self.values.size}
+
+    def test_rank_uses_scores(self, toy):
+        method = self.Constant(np.arange(8.0))
+        assert method.rank(toy).tolist() == list(range(7, -1, -1))
+
+    def test_describe_includes_params(self):
+        method = self.Constant(np.ones(3))
+        assert method.describe() == "CONST(n=3)"
+
+    def test_default_params_empty(self, toy):
+        class Bare(RankingMethod):
+            name = "BARE"
+
+            def scores(self, network):
+                return np.ones(network.n_papers)
+
+        assert dict(Bare().params()) == {}
+        assert Bare().describe() == "BARE()"

@@ -1,0 +1,146 @@
+"""Unit tests for the synthetic growth model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.synth.authors import AuthorConfig
+from repro.synth.models import GrowthConfig, generate_network
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_papers=400,
+        first_year=1995.0,
+        last_year=2005.0,
+        mean_references=6.0,
+        aging_rate=-0.6,
+    )
+    defaults.update(overrides)
+    return GrowthConfig(**defaults)
+
+
+class TestGrowthConfigValidation:
+    def test_minimum_papers(self):
+        with pytest.raises(ConfigurationError):
+            small_config(n_papers=1)
+
+    def test_year_order(self):
+        with pytest.raises(ConfigurationError):
+            small_config(first_year=2010.0, last_year=2000.0)
+
+    def test_aging_must_be_negative(self):
+        with pytest.raises(ConfigurationError):
+            small_config(aging_rate=0.1)
+
+    def test_maturation_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            small_config(maturation_exponent=-1.0)
+
+    def test_copy_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            small_config(copy_probability=1.0)
+
+    def test_author_boost_requires_authors(self):
+        with pytest.raises(ConfigurationError):
+            small_config(authors=None, author_fitness_boost=0.5)
+
+    def test_window_positive(self):
+        with pytest.raises(ConfigurationError):
+            small_config(attention_window=0.0)
+
+
+class TestGeneratedStructure:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return generate_network(small_config(), seed=5)
+
+    def test_paper_count_exact(self, network):
+        assert network.n_papers == 400
+
+    def test_chronological_ids(self, network):
+        assert np.all(np.diff(network.publication_times) >= 0)
+        assert network.paper_ids[0] == "P0000001"
+
+    def test_time_consistency(self, network):
+        """Every citation points strictly backwards in time."""
+        network.validate(require_time_order=True)
+        citing_times = network.publication_times[network.citing]
+        cited_times = network.publication_times[network.cited]
+        assert np.all(citing_times > cited_times)
+
+    def test_years_within_span(self, network):
+        assert network.publication_times.min() >= 1995.0
+        assert network.publication_times.max() <= 2005.0
+
+    def test_reference_volume_near_mean(self, network):
+        # Papers late in the corpus have full pools; the global mean is
+        # somewhat below mean_references due to early small pools.
+        mean_refs = network.out_degree.mean()
+        assert 2.0 < mean_refs <= 7.5
+
+    def test_metadata_generated(self, network):
+        assert network.has_authors
+        assert network.has_venues
+        assert network.n_authors > 50
+
+    def test_heavy_tailed_citations(self, network):
+        """Fitness + preferential attachment: the max citation count far
+        exceeds the mean."""
+        in_degree = network.in_degree
+        assert in_degree.max() > 8 * max(in_degree.mean(), 1e-9)
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        a = generate_network(small_config(), seed=11)
+        b = generate_network(small_config(), seed=11)
+        assert np.array_equal(a.citing, b.citing)
+        assert np.array_equal(a.cited, b.cited)
+        assert a.paper_authors == b.paper_authors
+
+    def test_different_seeds_differ(self):
+        a = generate_network(small_config(), seed=11)
+        b = generate_network(small_config(), seed=12)
+        assert a.n_citations != b.n_citations or not np.array_equal(
+            a.citing, b.citing
+        )
+
+
+class TestMechanisms:
+    def test_aging_controls_citation_lag(self):
+        """Faster kernel aging concentrates citation ages earlier."""
+        from repro.graph.statistics import citation_age_distribution
+
+        fast = generate_network(small_config(aging_rate=-1.5), seed=3)
+        slow = generate_network(small_config(aging_rate=-0.2), seed=3)
+        fast_dist = citation_age_distribution(fast, max_age=8)
+        slow_dist = citation_age_distribution(slow, max_age=8)
+        # Mean citation age is smaller under fast aging.
+        ages = np.arange(9)
+        fast_mean = (fast_dist * ages).sum() / fast_dist.sum()
+        slow_mean = (slow_dist * ages).sum() / slow_dist.sum()
+        assert fast_mean < slow_mean
+
+    def test_no_authors_config(self):
+        network = generate_network(
+            small_config(authors=None, author_fitness_boost=0.0), seed=3
+        )
+        assert not network.has_authors
+
+    def test_no_venues_config(self):
+        network = generate_network(small_config(venues=None), seed=3)
+        assert not network.has_venues
+
+    def test_attention_persistence(self):
+        """The core premise of the paper: recent citation counts predict
+        near-future citation counts on the generated corpora."""
+        from repro.eval.split import split_by_ratio
+        from repro.eval.metrics import spearman_rho
+        from repro.core.attention import attention_counts
+
+        network = generate_network(small_config(n_papers=1500), seed=9)
+        split = split_by_ratio(network, 1.4)
+        recent = attention_counts(split.current, 2.0)
+        rho = spearman_rho(recent, split.sti)
+        assert rho > 0.3

@@ -1,0 +1,190 @@
+"""Unit tests for synth authors/venues, profiles, scenarios and RNG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.synth.authors import (
+    AuthorConfig,
+    VenueConfig,
+    assign_authors,
+    assign_venues,
+)
+from repro.synth.profiles import (
+    DATASET_NAMES,
+    DATASET_PROFILES,
+    generate_dataset,
+    profile_for,
+)
+from repro.synth.rng import make_rng, spawn_rngs
+from repro.synth.scenarios import toy_network, two_paper_overtaking
+
+
+class TestAuthors:
+    def test_every_paper_has_authors(self):
+        rng = np.random.default_rng(0)
+        teams = assign_authors(200, AuthorConfig(), rng)
+        assert len(teams) == 200
+        assert all(len(team) >= 1 for team in teams)
+
+    def test_productivity_is_heavy_tailed(self):
+        rng = np.random.default_rng(0)
+        teams = assign_authors(
+            500, AuthorConfig(new_author_probability=0.3), rng
+        )
+        counts: dict[int, int] = {}
+        for team in teams:
+            for author in team:
+                counts[author] = counts.get(author, 0) + 1
+        values = np.array(sorted(counts.values()))
+        assert values.max() >= 5 * np.median(values)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AuthorConfig(mean_team_size=0.5)
+        with pytest.raises(ConfigurationError):
+            AuthorConfig(new_author_probability=0.0)
+
+
+class TestVenues:
+    def test_assignment_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        venues = assign_venues(300, VenueConfig(n_venues=20), rng)
+        assert venues.shape == (300,)
+        assert venues.max() < 20
+        assert venues.min() >= -1
+
+    def test_unknown_fraction(self):
+        rng = np.random.default_rng(0)
+        venues = assign_venues(
+            2000, VenueConfig(unknown_fraction=0.25), rng
+        )
+        unknown = (venues == -1).mean()
+        assert 0.15 < unknown < 0.35
+
+    def test_zipf_concentration(self):
+        rng = np.random.default_rng(0)
+        venues = assign_venues(
+            2000,
+            VenueConfig(n_venues=50, zipf_exponent=1.3, unknown_fraction=0.0),
+            rng,
+        )
+        top_share = (venues == 0).mean()
+        assert top_share > 1.0 / 50 * 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            VenueConfig(n_venues=0)
+        with pytest.raises(ConfigurationError):
+            VenueConfig(unknown_fraction=1.0)
+
+
+class TestProfiles:
+    def test_four_paper_datasets(self):
+        assert DATASET_NAMES == ("hep-th", "aps", "pmc", "dblp")
+        assert set(DATASET_PROFILES) == set(DATASET_NAMES)
+
+    def test_profile_lookup_aliases(self):
+        assert profile_for("HEP-TH").name == "hep-th"
+        assert profile_for("hepth").name == "hep-th"
+        assert profile_for("DBLP").name == "dblp"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            profile_for("mag")
+
+    def test_paper_w_values_match_section_42(self):
+        assert DATASET_PROFILES["hep-th"].paper_w == -0.48
+        assert DATASET_PROFILES["aps"].paper_w == -0.12
+        assert DATASET_PROFILES["pmc"].paper_w == -0.16
+        assert DATASET_PROFILES["dblp"].paper_w == -0.16
+
+    def test_generate_dataset_sizes(self):
+        tiny = generate_dataset("hep-th", size="tiny", seed=0)
+        assert tiny.n_papers == 750
+
+    def test_generate_dataset_exact_count(self):
+        network = generate_dataset("pmc", n_papers=600, seed=0)
+        assert network.n_papers == 600
+
+    def test_generate_dataset_unknown_size(self):
+        with pytest.raises(ConfigurationError, match="unknown size"):
+            generate_dataset("pmc", size="huge")
+
+    def test_default_seeds_differ_across_datasets(self):
+        a = generate_dataset("hep-th", size="tiny")
+        b = generate_dataset("hep-th", size="tiny")
+        assert np.array_equal(a.citing, b.citing)  # same default seed
+
+    def test_hepth_ages_faster_than_aps(self):
+        """The paper's Figure 1a: hep-th citations arrive much sooner
+        than APS citations."""
+        from repro.graph.statistics import citation_age_distribution
+
+        hepth = generate_dataset("hep-th", size="tiny", seed=1)
+        aps = generate_dataset("aps", size="tiny", seed=1)
+        hep_dist = citation_age_distribution(hepth, max_age=10)
+        aps_dist = citation_age_distribution(aps, max_age=10)
+        assert hep_dist[:3].sum() > aps_dist[:3].sum()
+
+
+class TestScenarios:
+    def test_toy_network_shape(self):
+        network = toy_network()
+        assert network.n_papers == 8
+        assert network.n_citations == 13
+
+    def test_overtaking_has_crossover(self):
+        scenario = two_paper_overtaking(seed=7)
+        assert scenario.crossover_year is not None
+        assert 1997 < scenario.crossover_year <= 2001
+
+    def test_overtaking_citation_counts(self):
+        """At the end, the incumbent still has more total citations but
+        the challenger has higher short-term impact — the Figure 1b
+        motivation."""
+        from repro.graph.statistics import yearly_citations
+
+        scenario = two_paper_overtaking(seed=7)
+        network = scenario.network
+        incumbent = network.index_of(scenario.incumbent_id)
+        challenger = network.index_of(scenario.challenger_id)
+        # Total citations: incumbent ahead (head start since 1990).
+        assert network.in_degree[incumbent] > 0
+        # Last full year: challenger ahead (it overtook).
+        _, inc_counts = yearly_citations(network, incumbent)
+        _, chal_counts = yearly_citations(
+            network, challenger,
+            first_year=int(network.publication_times[incumbent]),
+            last_year=2001,
+        )
+        assert chal_counts[-1] > inc_counts[-1]
+
+    def test_overtaking_validation(self):
+        with pytest.raises(ConfigurationError):
+            two_paper_overtaking(incumbent_year=2000, challenger_year=1990)
+        with pytest.raises(ConfigurationError):
+            two_paper_overtaking(challenger_year=1997, last_year=1997)
+
+    def test_overtaking_network_is_time_consistent(self):
+        scenario = two_paper_overtaking(seed=3)
+        scenario.network.validate(require_time_order=True)
+
+
+class TestRng:
+    def test_make_rng_accepts_generator(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_make_rng_from_int(self):
+        a = make_rng(3).random(5)
+        b = make_rng(3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(0, 3)
+        values = [s.random(4) for s in streams]
+        assert not np.array_equal(values[0], values[1])
+        # Deterministic across calls.
+        again = [s.random(4) for s in spawn_rngs(0, 3)]
+        assert np.array_equal(values[0], again[0])
