@@ -1,3 +1,66 @@
-from setuptools import setup
+"""Packaging for the AttRank short-term-impact reproduction."""
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    """Single-source the version from repro/__init__.py (no import)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    init = os.path.join(here, "src", "repro", "__init__.py")
+    with open(init, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("__version__"):
+                return line.split("=", 1)[1].strip().strip("\"'")
+    raise RuntimeError("__version__ not found in src/repro/__init__.py")
+
+
+def _read_long_description() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    readme = os.path.join(here, "README.md")
+    if not os.path.exists(readme):
+        return ""
+    with open(readme, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="repro-attrank",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'Ranking Papers by their Short-Term Scientific "
+        "Impact' (Kanellos et al., ICDE 2021): AttRank, its baselines, "
+        "the temporal evaluation, and an incremental ranking service"
+    ),
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+        "interop": ["networkx"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

@@ -57,6 +57,13 @@ from repro.eval import (
 from repro.graph import CitationNetwork, NetworkBuilder
 from repro.io import load_network, save_network
 from repro.ranking import RankingMethod, ranking_from_scores, top_k_indices
+from repro.serve import (
+    DeltaUpdater,
+    NetworkDelta,
+    RankingService,
+    ScoreIndex,
+    delta_between,
+)
 from repro.synth import (
     DATASET_NAMES,
     GrowthConfig,
@@ -110,6 +117,12 @@ __all__ = [
     "toy_network",
     "load_network",
     "save_network",
+    # serving
+    "DeltaUpdater",
+    "NetworkDelta",
+    "RankingService",
+    "ScoreIndex",
+    "delta_between",
     # errors
     "ReproError",
     "GraphError",

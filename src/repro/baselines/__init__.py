@@ -35,6 +35,7 @@ __all__ = [
     "WSDMRanker",
     "METHOD_REGISTRY",
     "make_method",
+    "warm_startable",
 ]
 
 #: Short label -> method class, labels matching the paper's legends
@@ -55,18 +56,31 @@ METHOD_REGISTRY: Mapping[str, type[RankingMethod]] = {
 }
 
 
+def _resolve_method(name: str) -> type[RankingMethod]:
+    """Look up a registry label (case-insensitively), or raise."""
+    try:
+        return METHOD_REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(METHOD_REGISTRY))
+        raise ConfigurationError(
+            f"unknown method {name!r}; expected one of: {known}"
+        ) from None
+
+
 def make_method(name: str, **params: Any) -> RankingMethod:
     """Instantiate a registered ranking method by its short label.
 
     >>> make_method("RAM", gamma=0.3).describe()
     'RAM(gamma=0.3)'
     """
-    key = name.upper()
-    try:
-        cls = METHOD_REGISTRY[key]
-    except KeyError:
-        known = ", ".join(sorted(METHOD_REGISTRY))
-        raise ConfigurationError(
-            f"unknown method {name!r}; expected one of: {known}"
-        ) from None
-    return cls(**params)
+    return _resolve_method(name)(**params)
+
+
+def warm_startable(name: str) -> bool:
+    """Whether the registered method honours a warm-start vector.
+
+    The incremental-update path (:mod:`repro.serve`) consults this to
+    decide whether a method's previous solution can seed the re-solve
+    after a delta, or whether a cold recompute is required.
+    """
+    return bool(_resolve_method(name).supports_warm_start)

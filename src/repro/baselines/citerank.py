@@ -54,6 +54,7 @@ class CiteRank(RankingMethod):
     """
 
     name = "CR"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -94,12 +95,16 @@ class CiteRank(RankingMethod):
         def step(vector: np.ndarray) -> np.ndarray:
             return rho + self.alpha * (transfer @ vector)
 
+        # The iteration is a contraction at rate alpha, so any start
+        # converges to the same traffic vector; a previous solution (set
+        # by the incremental-update path) beats the default rho start.
+        start = rho if self.start_vector is None else self.start_vector
         result, info = power_iterate(
             step,
             network.n_papers,
             tol=self.tol,
             max_iterations=self.max_iterations,
-            start=rho,
+            start=start,
             normalize=False,
         )
         self.last_convergence = info

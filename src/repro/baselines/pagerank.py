@@ -41,6 +41,7 @@ class PageRank(RankingMethod):
     """
 
     name = "PR"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -72,6 +73,7 @@ class PageRank(RankingMethod):
             network.n_papers,
             tol=self.tol,
             max_iterations=self.max_iterations,
+            start=self.start_vector,
         )
         self.last_convergence = info
         return result

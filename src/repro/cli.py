@@ -8,9 +8,13 @@ Subcommands
 ``evaluate``   Split a network by test ratio and score methods against STI.
 ``horizons``   Print the Table-2 ratio -> time-horizon mapping.
 ``popular``    Print the Table-1 recently-popular overlap.
+``index``      Build a score index (snapshot + solved methods) file.
+``update``     Apply a JSON delta to an index with warm-started re-solves.
+``query``      Serve top-k queries (pagination, year filter) from an index.
 
-Every command accepts either ``--dataset <name>`` (synthetic profile) or
-``--input <file.npz>`` (a saved network).
+Batch commands accept either ``--dataset <name>`` (synthetic profile) or
+``--input <file.npz>`` (a saved network); the serving commands
+(``update``, ``query``) operate on an index file built by ``index``.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
+import repro
 from repro.analysis.horizons import horizon_table
 from repro.analysis.popularity import recently_popular_overlap
 from repro.analysis.reporting import format_kv_block, format_table
@@ -29,6 +34,7 @@ from repro.eval.split import split_by_ratio
 from repro.graph.citation_network import CitationNetwork
 from repro.graph.statistics import summarize
 from repro.io.serialize import load_network, save_network
+from repro.serve import DeltaUpdater, NetworkDelta, RankingService, ScoreIndex
 from repro.synth.profiles import DATASET_PROFILES, SIZE_FACTORS, generate_dataset
 
 __all__ = ["main", "build_parser"]
@@ -66,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
             "AttRank reproduction: rank papers by expected short-term "
             "impact (Kanellos et al., ICDE 2021)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {repro.__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -129,6 +140,70 @@ def build_parser() -> argparse.ArgumentParser:
     popular.add_argument("--k", type=int, default=100)
     popular.add_argument("--window", type=float, default=5.0)
     popular.add_argument("--ratio", type=float, default=1.6)
+
+    index = commands.add_parser(
+        "index",
+        help="build a score index (snapshot + solved methods) file",
+    )
+    _add_source_arguments(index)
+    index.add_argument("--output", required=True, help="output index .npz")
+    index.add_argument(
+        "--methods",
+        nargs="+",
+        default=["AR", "PR", "CC"],
+        choices=sorted(METHOD_REGISTRY),
+        help="methods to solve and index (default: AR PR CC)",
+    )
+
+    update = commands.add_parser(
+        "update",
+        help="apply a JSON delta to an index (warm-started re-solve)",
+    )
+    update.add_argument("--index", required=True, help="index .npz to update")
+    update.add_argument(
+        "--delta",
+        required=True,
+        help=(
+            "JSON delta file: {\"papers\": [{\"id\": ..., \"time\": ...}], "
+            "\"citations\": [[citing, cited], ...]}"
+        ),
+    )
+    update.add_argument(
+        "--cold",
+        action="store_true",
+        help="force cold re-solves (for comparing against warm starts)",
+    )
+    update.add_argument(
+        "--missing-references",
+        choices=["skip", "error"],
+        default="skip",
+        help=(
+            "policy for citations whose cited id is unknown (default: "
+            "skip); citing papers must always be papers of the delta"
+        ),
+    )
+
+    query = commands.add_parser(
+        "query", help="serve a top-k query from a score index"
+    )
+    query.add_argument("--index", required=True, help="index .npz to query")
+    query.add_argument(
+        "--methods",
+        nargs="+",
+        default=["AR"],
+        choices=sorted(METHOD_REGISTRY),
+        help="one method prints its ranking; several print a comparison",
+    )
+    query.add_argument("--top", type=int, default=10, help="page size")
+    query.add_argument(
+        "--offset", type=int, default=0, help="rows to skip (pagination)"
+    )
+    query.add_argument(
+        "--year-min", type=float, default=None, help="earliest year, inclusive"
+    )
+    query.add_argument(
+        "--year-max", type=float, default=None, help="latest year, inclusive"
+    )
 
     return parser
 
@@ -241,6 +316,126 @@ def _command_popular(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_index(args: argparse.Namespace) -> int:
+    network = _load_source(args)
+    index = ScoreIndex(network)
+    for label in args.methods:
+        entry = index.add_method(label)
+        note = f"{entry.iterations} iterations" if entry.iterations else "closed form"
+        print(f"solved {label} ({note})")
+    index.save(args.output)
+    print(
+        f"wrote index v{index.version}: {network.n_papers} papers, "
+        f"{len(index.labels)} methods to {args.output}"
+    )
+    return 0
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    index = ScoreIndex.load(args.index)
+    updater = DeltaUpdater(
+        index,
+        missing_references=args.missing_references,
+        warm=not args.cold,
+    )
+    delta = NetworkDelta.from_json_file(args.delta)
+    report = updater.apply(delta)
+    # Persist before reporting: a failed print (e.g. a closed pipe)
+    # must not lose an applied update.
+    index.save(args.index)
+    rows = [
+        [
+            entry.label,
+            "warm" if entry.warm_started else "cold",
+            entry.iterations,
+            "yes" if entry.converged else "NO",
+        ]
+        for entry in report.entries.values()
+    ]
+    print(
+        format_table(
+            ["method", "start", "iterations", "converged"],
+            rows,
+            title=(
+                f"applied delta: +{report.n_new_papers} papers, "
+                f"+{report.n_new_citations} citations -> "
+                f"{report.n_papers} papers, index v{report.version} "
+                f"({report.elapsed_seconds * 1000:.1f} ms)"
+            ),
+        )
+    )
+    print(f"updated {args.index}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    index = ScoreIndex.load(args.index)
+    service = RankingService(index)
+    year_range = None
+    if args.year_min is not None or args.year_max is not None:
+        year_range = (
+            args.year_min if args.year_min is not None else float("-inf"),
+            args.year_max if args.year_max is not None else float("inf"),
+        )
+    span = "" if year_range is None else (
+        f", years [{year_range[0]:g}, {year_range[1]:g}]"
+    )
+    if len(args.methods) == 1:
+        result = service.top_k(
+            args.methods[0],
+            k=args.top,
+            offset=args.offset,
+            year_range=year_range,
+        )
+        rows = [
+            [row.rank, row.paper_id, f"{row.year:.1f}", f"{row.score:.6g}"]
+            for row in result.entries
+        ]
+        print(
+            format_table(
+                ["rank", "paper", "year", "score"],
+                rows,
+                title=(
+                    f"{result.method} v{result.version}: rows "
+                    f"{result.offset + 1}-{result.offset + len(result.entries)}"
+                    f" of {result.total}{span}"
+                ),
+            )
+        )
+        return 0
+    comparison = service.compare(
+        args.methods,
+        k=args.top,
+        offset=args.offset,
+        year_range=year_range,
+    )
+    results = comparison.results
+    depth = max((len(r.entries) for r in results.values()), default=0)
+    rows = [
+        [args.offset + position + 1]
+        + [
+            results[label].entries[position].paper_id
+            if position < len(results[label].entries)
+            else ""
+            for label in results
+        ]
+        for position in range(depth)
+    ]
+    print(
+        format_table(
+            ["rank", *results],
+            rows,
+            title=f"top-{args.top} comparison, index v{index.version}{span}",
+        )
+    )
+    for (a, b), shared in comparison.overlap.items():
+        compared = min(
+            len(results[a].entries), len(results[b].entries)
+        )
+        print(f"overlap {a} ∩ {b}: {shared}/{compared}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "summarize": _command_summarize,
@@ -248,6 +443,9 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "horizons": _command_horizons,
     "popular": _command_popular,
+    "index": _command_index,
+    "update": _command_update,
+    "query": _command_query,
 }
 
 

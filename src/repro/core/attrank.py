@@ -71,6 +71,7 @@ class AttRank(RankingMethod):
     """
 
     name = "AR"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -184,6 +185,7 @@ class AttRank(RankingMethod):
             network.n_papers,
             tol=self.tol,
             max_iterations=self.max_iterations,
+            start=self.start_vector,
         )
         self.last_convergence = info
         return result

@@ -17,7 +17,12 @@ from repro._typing import FloatVector
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.ranking import ConvergenceInfo
 
-__all__ = ["power_iterate", "uniform_vector", "DEFAULT_TOLERANCE"]
+__all__ = [
+    "power_iterate",
+    "uniform_vector",
+    "grow_start_vector",
+    "DEFAULT_TOLERANCE",
+]
 
 #: The convergence error used throughout the paper's evaluation (§4.3).
 DEFAULT_TOLERANCE = 1e-12
@@ -28,6 +33,51 @@ def uniform_vector(n: int) -> FloatVector:
     if n <= 0:
         raise ConfigurationError(f"vector length must be positive, got {n}")
     return np.full(n, 1.0 / n, dtype=np.float64)
+
+
+def grow_start_vector(previous: FloatVector, n: int) -> FloatVector:
+    """Adapt a previous solution to a network that has grown to ``n`` papers.
+
+    The incremental-update path (:mod:`repro.serve`) re-solves after
+    appending papers to a snapshot.  Because extension preserves the
+    indices of existing papers, the previous fixed point is an excellent
+    start for every old coordinate: old entries are kept *verbatim* and
+    new papers get the previous mean entry, so the vector's overall
+    scale survives.  That matters for unnormalised fixed points like
+    CiteRank's traffic vector (solved with ``normalize=False``);
+    stochastic iterations renormalise their start inside
+    :func:`power_iterate` anyway.  Theorem 1 guarantees the fixed point
+    itself is unchanged by the start — only the iteration count
+    improves.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``previous`` is not a finite non-negative vector of length
+        <= ``n``, or carries no mass at all.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"vector length must be positive, got {n}")
+    vector = np.asarray(previous, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ConfigurationError(
+            f"previous solution must be a vector, got shape {vector.shape}"
+        )
+    if vector.size > n:
+        raise ConfigurationError(
+            f"previous solution has length {vector.size}, but the grown "
+            f"network has only {n} papers"
+        )
+    if not np.all(np.isfinite(vector)) or np.any(vector < 0):
+        raise ConfigurationError(
+            "previous solution must be finite and non-negative"
+        )
+    total = float(vector.sum())
+    if total <= 0:
+        raise ConfigurationError("previous solution carries no mass")
+    grown = np.full(n, total / vector.size, dtype=np.float64)
+    grown[: vector.size] = vector
+    return grown
 
 
 def power_iterate(

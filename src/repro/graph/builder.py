@@ -45,6 +45,7 @@ class NetworkBuilder:
                 f"unknown missing-reference policy: {missing_references!r}"
             )
         self._policy: MissingRefPolicy = missing_references
+        self._base: CitationNetwork | None = None
         self._ids: list[str] = []
         self._index: dict[str, int] = {}
         self._times: list[float] = []
@@ -54,11 +55,44 @@ class NetworkBuilder:
         self._any_author = False
         self._any_venue = False
 
+    @classmethod
+    def extending(
+        cls,
+        base: CitationNetwork,
+        *,
+        missing_references: MissingRefPolicy = "skip",
+    ) -> "NetworkBuilder":
+        """A builder that appends papers to an existing snapshot.
+
+        Papers added to the returned builder become *new* papers of the
+        extended network; their references may point at base papers, at
+        other new papers, or (under the ``"skip"`` policy) outside the
+        collection entirely.  :meth:`build` then returns
+        ``base.extend(...)`` — the base papers keep their dense indices,
+        which is what the warm-start path of :mod:`repro.serve` relies
+        on.
+
+        >>> base = NetworkBuilder()
+        >>> base.add_paper("a", 1999.0)
+        >>> snapshot = base.build()
+        >>> delta = NetworkBuilder.extending(snapshot)
+        >>> delta.add_paper("b", 2001.0, references=["a"])
+        >>> extended = delta.build()
+        >>> extended.n_papers, extended.index_of("a")
+        (2, 0)
+        """
+        builder = cls(missing_references=missing_references)
+        builder._base = base
+        return builder
+
     def __len__(self) -> int:
+        """Number of papers added to *this* builder (base excluded)."""
         return len(self._ids)
 
     def __contains__(self, paper_id: object) -> bool:
-        return paper_id in self._index
+        if paper_id in self._index:
+            return True
+        return self._base is not None and paper_id in self._base
 
     def add_paper(
         self,
@@ -87,7 +121,7 @@ class NetworkBuilder:
             Venue name, or ``None`` if unknown.
         """
         pid = str(paper_id)
-        if pid in self._index:
+        if pid in self._index or (self._base is not None and pid in self._base):
             raise GraphError(f"duplicate paper id: {pid!r}")
         self._index[pid] = len(self._ids)
         self._ids.append(pid)
@@ -100,7 +134,12 @@ class NetworkBuilder:
         self._any_venue = self._any_venue or venue is not None
 
     def add_reference(self, citing_id: str, cited_id: str) -> None:
-        """Append one reference to an already-registered citing paper."""
+        """Append one reference to an already-registered citing paper.
+
+        In extension mode (:meth:`extending`) the citing paper must be
+        one of the *new* papers: the reference lists of base papers were
+        fixed when the snapshot was built.
+        """
         try:
             index = self._index[str(citing_id)]
         except KeyError:
@@ -112,8 +151,12 @@ class NetworkBuilder:
 
         Self-references and duplicate references are removed.  Author
         names and venue names are interned to dense integer indices in
-        first-appearance order.
+        first-appearance order.  In extension mode (:meth:`extending`)
+        the result is ``base.extend(...)`` — base papers keep their
+        indices, new papers are appended.
         """
+        if self._base is not None:
+            return self._build_extension(validate=validate)
         citing: list[int] = []
         cited: list[int] = []
         for source, refs in enumerate(self._references):
@@ -165,4 +208,33 @@ class NetworkBuilder:
             paper_authors=paper_authors,
             paper_venues=paper_venues,
             validate=validate,
+        )
+
+    def _build_extension(self, *, validate: bool) -> CitationNetwork:
+        """Resolve the accumulated delta against the base snapshot."""
+        base = self._base
+        assert base is not None
+        if self._any_author or self._any_venue:
+            raise GraphError(
+                "extension builders do not accept author/venue metadata; "
+                "deltas carry papers and citations only"
+            )
+        citations: list[tuple[str, str]] = []
+        for source, refs in enumerate(self._references):
+            citing_id = self._ids[source]
+            seen: set[str] = set()
+            for ref in refs:
+                if ref not in self._index and ref not in base:
+                    if self._policy == "error":
+                        raise GraphError(
+                            f"paper {citing_id!r} references unknown "
+                            f"paper {ref!r}"
+                        )
+                    continue
+                if ref == citing_id or ref in seen:
+                    continue
+                seen.add(ref)
+                citations.append((citing_id, ref))
+        return base.extend(
+            self._ids, self._times, citations, validate=validate
         )

@@ -411,6 +411,102 @@ class CitationNetwork:
             validate=False,
         )
 
+    # ------------------------------------------------------------------
+    # Extension (incremental growth)
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        paper_ids: Sequence[str],
+        publication_times: Iterable[float],
+        citations: Iterable[tuple[str, str]],
+        *,
+        validate: bool = True,
+    ) -> "CitationNetwork":
+        """Return a new network with papers and citations appended.
+
+        The crucial invariant for incremental ranking
+        (:mod:`repro.serve`): every existing paper keeps its dense index,
+        and the new papers take indices ``n_papers .. n_papers+k-1`` in
+        the order given.  A score vector computed on this snapshot
+        therefore stays aligned with the old coordinates of the extended
+        network, which is what makes warm-started re-solves possible.
+
+        Parameters
+        ----------
+        paper_ids:
+            External ids of the new papers; must not collide with
+            existing ids (or each other).
+        publication_times:
+            Publication time of each new paper, parallel to
+            ``paper_ids``.
+        citations:
+            ``(citing_id, cited_id)`` pairs over the combined id space.
+            Both endpoints must exist after the extension; unknown ids
+            raise :class:`GraphError` (callers wanting a skip policy
+            should resolve through :class:`~repro.graph.NetworkBuilder`).
+
+        Notes
+        -----
+        New papers inherit empty author lists and unknown venues when the
+        base network carries that metadata — bibliographic deltas in the
+        serving path are citation events, not metadata updates.
+        """
+        new_ids = [str(p) for p in paper_ids]
+        new_times = [float(t) for t in publication_times]
+        if len(new_ids) != len(new_times):
+            raise GraphError(
+                f"{len(new_ids)} new papers but {len(new_times)} "
+                "publication times"
+            )
+        combined_index = dict(self._index)
+        for pid in new_ids:
+            if pid in combined_index:
+                raise GraphError(f"duplicate paper id: {pid!r}")
+            combined_index[pid] = len(combined_index)
+
+        extra_citing: list[int] = []
+        extra_cited: list[int] = []
+        for citing_id, cited_id in citations:
+            try:
+                source = combined_index[str(citing_id)]
+            except KeyError:
+                raise GraphError(
+                    f"unknown citing paper: {citing_id!r}"
+                ) from None
+            try:
+                target = combined_index[str(cited_id)]
+            except KeyError:
+                raise GraphError(
+                    f"unknown cited paper: {cited_id!r}"
+                ) from None
+            extra_citing.append(source)
+            extra_cited.append(target)
+
+        authors = None
+        if self._paper_authors is not None:
+            authors = list(self._paper_authors) + [()] * len(new_ids)
+        venues = None
+        if self._paper_venues is not None:
+            venues = np.concatenate(
+                [self._paper_venues, np.full(len(new_ids), -1, dtype=np.int64)]
+            )
+
+        return CitationNetwork(
+            paper_ids=list(self._paper_ids) + new_ids,
+            publication_times=np.concatenate(
+                [self._pub_time, np.asarray(new_times, dtype=np.float64)]
+            ),
+            citing=np.concatenate(
+                [self._citing, np.asarray(extra_citing, dtype=np.int64)]
+            ),
+            cited=np.concatenate(
+                [self._cited, np.asarray(extra_cited, dtype=np.int64)]
+            ),
+            paper_authors=authors,
+            paper_venues=venues,
+            validate=validate,
+        )
+
     @classmethod
     def from_edges(
         cls,

@@ -12,7 +12,13 @@ Real-data entry points (the formats of the paper's four corpora):
 from repro.io.aminer import load_aminer
 from repro.io.edgelist import load_csv_dataset, load_edge_list
 from repro.io.hepth import load_hepth, parse_hepth_date
-from repro.io.serialize import FORMAT_VERSION, load_network, save_network
+from repro.io.serialize import (
+    FORMAT_VERSION,
+    load_network,
+    network_from_payload,
+    network_payload,
+    save_network,
+)
 
 __all__ = [
     "load_aminer",
@@ -22,5 +28,7 @@ __all__ = [
     "parse_hepth_date",
     "FORMAT_VERSION",
     "load_network",
+    "network_from_payload",
+    "network_payload",
     "save_network",
 ]

@@ -11,24 +11,36 @@ in milliseconds.  The format is a plain NumPy ``.npz`` archive:
   (present only when the network has author data),
 * ``venues``     — int64 (present only with venue data),
 * ``format_version`` — for forward compatibility.
+
+The payload helpers :func:`network_payload` / :func:`network_from_payload`
+convert between a network and its array dictionary without touching the
+filesystem; composite formats embedding a network (the score index of
+:mod:`repro.serve`) build on them.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Mapping
 
 import numpy as np
 
 from repro.errors import DataFormatError
 from repro.graph.citation_network import CitationNetwork
 
-__all__ = ["save_network", "load_network", "FORMAT_VERSION"]
+__all__ = [
+    "save_network",
+    "load_network",
+    "network_payload",
+    "network_from_payload",
+    "FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
 
 
-def save_network(network: CitationNetwork, path: str) -> None:
-    """Write ``network`` to ``path`` (conventionally ``*.npz``)."""
+def network_payload(network: CitationNetwork) -> dict[str, np.ndarray]:
+    """The array dictionary encoding ``network`` in the ``.npz`` format."""
     payload: dict[str, np.ndarray] = {
         "format_version": np.asarray([FORMAT_VERSION], dtype=np.int64),
         "paper_ids": np.asarray(network.paper_ids, dtype=np.str_),
@@ -49,7 +61,59 @@ def save_network(network: CitationNetwork, path: str) -> None:
         payload["author_indices"] = indices
     if network.paper_venues is not None:
         payload["venues"] = network.paper_venues
-    np.savez_compressed(path, **payload)
+    return payload
+
+
+def network_from_payload(
+    arrays: Mapping[str, np.ndarray], *, source: str = "payload"
+) -> CitationNetwork:
+    """Rebuild a network from an array dictionary (or open archive).
+
+    ``source`` names the origin in error messages.
+
+    Raises
+    ------
+    DataFormatError
+        If mandatory arrays are missing or the declared format version
+        is unsupported.
+    """
+    members = set(arrays.keys()) if hasattr(arrays, "keys") else set(arrays)
+    required = {"format_version", "paper_ids", "pub_time", "citing", "cited"}
+    missing = required - members
+    if missing:
+        raise DataFormatError(
+            f"{source}: not a repro network payload "
+            f"(missing {sorted(missing)})"
+        )
+    version = int(arrays["format_version"][0])
+    if version != FORMAT_VERSION:
+        raise DataFormatError(
+            f"{source}: unsupported format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    paper_authors = None
+    if "author_indptr" in members:
+        indptr = arrays["author_indptr"]
+        indices = arrays["author_indices"]
+        paper_authors = [
+            tuple(int(a) for a in indices[indptr[i]: indptr[i + 1]])
+            for i in range(len(indptr) - 1)
+        ]
+    venues = arrays["venues"] if "venues" in members else None
+    return CitationNetwork(
+        paper_ids=[str(p) for p in arrays["paper_ids"]],
+        publication_times=arrays["pub_time"],
+        citing=arrays["citing"],
+        cited=arrays["cited"],
+        paper_authors=paper_authors,
+        paper_venues=venues,
+        validate=True,
+    )
+
+
+def save_network(network: CitationNetwork, path: str) -> None:
+    """Write ``network`` to ``path`` (conventionally ``*.npz``)."""
+    np.savez_compressed(path, **network_payload(network))
 
 
 def load_network(path: str) -> CitationNetwork:
@@ -64,34 +128,6 @@ def load_network(path: str) -> CitationNetwork:
     if not os.path.exists(path):
         raise DataFormatError(f"file not found: {path}")
     with np.load(path, allow_pickle=False) as archive:
-        members = set(archive.files)
-        required = {"format_version", "paper_ids", "pub_time", "citing", "cited"}
-        missing = required - members
-        if missing:
-            raise DataFormatError(
-                f"{path}: not a repro network file (missing {sorted(missing)})"
-            )
-        version = int(archive["format_version"][0])
-        if version != FORMAT_VERSION:
-            raise DataFormatError(
-                f"{path}: unsupported format version {version} "
-                f"(this build reads version {FORMAT_VERSION})"
-            )
-        paper_authors = None
-        if "author_indptr" in members:
-            indptr = archive["author_indptr"]
-            indices = archive["author_indices"]
-            paper_authors = [
-                tuple(int(a) for a in indices[indptr[i]: indptr[i + 1]])
-                for i in range(len(indptr) - 1)
-            ]
-        venues = archive["venues"] if "venues" in members else None
-        return CitationNetwork(
-            paper_ids=[str(p) for p in archive["paper_ids"]],
-            publication_times=archive["pub_time"],
-            citing=archive["citing"],
-            cited=archive["cited"],
-            paper_authors=paper_authors,
-            paper_venues=venues,
-            validate=True,
+        return network_from_payload(
+            {name: archive[name] for name in archive.files}, source=path
         )

@@ -64,6 +64,18 @@ class RankingMethod(ABC):
     #: Short label for reports (matches the paper's legends).
     name: str = "?"
 
+    #: Whether ``scores()`` honours :attr:`start_vector` — true for the
+    #: fixed-point methods whose solution is start-independent (paper
+    #: Theorem 1), so a previous solution can warm-start the solve.
+    supports_warm_start: bool = False
+
+    #: Optional start vector for the next ``scores()`` call.  Methods
+    #: with :attr:`supports_warm_start` seed their power iteration from
+    #: it (the incremental-update path of :mod:`repro.serve` sets this to
+    #: the previous snapshot's solution); others ignore it.  The fixed
+    #: point is unaffected — only the iteration count changes.
+    start_vector: FloatVector | None = None
+
     #: Populated by iterative subclasses after ``scores()``.
     last_convergence: ConvergenceInfo | None = None
 

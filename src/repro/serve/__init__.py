@@ -1,0 +1,58 @@
+"""repro.serve — the incremental ranking service layer.
+
+The paper ranks by *short-term* impact, a signal that is only useful if
+rankings can follow the corpus as new papers and citations arrive
+(BIP! DB, the deployment built on these methods, refreshes its scores
+from exactly such harvesting cycles).  This package turns the offline
+bench into that service:
+
+* :class:`ScoreIndex` — versioned per-method score vectors bound to a
+  network snapshot, persistable as one ``.npz`` file;
+* :class:`NetworkDelta` / :class:`DeltaUpdater` — batches of new papers
+  and citations, applied by extending the snapshot in place (existing
+  paper indices are preserved) and re-solving each method
+  **warm-started** from its previous solution;
+* :class:`RankingService` — paginated top-k queries, year-range
+  filters, multi-method comparison and per-paper lookups, behind an
+  LRU result cache that the index version keeps honest.
+
+CLI: ``repro index`` builds an index file, ``repro update`` applies a
+delta, ``repro query`` serves reads from it.
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.delta import (
+    DeltaUpdater,
+    NetworkDelta,
+    UpdateReport,
+    delta_between,
+)
+from repro.serve.score_index import (
+    INDEX_FORMAT_VERSION,
+    MethodEntry,
+    ScoreIndex,
+)
+from repro.serve.service import (
+    MethodComparison,
+    PaperDetails,
+    QueryResult,
+    RankedPaper,
+    RankingService,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "DeltaUpdater",
+    "NetworkDelta",
+    "UpdateReport",
+    "delta_between",
+    "INDEX_FORMAT_VERSION",
+    "MethodEntry",
+    "ScoreIndex",
+    "MethodComparison",
+    "PaperDetails",
+    "QueryResult",
+    "RankedPaper",
+    "RankingService",
+]

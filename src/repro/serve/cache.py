@@ -1,0 +1,114 @@
+"""A small LRU result cache for the ranking service.
+
+Query results are cheap to recompute on toy networks but not at corpus
+scale, where a handful of popular queries (front page, per-year top
+lists) dominate traffic.  The cache is deliberately dependency-free: an
+ordered dict with move-to-front on hit, bounded size, and counters that
+the service surfaces for observability.
+
+Keys include the score-index *version*, so a delta update never serves
+stale rankings: entries written against an older version simply stop
+being requested and age out (the service additionally clears the cache
+on update to release the memory immediately).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LRUCache", "CacheStats"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`LRUCache` since creation (or last reset).
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup outcomes.
+    evictions:
+        Entries dropped because the cache was full.
+    size, maxsize:
+        Current and maximum entry counts.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    >>> cache = LRUCache(maxsize=2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None   # evicted, capacity 2
+    True
+    >>> cache.get("c")
+    3
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"cache maxsize must be >= 1, got {maxsize}"
+            )
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value, refreshing its recency; count the miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the oldest when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters survive)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self._maxsize,
+        )

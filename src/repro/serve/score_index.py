@@ -1,0 +1,340 @@
+"""The versioned score index — per-method solutions over one snapshot.
+
+A :class:`ScoreIndex` binds a :class:`~repro.graph.CitationNetwork`
+snapshot to the score vectors of any number of registered ranking
+methods (addressed by their paper labels: ``"AR"``, ``"PR"``, ...).  It
+is the unit of state the serving layer works with:
+
+* :class:`~repro.serve.RankingService` answers queries from it,
+* :class:`~repro.serve.DeltaUpdater` refreshes it in place after a
+  delta, warm-starting every method that supports it from its previous
+  solution,
+* :meth:`ScoreIndex.save` / :meth:`ScoreIndex.load` persist it as a
+  single ``.npz`` file (network payload + score vectors + metadata), so
+  a service restart never recomputes from scratch.
+
+Every refresh bumps :attr:`ScoreIndex.version`; query-result caches key
+on the version, which makes invalidation after updates automatic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._typing import FloatVector
+from repro.baselines import make_method, warm_startable
+from repro.core.power_iteration import grow_start_vector
+from repro.errors import ConfigurationError, DataFormatError
+from repro.graph.citation_network import CitationNetwork
+from repro.io.serialize import network_from_payload, network_payload
+
+__all__ = ["ScoreIndex", "MethodEntry", "INDEX_FORMAT_VERSION"]
+
+INDEX_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MethodEntry:
+    """One method's solution over the index's current snapshot.
+
+    Attributes
+    ----------
+    label:
+        Registry label (``"AR"``, ``"PR"``, ...).
+    params:
+        Constructor keyword arguments the method was registered with;
+        refreshes re-instantiate the method from these via
+        :func:`repro.baselines.make_method`.
+    scores:
+        The score vector, aligned with the snapshot's paper indices.
+    iterations:
+        Iterations of the solve that produced :attr:`scores` (0 for
+        closed-form/non-iterative methods).
+    converged:
+        Whether that solve converged (always true for closed forms).
+    warm_started:
+        Whether the solve was seeded from a previous solution.
+    """
+
+    label: str
+    params: Mapping[str, Any]
+    scores: FloatVector
+    iterations: int
+    converged: bool
+    warm_started: bool
+
+
+class ScoreIndex:
+    """Versioned per-method score vectors over a network snapshot.
+
+    Parameters
+    ----------
+    network:
+        The snapshot to score.
+    version:
+        Starting version number (0 for a fresh index; :meth:`load`
+        restores the persisted value).
+
+    Examples
+    --------
+    >>> from repro.synth import toy_network
+    >>> index = ScoreIndex(toy_network())
+    >>> index.add_method("CC")
+    >>> index.labels
+    ('CC',)
+    >>> int(index.scores("CC").argmax())   # A, the most cited toy paper
+    0
+    """
+
+    def __init__(self, network: CitationNetwork, *, version: int = 0) -> None:
+        if network.n_papers == 0:
+            raise ConfigurationError("cannot index an empty network")
+        self._network = network
+        self._version = int(version)
+        self._entries: dict[str, MethodEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> CitationNetwork:
+        """The current snapshot."""
+        return self._network
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped by every :meth:`refresh`."""
+        return self._version
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Registered method labels, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, label: object) -> bool:
+        return isinstance(label, str) and label.upper() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoreIndex(version={self._version}, "
+            f"methods={list(self._entries)}, "
+            f"n_papers={self._network.n_papers})"
+        )
+
+    def entry(self, label: str) -> MethodEntry:
+        """The full :class:`MethodEntry` for ``label``."""
+        key = label.upper()
+        try:
+            return self._entries[key]
+        except KeyError:
+            known = ", ".join(self._entries) or "<none>"
+            raise ConfigurationError(
+                f"method {label!r} is not in the index "
+                f"(indexed: {known})"
+            ) from None
+
+    def scores(self, label: str) -> FloatVector:
+        """The score vector for ``label``, aligned with paper indices."""
+        return self.entry(label).scores
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def add_method(self, label: str, **params: Any) -> MethodEntry:
+        """Register a method and solve it cold on the current snapshot.
+
+        ``params`` are the method's constructor keyword arguments; they
+        are stored so that every later refresh re-instantiates exactly
+        the same configuration.
+        """
+        key = label.upper()
+        if key in self._entries:
+            raise ConfigurationError(f"method {label!r} is already indexed")
+        entry = self._solve(key, dict(params), previous=None)
+        self._entries[key] = entry
+        return entry
+
+    def refresh(
+        self,
+        network: CitationNetwork | None = None,
+        *,
+        warm: bool = True,
+    ) -> dict[str, MethodEntry]:
+        """Re-solve every indexed method and bump the version.
+
+        Parameters
+        ----------
+        network:
+            A replacement snapshot (the delta-update path passes the
+            extended network).  It must contain at least the papers of
+            the current snapshot, *in the same index positions* — the
+            contract :meth:`CitationNetwork.extend` guarantees.  ``None``
+            re-solves on the unchanged snapshot.
+        warm:
+            Seed each method that supports it from its previous
+            solution, grown to the new size.  ``False`` forces cold
+            solves (the benchmark's comparison baseline).
+
+        Notes
+        -----
+        The refresh is atomic: every method is re-solved against the
+        new snapshot first, and the index state (network, entries,
+        version) is only swapped once all solves succeeded.  A
+        :class:`~repro.errors.ConvergenceError` mid-refresh therefore
+        leaves the index exactly as it was, still serving the old
+        version.
+        """
+        target = self._network
+        if network is not None:
+            if network.n_papers < self._network.n_papers:
+                raise ConfigurationError(
+                    "refresh network has fewer papers than the indexed "
+                    f"snapshot ({network.n_papers} < "
+                    f"{self._network.n_papers}); the index only grows"
+                )
+            target = network
+        refreshed = {
+            key: self._solve(
+                key,
+                dict(entry.params),
+                previous=entry.scores if warm else None,
+                network=target,
+            )
+            for key, entry in self._entries.items()
+        }
+        self._network = target
+        self._entries = refreshed
+        self._version += 1
+        return dict(self._entries)
+
+    def _solve(
+        self,
+        key: str,
+        params: dict[str, Any],
+        *,
+        previous: FloatVector | None,
+        network: CitationNetwork | None = None,
+    ) -> MethodEntry:
+        if network is None:
+            network = self._network
+        method = make_method(key, **params)
+        warm = previous is not None and warm_startable(key)
+        if warm:
+            method.start_vector = grow_start_vector(
+                previous, network.n_papers
+            )
+        scores = method.scores(network)
+        # Shared arrays are read-only throughout this codebase (see
+        # CitationNetwork); the score vector doubles as the next warm
+        # start and the ranking basis, so caller mutation must fail loud.
+        scores.setflags(write=False)
+        info = method.last_convergence
+        return MethodEntry(
+            label=key,
+            params=params,
+            scores=scores,
+            iterations=info.iterations if info is not None else 0,
+            converged=info.converged if info is not None else True,
+            warm_started=warm,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the index (snapshot + scores + metadata) to ``path``.
+
+        The write is atomic (temp file + rename): ``repro update``
+        overwrites the live index in place, and an interrupted write
+        must never destroy the only copy of the serving state.
+        """
+        payload = network_payload(self._network)
+        meta = {
+            "index_format_version": INDEX_FORMAT_VERSION,
+            "version": self._version,
+            "methods": [
+                {
+                    "label": entry.label,
+                    "params": dict(entry.params),
+                    "iterations": entry.iterations,
+                    "converged": entry.converged,
+                    "warm_started": entry.warm_started,
+                }
+                for entry in self._entries.values()
+            ],
+        }
+        payload["index_meta"] = np.asarray([json.dumps(meta)], dtype=np.str_)
+        for entry in self._entries.values():
+            payload[f"index_scores__{entry.label}"] = entry.scores
+        temp_path = f"{path}.tmp-{os.getpid()}"
+        try:
+            # A file handle keeps savez from appending ".npz" to the
+            # temp name and lets us fsync before the rename.
+            with open(temp_path, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):
+                os.remove(temp_path)
+
+    @classmethod
+    def load(cls, path: str) -> "ScoreIndex":
+        """Read an index previously written by :meth:`save`.
+
+        Raises
+        ------
+        DataFormatError
+            If the file is missing, is a bare network file rather than
+            an index, or declares an unsupported index format version.
+        """
+        if not os.path.exists(path):
+            raise DataFormatError(f"file not found: {path}")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        if "index_meta" not in arrays:
+            raise DataFormatError(
+                f"{path}: not a repro score index (missing index_meta; "
+                "is this a bare network file?)"
+            )
+        meta = json.loads(str(arrays["index_meta"][0]))
+        declared = int(meta.get("index_format_version", -1))
+        if declared != INDEX_FORMAT_VERSION:
+            raise DataFormatError(
+                f"{path}: unsupported index format version {declared} "
+                f"(this build reads version {INDEX_FORMAT_VERSION})"
+            )
+        network = network_from_payload(arrays, source=path)
+        index = cls(network, version=int(meta["version"]))
+        for record in meta["methods"]:
+            label = str(record["label"])
+            key = f"index_scores__{label}"
+            if key not in arrays:
+                raise DataFormatError(
+                    f"{path}: score vector for {label!r} is missing"
+                )
+            scores = np.asarray(arrays[key], dtype=np.float64)
+            scores.setflags(write=False)
+            if scores.shape != (network.n_papers,):
+                raise DataFormatError(
+                    f"{path}: score vector for {label!r} has length "
+                    f"{scores.size}, expected {network.n_papers}"
+                )
+            index._entries[label] = MethodEntry(
+                label=label,
+                params=dict(record["params"]),
+                scores=scores,
+                iterations=int(record["iterations"]),
+                converged=bool(record["converged"]),
+                warm_started=bool(record["warm_started"]),
+            )
+        return index

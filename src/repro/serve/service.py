@@ -1,0 +1,314 @@
+"""The query front end: top-k rankings over a live score index.
+
+:class:`RankingService` is the piece a web tier would sit on.  It
+answers read queries — paginated top-k lists, year-range filtered
+rankings, multi-method comparisons, single-paper lookups — from the
+score vectors of a :class:`~repro.serve.ScoreIndex`, and funnels write
+traffic (deltas) through a :class:`~repro.serve.DeltaUpdater`.
+
+Two layers keep the read path fast:
+
+* the full ranking permutation of each method is memoised per index
+  version (computing it is the only O(n log n) step), and
+* assembled query results go through an LRU cache whose keys include
+  the index version, so a delta update implicitly invalidates every
+  cached page (the cache is also cleared eagerly to free memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._typing import IntVector
+from repro.errors import ConfigurationError
+from repro.graph.builder import MissingRefPolicy
+from repro.ranking import ranking_from_scores
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.delta import DeltaUpdater, NetworkDelta, UpdateReport
+from repro.serve.score_index import ScoreIndex
+
+__all__ = [
+    "RankingService",
+    "QueryResult",
+    "RankedPaper",
+    "MethodComparison",
+    "PaperDetails",
+]
+
+
+@dataclass(frozen=True)
+class RankedPaper:
+    """One row of a query result."""
+
+    rank: int
+    paper_id: str
+    year: float
+    score: float
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One page of a ranking query.
+
+    Attributes
+    ----------
+    method:
+        Method label the ranking is by.
+    version:
+        Index version the result was computed against.
+    k, offset:
+        The requested page (``offset`` papers skipped, then ``k`` rows).
+    total:
+        Papers matching the filter — for pagination UIs.
+    year_range:
+        The inclusive ``(lo, hi)`` filter, or ``None``.
+    entries:
+        The rows, ranks numbered within the filtered population.
+    """
+
+    method: str
+    version: int
+    k: int
+    offset: int
+    total: int
+    year_range: tuple[float, float] | None
+    entries: tuple[RankedPaper, ...]
+
+    @property
+    def paper_ids(self) -> tuple[str, ...]:
+        """Just the ids, in rank order."""
+        return tuple(entry.paper_id for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Top-k lists of several methods over the same filter, side by side.
+
+    Attributes
+    ----------
+    results:
+        Per-method :class:`QueryResult`, in request order.
+    overlap:
+        Pairwise ``|top-k(a) ∩ top-k(b)|`` for every unordered method
+        pair — the agreement measure behind the paper's Table 1-style
+        analyses.
+    """
+
+    results: Mapping[str, QueryResult]
+    overlap: Mapping[tuple[str, str], int]
+
+
+@dataclass(frozen=True)
+class PaperDetails:
+    """Scores and ranks of one paper under every indexed method."""
+
+    paper_id: str
+    year: float
+    scores: Mapping[str, float]
+    ranks: Mapping[str, int]
+
+
+class RankingService:
+    """Serve ranking queries from a score index.
+
+    Parameters
+    ----------
+    index:
+        The (live) score index; the service updates it in place.
+    cache_size:
+        Capacity of the LRU result cache.
+    missing_references:
+        Reference-resolution policy for incoming deltas.
+    warm:
+        Warm-start re-solves on update (default; cold mode exists for
+        benchmarking).
+
+    Examples
+    --------
+    >>> from repro.serve import ScoreIndex
+    >>> from repro.synth import toy_network
+    >>> index = ScoreIndex(toy_network())
+    >>> index.add_method("CC")
+    >>> service = RankingService(index)
+    >>> service.top_k("CC", k=2).paper_ids
+    ('A', 'B')
+    """
+
+    def __init__(
+        self,
+        index: ScoreIndex,
+        *,
+        cache_size: int = 128,
+        missing_references: MissingRefPolicy = "skip",
+        warm: bool = True,
+    ) -> None:
+        self._index = index
+        self._updater = DeltaUpdater(
+            index, missing_references=missing_references, warm=warm
+        )
+        self._cache = LRUCache(maxsize=cache_size)
+        # label -> (version, permutation); one entry per method, so
+        # version bumps (even via an external ScoreIndex.refresh) can
+        # never accumulate stale permutations.
+        self._rankings: dict[str, tuple[int, IntVector]] = {}
+
+    @property
+    def index(self) -> ScoreIndex:
+        return self._index
+
+    @property
+    def version(self) -> int:
+        """Current index version (bumped by :meth:`update`)."""
+        return self._index.version
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the result cache."""
+        return self._cache.stats()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _ranking(self, label: str) -> IntVector:
+        """The full ranking permutation for ``label``, memoised while the
+        index version it was computed against is still current."""
+        version = self._index.version
+        memo = self._rankings.get(label)
+        if memo is None or memo[0] != version:
+            order = ranking_from_scores(self._index.scores(label))
+            self._rankings[label] = (version, order)
+            return order
+        return memo[1]
+
+    def top_k(
+        self,
+        method: str = "AR",
+        *,
+        k: int = 10,
+        offset: int = 0,
+        year_range: tuple[float, float] | None = None,
+    ) -> QueryResult:
+        """One page of the ranking by ``method``.
+
+        Parameters
+        ----------
+        method:
+            Indexed method label.
+        k:
+            Page size (rows returned; fewer when the population runs
+            out).
+        offset:
+            Rows to skip — page ``p`` of size ``k`` is
+            ``offset = p * k``.
+        year_range:
+            Inclusive ``(lo, hi)`` publication-time filter; ranks are
+            renumbered within the filtered population.
+        """
+        label = method.upper()
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        span = None
+        if year_range is not None:
+            lo, hi = float(year_range[0]), float(year_range[1])
+            if lo > hi:
+                raise ConfigurationError(
+                    f"empty year range: {lo} > {hi}"
+                )
+            span = (lo, hi)
+
+        cache_key = (self._index.version, label, k, offset, span)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        entry = self._index.entry(label)  # validates the label
+        network = self._index.network
+        order = self._ranking(label)
+        if span is not None:
+            times = network.publication_times[order]
+            order = order[(times >= span[0]) & (times <= span[1])]
+        total = int(order.size)
+        page = order[offset: offset + k]
+        scores = entry.scores
+        rows = tuple(
+            RankedPaper(
+                rank=offset + position + 1,
+                paper_id=network.id_of(int(index)),
+                year=float(network.publication_times[index]),
+                score=float(scores[index]),
+            )
+            for position, index in enumerate(page)
+        )
+        result = QueryResult(
+            method=label,
+            version=self._index.version,
+            k=k,
+            offset=offset,
+            total=total,
+            year_range=span,
+            entries=rows,
+        )
+        self._cache.put(cache_key, result)
+        return result
+
+    def compare(
+        self,
+        methods: Sequence[str],
+        *,
+        k: int = 10,
+        offset: int = 0,
+        year_range: tuple[float, float] | None = None,
+    ) -> MethodComparison:
+        """The same result page of several methods, with overlaps.
+
+        Overlaps count shared papers *within the requested page* of each
+        pair of methods.
+        """
+        labels = [m.upper() for m in methods]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError("duplicate method labels in comparison")
+        results = {
+            label: self.top_k(
+                label, k=k, offset=offset, year_range=year_range
+            )
+            for label in labels
+        }
+        overlap: dict[tuple[str, str], int] = {}
+        for i, a in enumerate(labels):
+            for b in labels[i + 1:]:
+                shared = set(results[a].paper_ids) & set(results[b].paper_ids)
+                overlap[(a, b)] = len(shared)
+        return MethodComparison(results=results, overlap=overlap)
+
+    def paper(self, paper_id: str) -> PaperDetails:
+        """Scores and (unfiltered) ranks of one paper across all methods."""
+        network = self._index.network
+        index = network.index_of(str(paper_id))
+        scores: dict[str, float] = {}
+        ranks: dict[str, int] = {}
+        for label in self._index.labels:
+            vector = self._index.scores(label)
+            order = self._ranking(label)
+            position = int(np.nonzero(order == index)[0][0])
+            scores[label] = float(vector[index])
+            ranks[label] = position + 1
+        return PaperDetails(
+            paper_id=network.id_of(index),
+            year=float(network.publication_times[index]),
+            scores=scores,
+            ranks=ranks,
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def update(self, delta: NetworkDelta) -> UpdateReport:
+        """Apply a delta: extend, warm re-solve, invalidate caches."""
+        report = self._updater.apply(delta)
+        self._cache.clear()
+        self._rankings.clear()
+        return report

@@ -1,9 +1,11 @@
 """Smoke and behaviour tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
 
+import repro
 from repro.cli import main
 from repro.io.serialize import save_network
 
@@ -93,6 +95,119 @@ class TestPopular:
         )
         assert code == 0
         assert "recently popular" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+def _ranked_papers(output: str) -> list[str]:
+    """Extract the paper-id column from a rank/query table."""
+    rows = []
+    for line in output.splitlines():
+        parts = line.split()
+        if len(parts) >= 4 and parts[0].isdigit():
+            rows.append(parts[1])
+    return rows
+
+
+class TestServe:
+    @pytest.fixture
+    def index_file(self, hepth_file, tmp_path_factory, capsys):
+        path = str(tmp_path_factory.mktemp("serve") / "index.npz")
+        assert main(
+            ["index", "--input", hepth_file, "--output", path,
+             "--methods", "AR", "PR", "CC"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_index_reports_solves(self, hepth_file, tmp_path, capsys):
+        out_path = str(tmp_path / "index.npz")
+        code = main(
+            ["index", "--input", hepth_file, "--output", out_path,
+             "--methods", "PR", "CC"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert os.path.exists(out_path)
+        assert "solved PR" in out and "closed form" in out
+        assert "wrote index v0" in out
+
+    def test_query_matches_batch_rank(self, hepth_file, index_file, capsys):
+        """Acceptance: query == rank top-k on an unchanged snapshot."""
+        assert main(
+            ["rank", "--input", hepth_file, "--method", "AR", "--top", "10"]
+        ) == 0
+        batch = _ranked_papers(capsys.readouterr().out)
+        assert main(
+            ["query", "--index", index_file, "--methods", "AR",
+             "--top", "10"]
+        ) == 0
+        served = _ranked_papers(capsys.readouterr().out)
+        assert served == batch
+        assert len(served) == 10
+
+    def test_query_pagination_and_year_filter(self, index_file, capsys):
+        assert main(
+            ["query", "--index", index_file, "--methods", "CC",
+             "--top", "3", "--offset", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rows 4-6" in out
+        assert main(
+            ["query", "--index", index_file, "--methods", "CC",
+             "--top", "3", "--year-min", "1996", "--year-max", "1999"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "years [1996, 1999]" in out
+        assert _ranked_papers(out)  # the filtered page has rows
+
+    def test_query_comparison(self, index_file, capsys):
+        assert main(
+            ["query", "--index", index_file, "--methods", "AR", "PR", "CC",
+             "--top", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "comparison" in out
+        assert "overlap AR" in out
+
+    def test_update_applies_delta(self, index_file, tmp_path, capsys):
+        assert main(
+            ["query", "--index", index_file, "--methods", "CC", "--top", "1"]
+        ) == 0
+        leader = _ranked_papers(capsys.readouterr().out)[0]
+        delta_path = str(tmp_path / "delta.json")
+        with open(delta_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "papers": [{"id": "NEW-1", "time": 2004.0}],
+                    "citations": [["NEW-1", leader], ["NEW-1", "unknown"]],
+                },
+                handle,
+            )
+        code = main(["update", "--index", index_file, "--delta", delta_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+1 papers" in out
+        assert "index v1" in out
+        assert "warm" in out
+        # The updated index is persisted and serves the new state.
+        assert main(
+            ["query", "--index", index_file, "--methods", "CC", "--top", "1"]
+        ) == 0
+        assert "v1" in capsys.readouterr().out
+
+    def test_query_rejects_bare_network_file(self, hepth_file, capsys):
+        code = main(
+            ["query", "--index", hepth_file, "--methods", "AR"]
+        )
+        assert code == 1
+        assert "not a repro score index" in capsys.readouterr().err
 
 
 class TestErrors:

@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.core.power_iteration import (
     DEFAULT_TOLERANCE,
+    grow_start_vector,
     power_iterate,
     uniform_vector,
 )
@@ -106,3 +107,50 @@ class TestPowerIterate:
 
     def test_default_tolerance_matches_paper(self):
         assert DEFAULT_TOLERANCE == 1e-12
+
+
+class TestGrowStartVector:
+    def test_preserves_old_coordinates_verbatim(self):
+        previous = np.array([0.5, 0.3, 0.2])
+        grown = grow_start_vector(previous, 5)
+        assert grown.shape == (5,)
+        np.testing.assert_array_equal(grown[:3], previous)
+        # New papers get the previous mean entry (scale-consistent).
+        assert grown[3] == pytest.approx(1.0 / 3)
+        assert grown[4] == pytest.approx(1.0 / 3)
+
+    def test_same_length_keeps_scale(self):
+        # Unnormalised fixed points (CiteRank traffic) must survive
+        # untouched; power_iterate renormalises stochastic starts.
+        previous = np.array([2.0, 6.0])
+        grown = grow_start_vector(previous, 2)
+        assert np.allclose(grown, [2.0, 6.0])
+
+    def test_is_a_valid_power_iterate_start(self):
+        matrix = np.array([[0.9, 0.2], [0.1, 0.8]])
+        start = grow_start_vector(np.array([1.0]), 2)
+        result, info = power_iterate(
+            lambda x: matrix @ x, 2, start=start, tol=1e-14
+        )
+        assert info.converged
+        assert np.allclose(result, [2 / 3, 1 / 3], atol=1e-6)
+
+    def test_rejects_shrinking(self):
+        with pytest.raises(ConfigurationError, match="grown network"):
+            grow_start_vector(np.ones(4) / 4, 3)
+
+    def test_rejects_negative_and_non_finite(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            grow_start_vector(np.array([0.5, -0.5]), 3)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            grow_start_vector(np.array([0.5, np.nan]), 3)
+
+    def test_rejects_massless(self):
+        with pytest.raises(ConfigurationError, match="no mass"):
+            grow_start_vector(np.zeros(2), 3)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError, match="must be a vector"):
+            grow_start_vector(np.ones((2, 2)), 5)
+        with pytest.raises(ConfigurationError, match="positive"):
+            grow_start_vector(np.ones(2), 0)

@@ -119,3 +119,90 @@ class TestMetadataInterning:
         builder = NetworkBuilder()
         builder.add_paper("a", 1999.0)
         assert builder.build().paper_venues is None
+
+
+class TestExtending:
+    @pytest.fixture
+    def base(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0)
+        builder.add_paper("b", 2001.0, references=["a"])
+        return builder.build()
+
+    def test_appends_preserving_base_indices(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0, references=["a", "b"])
+        extended = builder.build()
+        assert extended.paper_ids == ("a", "b", "c")
+        assert extended.index_of("a") == 0
+        assert extended.index_of("c") == 2
+        assert extended.n_citations == 3
+
+    def test_new_papers_may_cite_each_other(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0)
+        builder.add_paper("d", 2003.0, references=["c", "b"])
+        extended = builder.build()
+        assert extended.n_citations == 3
+        assert extended.in_degree.tolist() == [1, 1, 1, 0]
+
+    def test_base_ids_count_as_duplicates(self, base):
+        builder = NetworkBuilder.extending(base)
+        with pytest.raises(GraphError, match="duplicate"):
+            builder.add_paper("a", 2005.0)
+
+    def test_contains_sees_base_and_new(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0)
+        assert "a" in builder and "c" in builder
+        assert "z" not in builder
+        assert len(builder) == 1  # new papers only
+
+    def test_skip_policy_drops_unknown_references(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0, references=["a", "nope"])
+        assert builder.build().n_citations == 2
+
+    def test_error_policy_raises(self, base):
+        builder = NetworkBuilder.extending(base, missing_references="error")
+        builder.add_paper("c", 2002.0, references=["nope"])
+        with pytest.raises(GraphError, match="unknown"):
+            builder.build()
+
+    def test_self_and_duplicate_references_dropped(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0, references=["c", "a", "a"])
+        assert builder.build().n_citations == 2
+
+    def test_metadata_rejected_in_extension_mode(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0, authors=["X"])
+        with pytest.raises(GraphError, match="extension"):
+            builder.build()
+
+    def test_base_is_untouched(self, base):
+        builder = NetworkBuilder.extending(base)
+        builder.add_paper("c", 2002.0, references=["a"])
+        builder.build()
+        assert base.n_papers == 2
+        assert base.n_citations == 1
+
+    def test_base_metadata_extended_with_blanks(self):
+        builder = NetworkBuilder()
+        builder.add_paper("a", 1999.0, authors=["X"], venue="ICDE")
+        base = builder.build()
+        extension = NetworkBuilder.extending(base)
+        extension.add_paper("b", 2001.0, references=["a"])
+        extended = extension.build()
+        assert extended.paper_authors == ((0,), ())
+        assert extended.paper_venues.tolist() == [0, -1]
+
+    def test_network_extend_rejects_unknown_endpoints(self, base):
+        with pytest.raises(GraphError, match="unknown cited"):
+            base.extend(["c"], [2002.0], [("c", "nope")])
+        with pytest.raises(GraphError, match="unknown citing"):
+            base.extend(["c"], [2002.0], [("nope", "a")])
+
+    def test_network_extend_length_mismatch(self, base):
+        with pytest.raises(GraphError, match="publication times"):
+            base.extend(["c", "d"], [2002.0], [])
