@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Standalone entry point for the machine-readable benchmark harness.
+
+Equivalent to ``repro bench`` for environments that run benchmarks from
+the repository checkout without installing the package:
+
+    PYTHONPATH=src python benchmarks/harness.py --scenario figure4 --jobs 4
+    PYTHONPATH=src python benchmarks/harness.py --list
+
+All logic lives in :mod:`repro.bench`; this wrapper only parses flags
+and forwards to the same code path as the CLI subcommand, so the two
+always emit identical ``BENCH_<scenario>.json`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run a repro benchmark scenario and write BENCH_<scenario>.json"
+    )
+    parser.add_argument("--scenario", help="scenario name (see --list)")
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for parallel scenarios (0 = all cores)",
+    )
+    parser.add_argument("--size", default="tiny", help="dataset scale")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload cut"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output-dir", default=".", help="where to write BENCH_*.json"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import run_scenario, scenario_help
+    from repro.errors import ReproError
+
+    if args.list:
+        for name, description in scenario_help().items():
+            print(f"{name:12s} {description}")
+        return 0
+    if not args.scenario:
+        parser.error("--scenario is required (or use --list)")
+    try:
+        result = run_scenario(
+            args.scenario,
+            jobs=args.jobs,
+            size=args.size,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            smoke=args.smoke,
+            seed=args.seed,
+        )
+        path = result.write(args.output_dir)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    payload = result.payload
+    if "speedup_vs_serial" in payload:
+        print(f"speedup vs serial: {payload['speedup_vs_serial']:.2f}x")
+    if "speedup_warm_vs_cold" in payload:
+        print(
+            f"speedup warm vs cold: {payload['speedup_warm_vs_cold']:.2f}x"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

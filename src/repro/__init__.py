@@ -54,7 +54,7 @@ from repro.eval import (
     split_by_ratio,
     tune_method,
 )
-from repro.graph import CitationNetwork, NetworkBuilder
+from repro.graph import CitationNetwork, NetworkBuilder, shared_operator
 from repro.io import load_network, save_network
 from repro.ranking import RankingMethod, ranking_from_scores, top_k_indices
 from repro.serve import (
@@ -97,6 +97,11 @@ __all__ = [
     # graph
     "CitationNetwork",
     "NetworkBuilder",
+    "shared_operator",
+    # parallel experiments + benchmarks
+    "ExperimentEngine",
+    "SplitSnapshot",
+    "run_scenario",
     # evaluation
     "NDCG",
     "SpearmanRho",
@@ -131,3 +136,27 @@ __all__ = [
     "ConvergenceError",
     "EvaluationError",
 ]
+
+#: Deliberately lazy exports (PEP 562): the experiment engine and the
+#: bench harness sit on top of everything else, and eager imports here
+#: would make every ``import repro`` (each CLI invocation included) pay
+#: for machinery only the compare/bench paths use.
+_LAZY_EXPORTS = {
+    "ExperimentEngine": ("repro.parallel", "ExperimentEngine"),
+    "SplitSnapshot": ("repro.parallel", "SplitSnapshot"),
+    "run_scenario": ("repro.bench", "run_scenario"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value

@@ -28,7 +28,7 @@ from repro._typing import FloatVector
 from repro.core.power_iteration import DEFAULT_TOLERANCE, power_iterate
 from repro.errors import ConfigurationError
 from repro.graph.citation_network import CitationNetwork
-from repro.graph.matrix import StochasticOperator
+from repro.graph.matrix import shared_operator
 from repro.ranking import RankingMethod
 
 __all__ = ["CiteRank"]
@@ -90,7 +90,7 @@ class CiteRank(RankingMethod):
         if network.n_papers == 0:
             raise ConfigurationError("cannot rank an empty network")
         rho = self.entry_distribution(network)
-        transfer = StochasticOperator(network).sparse_part
+        transfer = shared_operator(network).sparse_part
 
         def step(vector: np.ndarray) -> np.ndarray:
             return rho + self.alpha * (transfer @ vector)

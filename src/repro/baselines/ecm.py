@@ -26,6 +26,7 @@ from repro._typing import FloatVector
 from repro.baselines.ram import retained_edge_weights
 from repro.core.power_iteration import power_iterate
 from repro.errors import ConfigurationError
+from repro.graph.cache import memoize_on
 from repro.graph.citation_network import CitationNetwork
 from repro.ranking import RankingMethod
 
@@ -73,14 +74,30 @@ class EffectiveContagion(RankingMethod):
         return {"alpha": self.alpha, "gamma": self.gamma}
 
     def retained_matrix(self, network: CitationNetwork) -> sp.csr_matrix:
-        """The retained adjacency matrix ``R[i, j] = gamma^age * C[i, j]``."""
-        weights = retained_edge_weights(network, self.gamma, now=self.now)
-        n = network.n_papers
-        matrix = sp.csr_matrix(
-            (weights, (network.cited, network.citing)), shape=(n, n)
+        """The retained adjacency matrix ``R[i, j] = gamma^age * C[i, j]``.
+
+        Memoised per ``(network, gamma, now)`` — ECM's grid sweeps five
+        ``alpha`` values against each ``gamma``, and the CSR assembly is
+        the expensive part of a score evaluation.
+        """
+        reference = (
+            network.latest_time if self.now is None else float(self.now)
         )
-        matrix.sum_duplicates()
-        return matrix
+
+        def build() -> sp.csr_matrix:
+            weights = retained_edge_weights(
+                network, self.gamma, now=reference
+            )
+            n = network.n_papers
+            matrix = sp.csr_matrix(
+                (weights, (network.cited, network.citing)), shape=(n, n)
+            )
+            matrix.sum_duplicates()
+            return matrix
+
+        return memoize_on(
+            network, ("retained_matrix", self.gamma, reference), build
+        )
 
     def scores(self, network: CitationNetwork) -> FloatVector:
         if network.n_papers == 0:

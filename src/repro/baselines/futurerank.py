@@ -31,9 +31,10 @@ import numpy as np
 
 from repro._typing import FloatVector
 from repro.core.power_iteration import DEFAULT_TOLERANCE, power_iterate
+from repro.core.recency import recency_vector
 from repro.errors import ConfigurationError, GraphError
 from repro.graph.citation_network import CitationNetwork
-from repro.graph.matrix import StochasticOperator
+from repro.graph.matrix import shared_operator
 from repro.ranking import RankingMethod
 
 __all__ = ["FutureRank"]
@@ -110,10 +111,13 @@ class FutureRank(RankingMethod):
         }
 
     def recency_weights(self, network: CitationNetwork) -> FloatVector:
-        """The normalised time-preference vector ``R^T``."""
-        ages = network.ages(self.now)
-        raw = np.exp(self.rho * (ages - ages.min()))
-        return raw / raw.sum()
+        """The normalised time-preference vector ``R^T``.
+
+        Identical formula to AttRank's recency vector (Eq. 3 with
+        ``w = rho``), so it shares that memoised implementation — the
+        tuned FR grid revisits each of its 3 rho values 40 times.
+        """
+        return recency_vector(network, self.rho, now=self.now)
 
     def scores(self, network: CitationNetwork) -> FloatVector:
         if network.n_papers == 0:
@@ -123,7 +127,7 @@ class FutureRank(RankingMethod):
                 "FutureRank with beta > 0 requires author metadata"
             )
         n = network.n_papers
-        operator = StochasticOperator(network)
+        operator = shared_operator(network)
         time_vector = self.recency_weights(network)
         uniform_mass = max(1.0 - self.alpha - self.beta - self.gamma, 0.0) / n
 

@@ -21,7 +21,7 @@ from repro.core.power_iteration import (
 )
 from repro.errors import ConfigurationError
 from repro.graph.citation_network import CitationNetwork
-from repro.graph.matrix import StochasticOperator
+from repro.graph.matrix import shared_operator
 from repro.ranking import RankingMethod
 
 __all__ = ["PageRank"]
@@ -62,7 +62,7 @@ class PageRank(RankingMethod):
     def scores(self, network: CitationNetwork) -> FloatVector:
         if network.n_papers == 0:
             raise ConfigurationError("cannot rank an empty network")
-        operator = StochasticOperator(network)
+        operator = shared_operator(network)
         teleport = (1.0 - self.alpha) * uniform_vector(network.n_papers)
 
         def step(vector: np.ndarray) -> np.ndarray:

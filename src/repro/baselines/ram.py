@@ -20,6 +20,7 @@ import numpy as np
 
 from repro._typing import FloatVector
 from repro.errors import ConfigurationError
+from repro.graph.cache import memoize_on
 from repro.graph.citation_network import CitationNetwork
 from repro.ranking import RankingMethod
 
@@ -34,15 +35,23 @@ def retained_edge_weights(
 ) -> FloatVector:
     """Per-edge retention weights ``gamma^(tN - t_citing)``.
 
-    Shared by RAM and ECM (which operate on the same retained matrix).
-    Citation ages are clipped below at zero so an explicit early ``now``
-    never inflates weights above one.
+    Shared by RAM and ECM (which operate on the same retained matrix),
+    and memoised per ``(network, gamma, now)``: ECM's 5x5 grid revisits
+    each ``gamma`` five times, RAM's sweep once more.  Citation ages are
+    clipped below at zero so an explicit early ``now`` never inflates
+    weights above one.
     """
     if not 0 < gamma <= 1:
         raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
     reference = network.latest_time if now is None else float(now)
-    citation_ages = np.maximum(reference - network.citation_times(), 0.0)
-    return np.power(gamma, citation_ages)
+
+    def build() -> FloatVector:
+        citation_ages = np.maximum(reference - network.citation_times(), 0.0)
+        return np.power(gamma, citation_ages)
+
+    return memoize_on(
+        network, ("retained_weights", float(gamma), reference), build
+    )
 
 
 class RetainedAdjacency(RankingMethod):

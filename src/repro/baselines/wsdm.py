@@ -31,8 +31,9 @@ import scipy.sparse as sp
 
 from repro._typing import FloatVector
 from repro.errors import ConfigurationError, GraphError
+from repro.graph.cache import memoize_on
 from repro.graph.citation_network import CitationNetwork
-from repro.graph.matrix import StochasticOperator
+from repro.graph.matrix import shared_operator
 from repro.ranking import RankingMethod
 
 __all__ = ["WSDMRanker"]
@@ -104,9 +105,19 @@ class WSDMRanker(RankingMethod):
                 "(the paper runs it only on PMC and DBLP for this reason)"
             )
         n = network.n_papers
-        citation_flow = StochasticOperator(network)
-        author_mean = _row_mean_operator(network.author_matrix)
-        venue_mean = _row_mean_operator(network.venue_matrix)
+        citation_flow = shared_operator(network)
+        # The bipartite mean operators depend only on the network, so
+        # one WSDM grid (50 settings) normalises each matrix once.
+        author_mean = memoize_on(
+            network,
+            ("wsdm_row_mean", "authors"),
+            lambda: _row_mean_operator(network.author_matrix),
+        )
+        venue_mean = memoize_on(
+            network,
+            ("wsdm_row_mean", "venues"),
+            lambda: _row_mean_operator(network.venue_matrix),
+        )
 
         prior = _normalized(
             self.alpha * np.log1p(network.in_degree.astype(np.float64))

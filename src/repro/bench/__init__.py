@@ -1,0 +1,43 @@
+"""repro.bench — the machine-readable benchmark harness.
+
+``repro bench --scenario <name>`` (or ``python benchmarks/harness.py``)
+runs a registered scenario with warm-up + repeat timing and writes a
+self-describing ``BENCH_<scenario>.json`` — wall times, task counts,
+speedup vs serial, dataset dimensions, machine context — so the
+repository's performance trajectory is tracked by artifacts rather than
+prose.
+
+* :func:`run_scenario` / :class:`BenchResult` — run and serialise;
+* :func:`time_callable` — the shared warm-up + repeats timer;
+* :data:`~repro.bench.scenarios.SCENARIOS` — the registry
+  (``figure4``, ``tuning``, ``serve_delta``, ``split``, ``operator``);
+* :func:`scenario` — decorator for registering new scenarios.
+"""
+
+from repro.bench.harness import (
+    SCHEMA_VERSION,
+    BenchConfig,
+    BenchResult,
+    TimingStats,
+    list_scenarios,
+    run_scenario,
+    scenario_help,
+    time_callable,
+    write_result,
+)
+from repro.bench.scenarios import SCENARIOS, ScenarioSpec, scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "BenchResult",
+    "TimingStats",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "scenario",
+    "list_scenarios",
+    "run_scenario",
+    "scenario_help",
+    "time_callable",
+    "write_result",
+]

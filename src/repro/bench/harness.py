@@ -1,0 +1,262 @@
+"""The machine-readable benchmark harness.
+
+Every performance claim in this repository flows through one pipeline:
+a *scenario* (a registered callable that exercises a workload and
+returns a payload of measurements) is run under a :class:`BenchConfig`
+(jobs, dataset size, warm-up and repeat counts) and the result is
+written as ``BENCH_<scenario>.json`` — one self-describing file per
+scenario, so the perf trajectory can be tracked across PRs by diffing
+artifacts instead of re-reading prose.
+
+Entry points
+------------
+* :func:`run_scenario` — run one registered scenario, return a
+  :class:`BenchResult`; the CLI (``repro bench``) and the standalone
+  ``benchmarks/harness.py`` wrapper both call this.
+* :func:`time_callable` — warm-up + repeat wall-clock timing used by
+  the scenarios themselves.
+* :func:`write_result` / :meth:`BenchResult.write` — JSON emission.
+
+The JSON schema (``schema_version`` 1) always contains: the scenario
+name, the configuration it ran under (jobs, size, repeats, warm-up,
+seed, smoke), machine context (cpu count, python/numpy versions), an
+ISO-8601 UTC timestamp, and the scenario's payload — which for
+parallel scenarios includes serial and parallel wall times, the
+speedup, the task count, and the dataset dimensions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "TimingStats",
+    "BenchResult",
+    "time_callable",
+    "run_scenario",
+    "write_result",
+    "list_scenarios",
+    "scenario_help",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Everything a scenario needs to know about how to run.
+
+    Attributes
+    ----------
+    scenario:
+        Registered scenario name (``repro bench --list`` enumerates).
+    jobs:
+        Worker processes for the parallel half of A/B scenarios.
+    size:
+        Synthetic dataset scale (``tiny``/``small``/``medium``/
+        ``large``); scenarios pass it to
+        :func:`repro.synth.profiles.generate_dataset`.
+    repeats:
+        Timed repetitions per measured callable (the JSON records
+        every wall time, plus best and mean).
+    warmup:
+        Untimed runs before measuring, to populate caches and page in
+        code.
+    smoke:
+        Shrink the workload to CI scale (fewer ratios / smaller grids);
+        each scenario documents its smoke cut.
+    seed:
+        Generator seed for the synthetic corpora — fixed by default so
+        two runs of the same build measure the same work.
+    """
+
+    scenario: str
+    jobs: int = 1
+    size: str = "tiny"
+    repeats: int = 1
+    warmup: int = 0
+    smoke: bool = False
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Wall-clock statistics of one measured callable."""
+
+    wall_times: tuple[float, ...]
+    warmup: int
+
+    @property
+    def best(self) -> float:
+        return min(self.wall_times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.wall_times) / len(self.wall_times)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "wall_times_seconds": list(self.wall_times),
+            "best_seconds": self.best,
+            "mean_seconds": self.mean,
+            "warmup_runs": self.warmup,
+            "repeats": len(self.wall_times),
+        }
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    *,
+    warmup: int = 0,
+    repeats: int = 1,
+) -> tuple[TimingStats, Any]:
+    """Run ``fn`` ``warmup`` untimed + ``repeats`` timed times.
+
+    Returns the timing statistics and the *last* timed return value
+    (scenarios use it to verify the measured work produced the right
+    answer — a benchmark that computes garbage fast is not a result).
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    walls: list[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        walls.append(time.perf_counter() - started)
+    return TimingStats(wall_times=tuple(walls), warmup=warmup), result
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario run, ready to serialise.
+
+    ``payload`` is the scenario's own measurement dictionary; the
+    surrounding metadata (config, machine, timestamp) is added by
+    :meth:`as_dict` so every ``BENCH_*.json`` is self-describing.
+    """
+
+    config: BenchConfig
+    payload: Mapping[str, Any]
+    elapsed_seconds: float
+    created_utc: str = field(
+        default_factory=lambda: time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+    )
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.config.scenario}.json"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.config.scenario,
+            "created_utc": self.created_utc,
+            "elapsed_seconds": self.elapsed_seconds,
+            "config": {
+                "jobs": self.config.jobs,
+                "size": self.config.size,
+                "repeats": self.config.repeats,
+                "warmup": self.config.warmup,
+                "smoke": self.config.smoke,
+                "seed": self.config.seed,
+            },
+            "machine": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            "payload": dict(self.payload),
+        }
+
+    def write(self, output_dir: str = ".") -> str:
+        """Write ``BENCH_<scenario>.json`` into ``output_dir``; return path."""
+        return write_result(self, output_dir)
+
+
+def write_result(result: BenchResult, output_dir: str = ".") -> str:
+    """Serialise a :class:`BenchResult` to its canonical JSON file."""
+    os.makedirs(output_dir, exist_ok=True)
+    path = os.path.join(output_dir, result.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.as_dict(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def run_scenario(
+    name: str,
+    *,
+    jobs: int = 1,
+    size: str = "tiny",
+    repeats: int | None = None,
+    warmup: int | None = None,
+    smoke: bool = False,
+    seed: int = 7,
+) -> BenchResult:
+    """Run one registered scenario and return its result.
+
+    ``repeats``/``warmup`` default to the scenario's own declaration
+    (cheap micro-scenarios repeat more; the grid A/B runs once).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not a registered scenario.
+    """
+    from repro.bench.scenarios import SCENARIOS
+
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(
+            f"unknown bench scenario {name!r}; available: {known}"
+        ) from None
+    config = BenchConfig(
+        scenario=name,
+        jobs=jobs,
+        size=size,
+        repeats=spec.default_repeats if repeats is None else repeats,
+        warmup=spec.default_warmup if warmup is None else warmup,
+        smoke=smoke,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    payload = spec.run(config)
+    elapsed = time.perf_counter() - started
+    return BenchResult(
+        config=config, payload=payload, elapsed_seconds=elapsed
+    )
+
+
+def list_scenarios() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    from repro.bench.scenarios import SCENARIOS
+
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario_help() -> dict[str, str]:
+    """Scenario name -> one-line description (for ``repro bench --list``)."""
+    from repro.bench.scenarios import SCENARIOS
+
+    return {name: SCENARIOS[name].description for name in sorted(SCENARIOS)}

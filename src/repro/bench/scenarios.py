@@ -1,0 +1,338 @@
+"""The registered benchmark scenarios.
+
+Each scenario is a callable ``(BenchConfig) -> payload dict`` registered
+under a short name; ``repro bench --scenario <name>`` runs it through
+:func:`repro.bench.run_scenario` and writes ``BENCH_<name>.json``.
+
+Scenario catalogue
+------------------
+``figure4``
+    The paper's Figure-4 grid (every method tuned for nDCG@50 at every
+    test ratio), run twice: serially and through the
+    :class:`~repro.parallel.ExperimentEngine` at ``--jobs`` workers.
+    Records both wall times, the speedup, and verifies the two runs
+    produce identical series and identical chosen hyper-parameters.
+``tuning``
+    One AttRank grid search (250 settings) on the default split,
+    serial vs parallel — the smallest unit of the paper's protocol.
+``serve_delta``
+    The serving path: apply a citation delta to a score index with
+    warm-started vs cold re-solves (the `repro.serve` speedup).
+``split``
+    Temporal splitting across all five test ratios — the evaluation's
+    fixed preprocessing cost.
+``operator``
+    Cold construction of the column-stochastic operator plus matvec
+    throughput — the kernel every PageRank-style solve sits on.
+
+Smoke mode (``--smoke``) shrinks each scenario to CI scale; the JSON
+records that the cut was applied, so numbers are never compared across
+modes by accident.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig, time_callable
+from repro.eval.experiment import _grid_for_lineup, methods_available
+from repro.eval.grids import attrank_grid
+from repro.eval.metrics import NDCG
+from repro.eval.split import DEFAULT_TEST_RATIOS, split_by_ratio
+from repro.graph.citation_network import CitationNetwork
+from repro.graph.matrix import StochasticOperator
+from repro.graph.temporal import chronological_order
+from repro.parallel import ExperimentEngine
+from repro.synth.profiles import generate_dataset
+
+__all__ = ["SCENARIOS", "ScenarioSpec", "scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: the callable plus its timing defaults."""
+
+    name: str
+    description: str
+    run: Callable[[BenchConfig], dict[str, Any]]
+    default_repeats: int = 1
+    default_warmup: int = 0
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def scenario(
+    name: str,
+    description: str,
+    *,
+    default_repeats: int = 1,
+    default_warmup: int = 0,
+) -> Callable[[Callable[[BenchConfig], dict[str, Any]]], Callable]:
+    """Register a scenario callable under ``name``."""
+
+    def register(fn: Callable[[BenchConfig], dict[str, Any]]) -> Callable:
+        SCENARIOS[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            run=fn,
+            default_repeats=default_repeats,
+            default_warmup=default_warmup,
+        )
+        return fn
+
+    return register
+
+
+def _dataset_info(
+    network: CitationNetwork, name: str, size: str
+) -> dict[str, Any]:
+    return {
+        "name": name,
+        "size": size,
+        "n_papers": network.n_papers,
+        "n_citations": network.n_citations,
+    }
+
+
+def _series_identical(a, b) -> bool:
+    """Whether two ComparisonSeries agree in scores AND chosen params."""
+    if tuple(a.cells) != tuple(b.cells) or a.x_values != b.x_values:
+        return False
+    for method in a.cells:
+        for cell_a, cell_b in zip(a.cells[method], b.cells[method]):
+            if cell_a.score != cell_b.score:
+                return False
+            if dict(cell_a.result.best_params) != dict(
+                cell_b.result.best_params
+            ):
+                return False
+    return True
+
+
+@scenario(
+    "figure4",
+    "Figure-4 grid (all methods tuned for nDCG@50 per ratio): "
+    "parallel vs serial",
+)
+def _bench_figure4(config: BenchConfig) -> dict[str, Any]:
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    ratios = (1.6,) if config.smoke else DEFAULT_TEST_RATIOS
+    lineup = methods_available(network)
+    metric = NDCG(50)
+
+    def run_with(jobs: int):
+        return ExperimentEngine(jobs=jobs).compare_over_ratios(
+            network,
+            dataset="hep-th",
+            metric=metric,
+            test_ratios=ratios,
+            methods=lineup,
+        )
+
+    serial_stats, serial_panel = time_callable(
+        lambda: run_with(1),
+        warmup=config.warmup,
+        repeats=config.repeats,
+    )
+    parallel_stats, parallel_panel = time_callable(
+        lambda: run_with(config.jobs),
+        warmup=config.warmup,
+        repeats=config.repeats,
+    )
+
+    grid_points = {
+        name: len(list(_grid_for_lineup(name))) for name in lineup
+    }
+    evaluations = sum(grid_points.values()) * len(ratios)
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "metric": "ndcg@50",
+        "test_ratios": list(ratios),
+        "methods": list(lineup),
+        "grid_points_per_method": grid_points,
+        "evaluations_per_run": evaluations,
+        "serial": serial_stats.as_dict(),
+        "parallel": {**parallel_stats.as_dict(), "jobs": config.jobs},
+        "speedup_vs_serial": serial_stats.best / parallel_stats.best,
+        "identical_rankings": _series_identical(serial_panel, parallel_panel),
+        "winner_at_ratio": {
+            str(ratio): serial_panel.winner_at(float(ratio))
+            for ratio in ratios
+        },
+    }
+
+
+@scenario(
+    "tuning",
+    "One AttRank grid search (250 settings): parallel vs serial",
+)
+def _bench_tuning(config: BenchConfig) -> dict[str, Any]:
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    metric = NDCG(50)
+    windows = (1, 3) if config.smoke else (1, 2, 3, 4, 5)
+    points = list(attrank_grid(windows=windows))
+
+    def tune_with(jobs: int):
+        # A fresh split per timed run keeps the comparison fair: its
+        # current network is a new instance, so serial repeats start
+        # from cold per-network caches exactly like pool workers do.
+        split = split_by_ratio(network, 1.6)
+        return ExperimentEngine(jobs=jobs).tune_method(
+            "AR", points, split, metric
+        )
+
+    serial_stats, serial_result = time_callable(
+        lambda: tune_with(1), warmup=config.warmup, repeats=config.repeats
+    )
+    parallel_stats, parallel_result = time_callable(
+        lambda: tune_with(config.jobs),
+        warmup=config.warmup,
+        repeats=config.repeats,
+    )
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "metric": "ndcg@50",
+        "grid_points": len(points),
+        "serial": serial_stats.as_dict(),
+        "parallel": {**parallel_stats.as_dict(), "jobs": config.jobs},
+        "speedup_vs_serial": serial_stats.best / parallel_stats.best,
+        "identical_rankings": (
+            serial_result.best == parallel_result.best
+            and serial_result.sweep == parallel_result.sweep
+        ),
+        "best_params": dict(serial_result.best_params),
+        "best_score": serial_result.best_score,
+    }
+
+
+@scenario(
+    "serve_delta",
+    "Score-index delta update: warm-started vs cold re-solves",
+    default_repeats=3,
+)
+def _bench_serve_delta(config: BenchConfig) -> dict[str, Any]:
+    from repro.serve import DeltaUpdater, ScoreIndex, delta_between
+
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    order = chronological_order(network)
+    held_out = max(5, network.n_papers // 100)
+    base = network.subnetwork(np.sort(order[: network.n_papers - held_out]))
+    delta = delta_between(base, network)
+    methods = ("AR", "PR", "CC") if config.smoke else ("AR", "PR", "CR", "CC")
+
+    def apply_once(warm: bool) -> tuple[float, dict[str, int]]:
+        index = ScoreIndex(base)
+        for label in methods:
+            index.add_method(label)
+        updater = DeltaUpdater(index, warm=warm)
+        started = time.perf_counter()
+        report = updater.apply(delta)
+        elapsed = time.perf_counter() - started
+        iterations = {
+            label: entry.iterations for label, entry in report.entries.items()
+        }
+        return elapsed, iterations
+
+    warm_walls, cold_walls = [], []
+    warm_iters: dict[str, int] = {}
+    cold_iters: dict[str, int] = {}
+    for _ in range(config.warmup):
+        apply_once(True)
+    for _ in range(config.repeats):
+        elapsed, warm_iters = apply_once(True)
+        warm_walls.append(elapsed)
+        elapsed, cold_iters = apply_once(False)
+        cold_walls.append(elapsed)
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "methods": list(methods),
+        "delta": {
+            "n_new_papers": len(delta.papers),
+            "n_new_citations": len(delta.citations),
+        },
+        "warm": {
+            "wall_times_seconds": warm_walls,
+            "best_seconds": min(warm_walls),
+            "iterations": warm_iters,
+        },
+        "cold": {
+            "wall_times_seconds": cold_walls,
+            "best_seconds": min(cold_walls),
+            "iterations": cold_iters,
+        },
+        # Deliberately NOT "speedup_vs_serial": this scenario compares
+        # warm-started vs cold re-solves, not parallel vs serial runs.
+        "speedup_warm_vs_cold": min(cold_walls) / min(warm_walls),
+    }
+
+
+@scenario(
+    "split",
+    "Temporal train/test splitting across all five test ratios",
+    default_repeats=3,
+    default_warmup=1,
+)
+def _bench_split(config: BenchConfig) -> dict[str, Any]:
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    ratios = (1.6,) if config.smoke else DEFAULT_TEST_RATIOS
+
+    def split_all():
+        return [split_by_ratio(network, ratio) for ratio in ratios]
+
+    stats, splits = time_callable(
+        split_all, warmup=config.warmup, repeats=config.repeats
+    )
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "test_ratios": list(ratios),
+        "timing": stats.as_dict(),
+        "splits_per_second": len(ratios) / stats.best,
+        "horizon_years": {
+            str(ratio): split.horizon_years
+            for ratio, split in zip(ratios, splits)
+        },
+    }
+
+
+@scenario(
+    "operator",
+    "Column-stochastic operator: cold CSR build + matvec throughput",
+    default_repeats=3,
+    default_warmup=1,
+)
+def _bench_operator(config: BenchConfig) -> dict[str, Any]:
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    applies = 20 if config.smoke else 100
+
+    # Direct construction (not the shared_operator cache) so every
+    # repeat measures a cold CSR assembly.
+    build_stats, operator = time_callable(
+        lambda: StochasticOperator(network),
+        warmup=config.warmup,
+        repeats=config.repeats,
+    )
+
+    vector = np.full(network.n_papers, 1.0 / network.n_papers)
+
+    def apply_many():
+        result = vector
+        for _ in range(applies):
+            result = operator.apply(result)
+        return result
+
+    apply_stats, _ = time_callable(
+        apply_many, warmup=config.warmup, repeats=config.repeats
+    )
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "build": build_stats.as_dict(),
+        "apply": {**apply_stats.as_dict(), "applies_per_repeat": applies},
+        "applies_per_second": applies / apply_stats.best,
+        "nnz": int(operator.sparse_part.nnz),
+        "n_dangling": operator.n_dangling,
+    }

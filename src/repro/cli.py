@@ -11,6 +11,9 @@ Subcommands
 ``index``      Build a score index (snapshot + solved methods) file.
 ``update``     Apply a JSON delta to an index with warm-started re-solves.
 ``query``      Serve top-k queries (pagination, year filter) from an index.
+``compare``    Reproduce a figure panel (tune all methods per ratio),
+               fanned out over ``--jobs`` worker processes.
+``bench``      Run a benchmark scenario and write ``BENCH_<name>.json``.
 
 Batch commands accept either ``--dataset <name>`` (synthetic profile) or
 ``--input <file.npz>`` (a saved network); the serving commands
@@ -26,11 +29,12 @@ from typing import Sequence
 import repro
 from repro.analysis.horizons import horizon_table
 from repro.analysis.popularity import recently_popular_overlap
-from repro.analysis.reporting import format_kv_block, format_table
+from repro.analysis.reporting import format_kv_block, format_series, format_table
 from repro.baselines import METHOD_REGISTRY, make_method
 from repro.errors import ReproError
+from repro.eval.experiment import COMPARISON_METHODS
 from repro.eval.metrics import NDCG, SpearmanRho
-from repro.eval.split import split_by_ratio
+from repro.eval.split import DEFAULT_TEST_RATIOS, split_by_ratio
 from repro.graph.citation_network import CitationNetwork
 from repro.graph.statistics import summarize
 from repro.io.serialize import load_network, save_network
@@ -203,6 +207,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--year-max", type=float, default=None, help="latest year, inclusive"
+    )
+
+    compare = commands.add_parser(
+        "compare",
+        help=(
+            "reproduce a figure panel: tune every method per test ratio, "
+            "in parallel with --jobs"
+        ),
+    )
+    _add_source_arguments(compare)
+    compare.add_argument(
+        "--metric",
+        choices=["spearman", "ndcg"],
+        default="ndcg",
+        help="optimise Spearman rho (Figure 3) or nDCG@k (Figure 4)",
+    )
+    compare.add_argument(
+        "--k", type=int, default=50, help="nDCG cut-off (default 50)"
+    )
+    compare.add_argument(
+        "--ratios",
+        nargs="+",
+        type=float,
+        default=list(DEFAULT_TEST_RATIOS),
+        help="test ratios (default: the paper's 1.2 1.4 1.6 1.8 2.0)",
+    )
+    compare.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        choices=sorted(COMPARISON_METHODS),
+        help="lineup subset (default: every method the data supports)",
+    )
+    compare.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores; default 1 = serial)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="run a benchmark scenario and write BENCH_<scenario>.json",
+    )
+    bench.add_argument(
+        "--scenario", default=None, help="scenario name (see --list)"
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list available scenarios and exit",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel scenarios (0 = all cores)",
+    )
+    bench.add_argument(
+        "--size",
+        default="tiny",
+        choices=sorted(SIZE_FACTORS),
+        help="synthetic dataset scale (default: tiny)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repetitions (default: the scenario's own)",
+    )
+    bench.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="untimed warm-up runs (default: the scenario's own)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload cut"
+    )
+    bench.add_argument("--seed", type=int, default=7, help="generator seed")
+    bench.add_argument(
+        "--output-dir", default=".", help="where to write BENCH_*.json"
     )
 
     return parser
@@ -436,6 +523,94 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.parallel import ExperimentEngine
+
+    network = _load_source(args)
+    metric = NDCG(args.k) if args.metric == "ndcg" else SpearmanRho()
+    engine = ExperimentEngine(jobs=args.jobs)
+    label = args.dataset if args.dataset else args.input
+    panel = engine.compare_over_ratios(
+        network,
+        dataset=str(label),
+        metric=metric,
+        test_ratios=tuple(args.ratios),
+        methods=args.methods,
+    )
+    print(
+        format_series(
+            "ratio",
+            panel.x_values,
+            {name: panel.series(name) for name in panel.cells},
+            title=(
+                f"{panel.metric} vs test ratio [{panel.dataset}], "
+                f"jobs={engine.jobs}"
+            ),
+        )
+    )
+    for ratio in panel.x_values:
+        print(f"winner @ {ratio:g}: {panel.winner_at(ratio)}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_scenario, scenario_help
+
+    if args.list_scenarios:
+        for name, description in scenario_help().items():
+            print(f"{name:12s} {description}")
+        return 0
+    if not args.scenario:
+        print(
+            "error: --scenario is required (or use --list)", file=sys.stderr
+        )
+        return 2
+    result = run_scenario(
+        args.scenario,
+        jobs=args.jobs,
+        size=args.size,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        smoke=args.smoke,
+        seed=args.seed,
+    )
+    path = result.write(args.output_dir)
+    payload = result.payload
+    rows = []
+    if "serial" in payload and "parallel" in payload:
+        rows.append(
+            ["serial best (s)", f"{payload['serial']['best_seconds']:.3f}"]
+        )
+        rows.append(
+            ["parallel best (s)", f"{payload['parallel']['best_seconds']:.3f}"]
+        )
+    if "speedup_vs_serial" in payload:
+        rows.append(
+            ["speedup vs serial", f"{payload['speedup_vs_serial']:.2f}x"]
+        )
+    if "speedup_warm_vs_cold" in payload:
+        rows.append(
+            [
+                "speedup warm vs cold",
+                f"{payload['speedup_warm_vs_cold']:.2f}x",
+            ]
+        )
+    if "identical_rankings" in payload:
+        rows.append(
+            ["identical rankings", "yes" if payload["identical_rankings"] else "NO"]
+        )
+    if rows:
+        print(
+            format_table(
+                ["measure", "value"],
+                rows,
+                title=f"bench {args.scenario} (jobs={args.jobs})",
+            )
+        )
+    print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "summarize": _command_summarize,
@@ -446,6 +621,8 @@ _COMMANDS = {
     "index": _command_index,
     "update": _command_update,
     "query": _command_query,
+    "compare": _command_compare,
+    "bench": _command_bench,
 }
 
 

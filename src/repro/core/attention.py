@@ -16,6 +16,7 @@ import numpy as np
 
 from repro._typing import FloatVector
 from repro.errors import ConfigurationError
+from repro.graph.cache import memoize_on
 from repro.graph.citation_network import CitationNetwork
 from repro.graph.temporal import citation_counts_between
 
@@ -62,9 +63,25 @@ def attention_vector(
     citations at all (possible on tiny or pathological networks, and not
     addressed by the paper), the vector falls back to uniform so that the
     AttRank matrix ``R`` remains stochastic and Theorem 1 still applies.
+
+    The result is memoised per ``(network, window, now)`` and returned
+    read-only: AttRank's grid re-uses the same five windows across ~50
+    coefficient combinations each, so the counting pass runs once per
+    window instead of once per grid point.
     """
-    counts = attention_counts(network, window_years, now=now)
-    total = counts.sum()
-    if total <= 0:
-        return np.full(network.n_papers, 1.0 / network.n_papers)
-    return counts / total
+    if window_years <= 0:
+        raise ConfigurationError(
+            f"attention window must be positive, got {window_years}"
+        )
+    reference = network.latest_time if now is None else float(now)
+
+    def build() -> FloatVector:
+        counts = attention_counts(network, window_years, now=reference)
+        total = counts.sum()
+        if total <= 0:
+            return np.full(network.n_papers, 1.0 / network.n_papers)
+        return counts / total
+
+    return memoize_on(
+        network, ("attention", float(window_years), reference), build
+    )

@@ -28,7 +28,7 @@ from repro.core.power_iteration import DEFAULT_TOLERANCE, power_iterate
 from repro.core.recency import fit_decay_rate, recency_vector
 from repro.errors import ConfigurationError
 from repro.graph.citation_network import CitationNetwork
-from repro.graph.matrix import StochasticOperator
+from repro.graph.matrix import StochasticOperator, shared_operator
 from repro.ranking import RankingMethod
 
 __all__ = ["AttRank", "attrank_matrix"]
@@ -175,7 +175,7 @@ class AttRank(RankingMethod):
             self.last_convergence = None
             return jump
 
-        operator = StochasticOperator(network)
+        operator = shared_operator(network)
 
         def step(vector: FloatVector) -> FloatVector:
             return self.alpha * operator.apply(vector) + jump

@@ -65,8 +65,8 @@ def grow_start_vector(previous: FloatVector, n: int) -> FloatVector:
         )
     if vector.size > n:
         raise ConfigurationError(
-            f"previous solution has length {vector.size}, but the grown "
-            f"network has only {n} papers"
+            f"previous solution has length {vector.size}, which exceeds "
+            f"the grown network's {n} papers (length must be <= {n})"
         )
     if not np.all(np.isfinite(vector)) or np.any(vector < 0):
         raise ConfigurationError(

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro._typing import FloatVector
 from repro.errors import ConfigurationError, EvaluationError
+from repro.graph.cache import memoize_on
 from repro.graph.citation_network import CitationNetwork
 from repro.graph.statistics import citation_age_distribution
 
@@ -51,12 +52,21 @@ def recency_vector(
         raise ConfigurationError(
             f"decay rate w must be <= 0, got {decay_rate}"
         )
-    ages = network.ages(now)
-    # Subtract the minimum age before exponentiating for numerical
-    # stability on long time spans; the shift cancels in normalisation.
-    shifted = ages - ages.min()
-    raw = np.exp(decay_rate * shifted)
-    return raw / raw.sum()
+    reference = network.latest_time if now is None else float(now)
+
+    def build() -> FloatVector:
+        ages = network.ages(reference)
+        # Subtract the minimum age before exponentiating for numerical
+        # stability on long time spans; the shift cancels in
+        # normalisation.
+        shifted = ages - ages.min()
+        raw = np.exp(decay_rate * shifted)
+        return raw / raw.sum()
+
+    # Memoised per (network, w, now): within one dataset the decay rate
+    # is fitted once (Section 4.2), so a whole AttRank grid shares a
+    # single recency vector.
+    return memoize_on(network, ("recency", float(decay_rate), reference), build)
 
 
 @dataclass(frozen=True)
@@ -113,7 +123,29 @@ def fit_decay_rate(
     EvaluationError
         If fewer than two tail points carry citations (no slope can be
         fitted).
+
+    Notes
+    -----
+    The fit is memoised per ``(network, max_age, tail_start)``: AttRank
+    resolves ``w`` at scoring time when none is given, and without the
+    cache every grid point with ``gamma > 0`` would redo the
+    citation-age scan and the least-squares fit.
     """
+    return memoize_on(
+        network,
+        ("decay_fit", int(max_age), tail_start),
+        lambda: _fit_decay_rate(
+            network, max_age=max_age, tail_start=tail_start
+        ),
+    )
+
+
+def _fit_decay_rate(
+    network: CitationNetwork,
+    *,
+    max_age: int,
+    tail_start: int | None,
+) -> DecayFit:
     distribution = citation_age_distribution(network, max_age=max_age)
     if tail_start is None:
         tail_start = int(np.argmax(distribution))

@@ -8,6 +8,12 @@ everything the benchmark harness needs to print the paper-style series.
 The ablations are handled exactly as in the paper: NO-ATT is the
 ``beta = 0`` slice of AttRank's grid, ATT-ONLY the ``beta = 1`` slice,
 and the full AttRank grid covers everything in between.
+
+The drivers here run serially; the ``repro.parallel`` engine exposes
+:meth:`~repro.parallel.ExperimentEngine.compare_over_ratios` and
+:meth:`~repro.parallel.ExperimentEngine.compare_over_k` equivalents
+that fan the grid points over worker processes and return bit-identical
+series (``repro compare --jobs N`` on the command line).
 """
 
 from __future__ import annotations

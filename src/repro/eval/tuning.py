@@ -7,6 +7,13 @@ correlation").  :func:`tune_method` reproduces that protocol: evaluate a
 method over a parameter grid on one temporal split and return the
 best-scoring setting along with the full sweep (the sweep is what the
 heatmap figures visualise).
+
+Grid points share their expensive structure: the stochastic operator,
+attention/recency vectors and retained-weight matrices are memoised per
+network (:mod:`repro.graph.cache`), so a serial sweep builds each once.
+For multi-core machines, :class:`repro.parallel.ExperimentEngine` fans
+the same grid points over worker processes with results bit-identical
+to this module's serial loop.
 """
 
 from __future__ import annotations

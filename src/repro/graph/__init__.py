@@ -13,11 +13,18 @@ Public entry points:
 """
 
 from repro.graph.builder import NetworkBuilder
+from repro.graph.cache import (
+    cached_keys,
+    clear_derived,
+    derived_store,
+    memoize_on,
+)
 from repro.graph.citation_network import CitationNetwork
 from repro.graph.matrix import (
     StochasticOperator,
     column_stochastic,
     is_column_stochastic,
+    shared_operator,
 )
 from repro.graph.statistics import (
     NetworkSummary,
@@ -42,6 +49,11 @@ __all__ = [
     "StochasticOperator",
     "column_stochastic",
     "is_column_stochastic",
+    "shared_operator",
+    "cached_keys",
+    "clear_derived",
+    "derived_store",
+    "memoize_on",
     "NetworkSummary",
     "citation_age_distribution",
     "citations_per_year",

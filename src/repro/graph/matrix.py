@@ -23,9 +23,15 @@ import scipy.sparse as sp
 
 from repro._typing import FloatVector
 from repro.errors import GraphError
+from repro.graph.cache import memoize_on
 from repro.graph.citation_network import CitationNetwork
 
-__all__ = ["StochasticOperator", "column_stochastic", "is_column_stochastic"]
+__all__ = [
+    "StochasticOperator",
+    "column_stochastic",
+    "is_column_stochastic",
+    "shared_operator",
+]
 
 
 def column_stochastic(matrix: sp.spmatrix) -> sp.csr_matrix:
@@ -157,3 +163,20 @@ class StochasticOperator:
         if self.n_dangling:
             full[:, self._dangling] = 1.0 / self._n
         return full
+
+
+def shared_operator(network: CitationNetwork) -> StochasticOperator:
+    """The memoised unweighted :class:`StochasticOperator` of ``network``.
+
+    Building ``S`` is the dominant fixed cost of every PageRank-style
+    solve (CSR assembly + column normalisation, O(nnz)).  All call sites
+    that need the *unweighted* operator — AttRank, PageRank, CiteRank,
+    FutureRank, WSDM — go through this accessor, so one grid search
+    builds ``S`` once instead of once per grid point.  Weighted variants
+    (per-edge retention weights) are not cached here; their weights
+    depend on method hyper-parameters and are memoised at their own call
+    sites.
+    """
+    return memoize_on(
+        network, ("stochastic_operator",), lambda: StochasticOperator(network)
+    )

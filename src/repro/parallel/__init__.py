@@ -1,0 +1,32 @@
+"""repro.parallel — the process-pool experiment engine.
+
+The paper's comparative evaluation (Figures 3-5, Tables 1-3) tunes
+every method over its full hyper-parameter grid per dataset and test
+ratio.  Those grid points are independent, so this package fans them
+out over worker processes while guaranteeing results *bit-identical* to
+the serial drivers in :mod:`repro.eval`:
+
+* :class:`ExperimentEngine` — ``jobs``-configurable pool running
+  :meth:`~ExperimentEngine.tune_method`,
+  :meth:`~ExperimentEngine.tune_methods`,
+  :meth:`~ExperimentEngine.compare_over_ratios` and
+  :meth:`~ExperimentEngine.compare_over_k` with deterministic
+  reduction order;
+* :class:`SplitSnapshot` — one precomputed evaluation context (CSR
+  transition matrix, attention/recency vectors, decay fit) per split,
+  shared by every grid point a worker evaluates;
+* :func:`resolve_jobs` — ``--jobs`` semantics (``0`` = all cores).
+
+CLI: ``repro compare --jobs N`` reproduces a figure panel in parallel,
+``repro bench`` measures the speedup and writes ``BENCH_*.json``.
+"""
+
+from repro.parallel.engine import ExperimentEngine, GridTask, resolve_jobs
+from repro.parallel.snapshot import SplitSnapshot
+
+__all__ = [
+    "ExperimentEngine",
+    "GridTask",
+    "SplitSnapshot",
+    "resolve_jobs",
+]

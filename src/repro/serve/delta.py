@@ -55,10 +55,12 @@ class NetworkDelta:
 
     @property
     def n_papers(self) -> int:
+        """Number of new papers in the delta."""
         return len(self.papers)
 
     @property
     def n_citations(self) -> int:
+        """Number of new citation edges in the delta."""
         return len(self.citations)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -210,6 +212,7 @@ class DeltaUpdater:
 
     @property
     def index(self) -> ScoreIndex:
+        """The score index this updater mutates in place."""
         return self._index
 
     def extend_network(self, delta: NetworkDelta) -> CitationNetwork:

@@ -157,6 +157,7 @@ class RankingService:
 
     @property
     def index(self) -> ScoreIndex:
+        """The score index queries are answered from."""
         return self._index
 
     @property

@@ -215,3 +215,82 @@ class TestErrors:
         code = main(["summarize", "--input", str(tmp_path / "nope.npz")])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_prints_series_and_winners(self, hepth_file, capsys):
+        code = main(
+            [
+                "compare", "--input", hepth_file,
+                "--metric", "ndcg", "--k", "50",
+                "--ratios", "1.6",
+                "--methods", "RAM", "ATT-ONLY",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ndcg@50 vs test ratio" in out
+        assert "jobs=2" in out
+        assert "RAM" in out and "ATT-ONLY" in out
+        assert "winner @ 1.6:" in out
+
+    def test_compare_spearman_serial(self, hepth_file, capsys):
+        code = main(
+            [
+                "compare", "--input", hepth_file,
+                "--metric", "spearman",
+                "--ratios", "1.6",
+                "--methods", "RAM",
+                "--jobs", "1",
+            ]
+        )
+        assert code == 0
+        assert "spearman vs test ratio" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out
+        assert "serve_delta" in out
+
+    def test_bench_requires_scenario(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--scenario is required" in capsys.readouterr().err
+
+    def test_bench_unknown_scenario_errors(self, capsys):
+        assert main(["bench", "--scenario", "nope"]) == 1
+        assert "unknown bench scenario" in capsys.readouterr().err
+
+    def test_bench_split_writes_json(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "--scenario", "split", "--smoke",
+                "--repeats", "1", "--warmup", "0",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        path = tmp_path / "BENCH_split.json"
+        assert path.exists()
+        document = json.loads(path.read_text())
+        assert document["scenario"] == "split"
+        assert document["payload"]["splits_per_second"] > 0
+
+    def test_bench_figure4_smoke_reports_speedup(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "--scenario", "figure4", "--jobs", "2",
+                "--smoke", "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup vs serial" in out
+        assert "identical rankings" in out
+        document = json.loads((tmp_path / "BENCH_figure4.json").read_text())
+        assert document["payload"]["identical_rankings"] is True

@@ -139,6 +139,23 @@ class TestGrowStartVector:
         with pytest.raises(ConfigurationError, match="grown network"):
             grow_start_vector(np.ones(4) / 4, 3)
 
+    def test_equal_length_is_accepted_not_rejected(self):
+        # Regression: the docstring promises "length <= n".  An equal-
+        # length vector must pass the check (it is the no-new-papers
+        # delta case), and must come back verbatim.
+        previous = np.array([0.25, 0.25, 0.5])
+        grown = grow_start_vector(previous, 3)
+        np.testing.assert_array_equal(grown, previous)
+
+    def test_too_long_message_states_the_constraint(self):
+        # Regression: the old message read "the grown network has only
+        # {n} papers", which suggested equality was also an error.  The
+        # message must state the actual violated constraint.
+        with pytest.raises(
+            ConfigurationError, match=r"exceeds.*must be <= 3"
+        ):
+            grow_start_vector(np.ones(4) / 4, 3)
+
     def test_rejects_negative_and_non_finite(self):
         with pytest.raises(ConfigurationError, match="non-negative"):
             grow_start_vector(np.array([0.5, -0.5]), 3)

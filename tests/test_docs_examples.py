@@ -1,0 +1,92 @@
+"""Execute every ``python`` code block in the documentation.
+
+The docs promise runnable examples; this module keeps that promise
+honest.  For each documented file, the fenced ``python`` blocks are
+extracted in order and executed top-to-bottom in one shared namespace
+(so later blocks may build on earlier ones, like a script split into
+sections).  A block can opt out by being immediately preceded by the
+marker comment ``<!-- docs: no-run -->``.
+
+CI runs this as the "docs" job; locally it is part of the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The documentation files whose python blocks must execute.
+DOCUMENTED_FILES = (
+    "README.md",
+    os.path.join("docs", "API.md"),
+    os.path.join("docs", "ARCHITECTURE.md"),
+)
+
+NO_RUN_MARKER = "<!-- docs: no-run -->"
+
+_FENCE = re.compile(
+    r"^(?P<indent>[ ]*)```(?P<lang>[A-Za-z0-9_+-]*)[ ]*$"
+)
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(start_line, source)`` for each runnable ``python`` fence."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = _FENCE.match(lines[index])
+        if match and match.group("lang") == "python":
+            preceding = ""
+            for back in range(index - 1, -1, -1):
+                if lines[back].strip():
+                    preceding = lines[back].strip()
+                    break
+            start = index + 1
+            body: list[str] = []
+            index += 1
+            while index < len(lines) and not _FENCE.match(lines[index]):
+                body.append(lines[index])
+                index += 1
+            if preceding != NO_RUN_MARKER:
+                blocks.append((start + 1, "\n".join(body)))
+        index += 1
+    return blocks
+
+
+@pytest.mark.parametrize(
+    "relative_path",
+    DOCUMENTED_FILES,
+    ids=[path.replace(os.sep, "/") for path in DOCUMENTED_FILES],
+)
+def test_documented_code_runs(relative_path, tmp_path, monkeypatch):
+    path = os.path.join(REPO_ROOT, relative_path)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    blocks = extract_python_blocks(text)
+    if not blocks:
+        pytest.skip(f"{relative_path} has no python blocks")
+    # Examples that write files must land in a scratch directory.
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": "__docs__"}
+    for line, source in blocks:
+        try:
+            exec(compile(source, f"{relative_path}:{line}", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"{relative_path} code block at line {line} failed: "
+                f"{type(error).__name__}: {error}"
+            )
+
+
+def test_readme_and_api_have_examples():
+    """The docs pass must not silently lose its runnable examples."""
+    for relative_path in ("README.md", os.path.join("docs", "API.md")):
+        with open(
+            os.path.join(REPO_ROOT, relative_path), encoding="utf-8"
+        ) as handle:
+            assert extract_python_blocks(handle.read()), relative_path

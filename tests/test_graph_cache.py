@@ -1,0 +1,165 @@
+"""Tests of the per-network derived-structure cache (repro.graph.cache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attention import attention_vector
+from repro.core.recency import fit_decay_rate, recency_vector
+from repro.baselines.ram import retained_edge_weights
+from repro.graph.cache import (
+    cached_keys,
+    clear_derived,
+    derived_store,
+    memoize_on,
+)
+from repro.graph.matrix import StochasticOperator, shared_operator
+
+
+class TestMemoizeOn:
+    def test_factory_runs_once(self, toy):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return object()
+
+        first = memoize_on(toy, ("k",), factory)
+        second = memoize_on(toy, ("k",), factory)
+        assert first is second
+        assert len(calls) == 1
+        clear_derived(toy)
+
+    def test_distinct_keys_distinct_values(self, toy):
+        a = memoize_on(toy, ("k", 1), lambda: [1])
+        b = memoize_on(toy, ("k", 2), lambda: [2])
+        assert a != b
+        clear_derived(toy)
+
+    def test_cached_arrays_are_read_only(self, toy):
+        vector = memoize_on(toy, ("arr",), lambda: np.ones(3))
+        with pytest.raises(ValueError):
+            vector[0] = 2.0
+        clear_derived(toy)
+
+    def test_cached_sparse_matrices_are_read_only(self, toy):
+        import scipy.sparse as sp
+
+        matrix = memoize_on(
+            toy, ("sp",), lambda: sp.csr_matrix(np.eye(3))
+        )
+        with pytest.raises(ValueError):
+            matrix.data[0] = 5.0
+        clear_derived(toy)
+
+    def test_clear_derived_forgets(self, toy):
+        memoize_on(toy, ("k",), lambda: 1)
+        assert ("k",) in cached_keys(toy)
+        clear_derived(toy)
+        assert cached_keys(toy) == ()
+
+    def test_store_is_per_network(self, toy, chain):
+        memoize_on(toy, ("k",), lambda: "toy")
+        memoize_on(chain, ("k",), lambda: "chain")
+        assert derived_store(toy)[("k",)] == "toy"
+        assert derived_store(chain)[("k",)] == "chain"
+        clear_derived(toy)
+        clear_derived(chain)
+
+    def test_store_dies_with_network(self, toy):
+        import gc
+
+        from repro.graph.cache import _STORES
+        from repro.synth.scenarios import toy_network
+
+        transient = toy_network()
+        memoize_on(transient, ("k",), lambda: 1)
+        assert transient in _STORES
+        del transient
+        gc.collect()
+        # The weak key releases the store once the network is gone.
+        assert all(network is not toy for network in list(_STORES))
+
+
+class TestSharedStructures:
+    def test_shared_operator_is_memoised(self, toy):
+        clear_derived(toy)
+        first = shared_operator(toy)
+        second = shared_operator(toy)
+        assert first is second
+        clear_derived(toy)
+
+    def test_shared_operator_matches_direct_construction(self, toy):
+        vector = np.full(toy.n_papers, 1.0 / toy.n_papers)
+        np.testing.assert_array_equal(
+            shared_operator(toy).apply(vector),
+            StochasticOperator(toy).apply(vector),
+        )
+        clear_derived(toy)
+
+    def test_attention_vector_cached_per_window(self, hepth_tiny):
+        clear_derived(hepth_tiny)
+        one = attention_vector(hepth_tiny, 3.0)
+        two = attention_vector(hepth_tiny, 3.0)
+        other = attention_vector(hepth_tiny, 5.0)
+        assert one is two
+        assert other is not one
+        clear_derived(hepth_tiny)
+
+    def test_attention_vector_distinguishes_now(self, hepth_tiny):
+        clear_derived(hepth_tiny)
+        implicit = attention_vector(hepth_tiny, 3.0)
+        explicit = attention_vector(
+            hepth_tiny, 3.0, now=hepth_tiny.latest_time
+        )
+        # Same resolved reference time -> same cached vector.
+        assert implicit is explicit
+        earlier = attention_vector(
+            hepth_tiny, 3.0, now=hepth_tiny.latest_time - 1.0
+        )
+        assert earlier is not implicit
+        clear_derived(hepth_tiny)
+
+    def test_recency_vector_cached_per_rate(self, hepth_tiny):
+        clear_derived(hepth_tiny)
+        assert recency_vector(hepth_tiny, -0.2) is recency_vector(
+            hepth_tiny, -0.2
+        )
+        assert recency_vector(hepth_tiny, -0.2) is not recency_vector(
+            hepth_tiny, -0.4
+        )
+        clear_derived(hepth_tiny)
+
+    def test_decay_fit_cached(self, hepth_tiny):
+        clear_derived(hepth_tiny)
+        assert fit_decay_rate(hepth_tiny) is fit_decay_rate(hepth_tiny)
+        clear_derived(hepth_tiny)
+
+    def test_retained_weights_cached_per_gamma(self, hepth_tiny):
+        clear_derived(hepth_tiny)
+        assert retained_edge_weights(
+            hepth_tiny, 0.5
+        ) is retained_edge_weights(hepth_tiny, 0.5)
+        assert retained_edge_weights(
+            hepth_tiny, 0.5
+        ) is not retained_edge_weights(hepth_tiny, 0.6)
+        clear_derived(hepth_tiny)
+
+    def test_caching_never_changes_scores(self, hepth_split):
+        """Cached vs cold evaluations are bit-identical (tentpole
+        invariant: hoisting must not move a single bit)."""
+        from repro.baselines import make_method
+
+        for label, params in [
+            ("AR", dict(alpha=0.2, beta=0.5, gamma=0.3)),
+            ("PR", dict(alpha=0.5)),
+            ("CR", dict(alpha=0.5, tau_dir=2.0)),
+            ("RAM", dict(gamma=0.6)),
+            ("ECM", dict(alpha=0.1, gamma=0.3)),
+        ]:
+            clear_derived(hepth_split.current)
+            cold = make_method(label, **params).scores(hepth_split.current)
+            warm = make_method(label, **params).scores(hepth_split.current)
+            np.testing.assert_array_equal(cold, warm)
+        clear_derived(hepth_split.current)
