@@ -41,6 +41,7 @@ from repro.errors import (
     DataFormatError,
     EvaluationError,
     GraphError,
+    IndexIntegrityError,
     ReproError,
 )
 from repro.eval import (
@@ -58,10 +59,15 @@ from repro.graph import CitationNetwork, NetworkBuilder, shared_operator
 from repro.io import load_network, save_network
 from repro.ranking import RankingMethod, ranking_from_scores, top_k_indices
 from repro.serve import (
+    CompareQuery,
     DeltaUpdater,
     NetworkDelta,
+    PaperQuery,
+    QueryEngine,
     RankingService,
     ScoreIndex,
+    ShardedScoreIndex,
+    TopKQuery,
     delta_between,
 )
 from repro.synth import (
@@ -123,10 +129,15 @@ __all__ = [
     "load_network",
     "save_network",
     # serving
+    "CompareQuery",
     "DeltaUpdater",
     "NetworkDelta",
+    "PaperQuery",
+    "QueryEngine",
     "RankingService",
     "ScoreIndex",
+    "ShardedScoreIndex",
+    "TopKQuery",
     "delta_between",
     # errors
     "ReproError",
@@ -135,6 +146,7 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "EvaluationError",
+    "IndexIntegrityError",
 ]
 
 #: Deliberately lazy exports (PEP 562): the experiment engine and the

@@ -10,8 +10,11 @@ prose.
 * :func:`run_scenario` / :class:`BenchResult` — run and serialise;
 * :func:`time_callable` — the shared warm-up + repeats timer;
 * :data:`~repro.bench.scenarios.SCENARIOS` — the registry
-  (``figure4``, ``tuning``, ``serve_delta``, ``split``, ``operator``);
-* :func:`scenario` — decorator for registering new scenarios.
+  (``figure4``, ``tuning``, ``serve_delta``, ``serve_batch``,
+  ``split``, ``operator``);
+* :func:`scenario` — decorator for registering new scenarios;
+* :func:`compare_directories` / ``repro bench-diff`` — the benchmark
+  regression gate CI runs between a PR and its merge-base.
 """
 
 from repro.bench.harness import (
@@ -24,6 +27,13 @@ from repro.bench.harness import (
     scenario_help,
     time_callable,
     write_result,
+)
+from repro.bench.regression import (
+    RegressionReport,
+    RegressionRow,
+    compare_directories,
+    compare_results,
+    load_bench_results,
 )
 from repro.bench.scenarios import SCENARIOS, ScenarioSpec, scenario
 
@@ -40,4 +50,9 @@ __all__ = [
     "scenario_help",
     "time_callable",
     "write_result",
+    "RegressionReport",
+    "RegressionRow",
+    "compare_directories",
+    "compare_results",
+    "load_bench_results",
 ]

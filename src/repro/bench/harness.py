@@ -79,6 +79,9 @@ class BenchConfig:
     seed:
         Generator seed for the synthetic corpora — fixed by default so
         two runs of the same build measure the same work.
+    shards:
+        Partition count for the sharded-serving scenarios
+        (``serve_batch``); ignored by the others.
     """
 
     scenario: str
@@ -88,6 +91,7 @@ class BenchConfig:
     warmup: int = 0
     smoke: bool = False
     seed: int = 7
+    shards: int = 2
 
 
 @dataclass(frozen=True)
@@ -177,6 +181,7 @@ class BenchResult:
                 "warmup": self.config.warmup,
                 "smoke": self.config.smoke,
                 "seed": self.config.seed,
+                "shards": self.config.shards,
             },
             "machine": {
                 "cpu_count": os.cpu_count(),
@@ -211,6 +216,7 @@ def run_scenario(
     warmup: int | None = None,
     smoke: bool = False,
     seed: int = 7,
+    shards: int = 2,
 ) -> BenchResult:
     """Run one registered scenario and return its result.
 
@@ -239,6 +245,7 @@ def run_scenario(
         warmup=spec.default_warmup if warmup is None else warmup,
         smoke=smoke,
         seed=seed,
+        shards=shards,
     )
     started = time.perf_counter()
     payload = spec.run(config)

@@ -1,0 +1,274 @@
+"""Benchmark-regression comparison: two ``BENCH_*.json`` trees, one verdict.
+
+The CI ``bench-regression`` job runs the smoke bench scenarios twice —
+once on the pull request's head, once on its merge-base — and feeds the
+two artifact directories to :func:`compare_directories` (CLI:
+``repro bench-diff BASE_DIR HEAD_DIR``).  A scenario **fails** the gate
+when
+
+* its wall time grew beyond the tolerance
+  (``head > tolerance * base``, default 1.5x — generous enough for
+  shared-runner noise, tight enough to catch real hot-path
+  regressions), or
+* its head payload reports ``identical_rankings: false`` — a perf win
+  that changes results is not a win.
+
+Scenarios present on only one side are reported (``new`` /
+``removed``) but never fail the gate: every PR that adds a scenario
+would otherwise break itself.  Runs whose configurations differ
+(different smoke flag, size, jobs, or repeats) are flagged
+``config-changed`` and their times not compared — cross-configuration
+numbers are noise, the same rule the bench JSON schema enforces by
+recording its config.
+
+The wall time compared is the top-level ``elapsed_seconds`` (the whole
+scenario run), the one field every scenario emits regardless of its
+payload shape.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError, DataFormatError
+
+__all__ = [
+    "RegressionRow",
+    "RegressionReport",
+    "load_bench_results",
+    "compare_directories",
+    "compare_results",
+]
+
+#: Config fields that must agree for a time comparison to mean anything.
+_COMPARABLE_CONFIG_FIELDS = (
+    "jobs", "size", "repeats", "smoke", "seed", "shards",
+)
+
+
+def _configs_comparable(
+    base_config: Mapping[str, Any], head_config: Mapping[str, Any]
+) -> bool:
+    """Whether two run configurations measured the same workload.
+
+    A field absent on one side (an older build that predates the
+    field, e.g. ``shards``) does not make runs incomparable — only two
+    *present, differing* values do.  Otherwise every PR that adds a
+    config field would mark its own whole comparison config-changed.
+    """
+    for field in _COMPARABLE_CONFIG_FIELDS:
+        if field not in base_config or field not in head_config:
+            continue
+        if base_config[field] != head_config[field]:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class RegressionRow:
+    """One scenario's verdict.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario name (``figure4``, ``serve_batch``, ...).
+    base_seconds, head_seconds:
+        ``elapsed_seconds`` on each side (``None`` when absent).
+    ratio:
+        ``head / base`` (``None`` when either side is absent or the
+        configurations differ).
+    identical_ok:
+        ``False`` iff the head payload reports
+        ``identical_rankings: false``.
+    status:
+        ``ok`` | ``regression`` | ``broken`` | ``new`` | ``removed`` |
+        ``config-changed``.
+    """
+
+    scenario: str
+    base_seconds: float | None
+    head_seconds: float | None
+    ratio: float | None
+    identical_ok: bool
+    status: str
+
+    @property
+    def failed(self) -> bool:
+        """Whether this row fails the gate."""
+        return self.status in ("regression", "broken")
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """The full comparison, ready to print or post to a job summary."""
+
+    tolerance: float
+    rows: tuple[RegressionRow, ...]
+
+    @property
+    def failures(self) -> tuple[RegressionRow, ...]:
+        """Rows that fail the gate."""
+        return tuple(row for row in self.rows if row.failed)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes."""
+        return not self.failures
+
+    def to_markdown(self) -> str:
+        """A GitHub-flavoured markdown table (for ``$GITHUB_STEP_SUMMARY``)."""
+        lines = [
+            "## Benchmark regression gate "
+            + ("✅ pass" if self.ok else "❌ FAIL"),
+            "",
+            f"Tolerance: fail when head > {self.tolerance:g}x base "
+            "(`elapsed_seconds`), or when `identical_rankings` is "
+            "false on head.",
+            "",
+            "| scenario | base (s) | head (s) | ratio | rankings | "
+            "status |",
+            "| --- | ---: | ---: | ---: | :---: | :---: |",
+        ]
+        for row in self.rows:
+            lines.append(
+                "| {scenario} | {base} | {head} | {ratio} | {ident} | "
+                "{status} |".format(
+                    scenario=row.scenario,
+                    base=(
+                        f"{row.base_seconds:.3f}"
+                        if row.base_seconds is not None
+                        else "—"
+                    ),
+                    head=(
+                        f"{row.head_seconds:.3f}"
+                        if row.head_seconds is not None
+                        else "—"
+                    ),
+                    ratio=(
+                        f"{row.ratio:.2f}x"
+                        if row.ratio is not None
+                        else "—"
+                    ),
+                    ident="ok" if row.identical_ok else "**BROKEN**",
+                    status=(
+                        f"**{row.status}**"
+                        if row.failed
+                        else row.status
+                    ),
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+
+def load_bench_results(directory: str) -> dict[str, dict[str, Any]]:
+    """Read every ``BENCH_*.json`` in ``directory``, keyed by scenario.
+
+    An empty or missing directory yields an empty mapping — the CI gate
+    treats a merge-base that predates the bench harness as "everything
+    is new".
+    """
+    results: dict[str, dict[str, Any]] = {}
+    if not os.path.isdir(directory):
+        return results
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise DataFormatError(
+                f"{path}: invalid JSON ({error})"
+            ) from None
+        scenario = document.get("scenario")
+        if not isinstance(scenario, str) or "elapsed_seconds" not in document:
+            raise DataFormatError(
+                f"{path}: not a bench result (missing scenario/"
+                "elapsed_seconds)"
+            )
+        results[scenario] = document
+    return results
+
+
+def compare_results(
+    base: Mapping[str, Mapping[str, Any]],
+    head: Mapping[str, Mapping[str, Any]],
+    *,
+    tolerance: float = 1.5,
+) -> RegressionReport:
+    """Compare two result mappings (scenario -> bench document)."""
+    if tolerance <= 1.0:
+        raise ConfigurationError(
+            f"tolerance must be > 1.0, got {tolerance}"
+        )
+    rows: list[RegressionRow] = []
+    for scenario in sorted(set(base) | set(head)):
+        base_doc = base.get(scenario)
+        head_doc = head.get(scenario)
+        if head_doc is None:
+            rows.append(
+                RegressionRow(
+                    scenario=scenario,
+                    base_seconds=float(base_doc["elapsed_seconds"]),
+                    head_seconds=None,
+                    ratio=None,
+                    identical_ok=True,
+                    status="removed",
+                )
+            )
+            continue
+        head_seconds = float(head_doc["elapsed_seconds"])
+        identical = head_doc.get("payload", {}).get("identical_rankings")
+        identical_ok = identical is not False
+        if base_doc is None:
+            rows.append(
+                RegressionRow(
+                    scenario=scenario,
+                    base_seconds=None,
+                    head_seconds=head_seconds,
+                    ratio=None,
+                    identical_ok=identical_ok,
+                    status="broken" if not identical_ok else "new",
+                )
+            )
+            continue
+        base_seconds = float(base_doc["elapsed_seconds"])
+        comparable = _configs_comparable(
+            base_doc.get("config", {}), head_doc.get("config", {})
+        )
+        if not identical_ok:
+            status = "broken"
+            ratio = head_seconds / base_seconds if comparable else None
+        elif not comparable:
+            status = "config-changed"
+            ratio = None
+        else:
+            ratio = head_seconds / base_seconds
+            status = "regression" if ratio > tolerance else "ok"
+        rows.append(
+            RegressionRow(
+                scenario=scenario,
+                base_seconds=base_seconds,
+                head_seconds=head_seconds,
+                ratio=ratio,
+                identical_ok=identical_ok,
+                status=status,
+            )
+        )
+    return RegressionReport(tolerance=float(tolerance), rows=tuple(rows))
+
+
+def compare_directories(
+    base_dir: str,
+    head_dir: str,
+    *,
+    tolerance: float = 1.5,
+) -> RegressionReport:
+    """Compare the ``BENCH_*.json`` artifacts of two directories."""
+    return compare_results(
+        load_bench_results(base_dir),
+        load_bench_results(head_dir),
+        tolerance=tolerance,
+    )

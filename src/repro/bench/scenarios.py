@@ -24,6 +24,12 @@ Scenario catalogue
 ``operator``
     Cold construction of the column-stochastic operator plus matvec
     throughput — the kernel every PageRank-style solve sits on.
+``serve_batch``
+    The batched read path: a mixed batch of top-k / filtered /
+    compare / paper queries answered by the sharded
+    :class:`~repro.serve.QueryEngine` (``--shards``, ``--jobs``)
+    vs the same queries issued one at a time against an unsharded
+    :class:`~repro.serve.RankingService`, with a bit-identical check.
 
 Smoke mode (``--smoke``) shrinks each scenario to CI scale; the JSON
 records that the cut was applied, so numbers are never compared across
@@ -335,4 +341,110 @@ def _bench_operator(config: BenchConfig) -> dict[str, Any]:
         "applies_per_second": applies / apply_stats.best,
         "nnz": int(operator.sparse_part.nnz),
         "n_dangling": operator.n_dangling,
+    }
+
+
+@scenario(
+    "serve_batch",
+    "Batched sharded query engine vs one-at-a-time unsharded service",
+    default_repeats=3,
+    default_warmup=1,
+)
+def _bench_serve_batch(config: BenchConfig) -> dict[str, Any]:
+    from repro.serve import (
+        CompareQuery,
+        PaperQuery,
+        QueryEngine,
+        RankingService,
+        ScoreIndex,
+        ShardedScoreIndex,
+        TopKQuery,
+    )
+
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    methods = ("PR", "CC") if config.smoke else ("AR", "PR", "CC")
+    # Solving the methods is setup, not the measured read path.
+    index = ScoreIndex(network)
+    for label in methods:
+        index.add_method(label)
+
+    # A deterministic mixed batch: paginated pages over a handful of
+    # year spans (front-page traffic), one comparison, paper lookups.
+    times = network.publication_times
+    lo, hi = float(times.min()), float(times.max())
+    third = (hi - lo) / 3.0
+    spans = (None, (lo, lo + 2.0 * third), (lo + third, hi))
+    pages = 4 if config.smoke else 12
+    queries: list[Any] = [
+        TopKQuery(method=m, k=10, offset=10 * page, year_range=span)
+        for m in methods
+        for span in spans
+        for page in range(pages)
+    ]
+    queries.append(CompareQuery(methods=methods, k=25))
+    ids = network.paper_ids
+    step = max(1, network.n_papers // 10)
+    queries.extend(
+        PaperQuery(paper_id=ids[i])
+        for i in range(0, network.n_papers, step)
+    )
+
+    def run_serial() -> list[Any]:
+        # Fresh unsharded service per run: every query pays its own
+        # round trip, the historical serving path.
+        service = RankingService(index)
+        out: list[Any] = []
+        for query in queries:
+            if isinstance(query, TopKQuery):
+                out.append(
+                    service.top_k(
+                        query.method,
+                        k=query.k,
+                        offset=query.offset,
+                        year_range=query.year_range,
+                    )
+                )
+            elif isinstance(query, CompareQuery):
+                out.append(
+                    service.compare(
+                        query.methods, k=query.k, offset=query.offset,
+                        year_range=query.year_range,
+                    )
+                )
+            else:
+                out.append(service.paper(query.paper_id))
+        return out
+
+    def run_batched() -> list[Any]:
+        # Fresh store per run so partitioning + per-shard sorts are
+        # measured, exactly like the serial service's lazy sorts are.
+        store = ShardedScoreIndex.from_index(
+            index, n_shards=config.shards
+        )
+        return list(QueryEngine(store, jobs=config.jobs).execute(queries))
+
+    serial_stats, serial_results = time_callable(
+        run_serial, warmup=config.warmup, repeats=config.repeats
+    )
+    batched_stats, batched_results = time_callable(
+        run_batched, warmup=config.warmup, repeats=config.repeats
+    )
+    n_queries = len(queries)
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "methods": list(methods),
+        "n_queries": n_queries,
+        "shards": config.shards,
+        "serial": {
+            **serial_stats.as_dict(),
+            "queries_per_second": n_queries / serial_stats.best,
+        },
+        "batched": {
+            **batched_stats.as_dict(),
+            "jobs": config.jobs,
+            "shards": config.shards,
+            "queries_per_second": n_queries / batched_stats.best,
+        },
+        "speedup_vs_serial": serial_stats.best / batched_stats.best,
+        "identical_rankings": serial_results == batched_results,
     }

@@ -8,21 +8,29 @@ Subcommands
 ``evaluate``   Split a network by test ratio and score methods against STI.
 ``horizons``   Print the Table-2 ratio -> time-horizon mapping.
 ``popular``    Print the Table-1 recently-popular overlap.
-``index``      Build a score index (snapshot + solved methods) file.
+``index``      Build a score index file — or, with ``--shards N``, a
+               sharded index directory (one ``.npz`` per shard).
 ``update``     Apply a JSON delta to an index with warm-started re-solves.
-``query``      Serve top-k queries (pagination, year filter) from an index.
+``query``      Serve top-k queries (pagination, year filter) from an
+               index file or shard directory; ``--batch FILE`` executes
+               a JSON batch of heterogeneous queries through the
+               :class:`~repro.serve.QueryEngine`.
 ``compare``    Reproduce a figure panel (tune all methods per ratio),
                fanned out over ``--jobs`` worker processes.
 ``bench``      Run a benchmark scenario and write ``BENCH_<name>.json``.
+``bench-diff`` Compare two directories of ``BENCH_*.json`` artifacts and
+               fail on regressions (the CI benchmark gate).
 
 Batch commands accept either ``--dataset <name>`` (synthetic profile) or
 ``--input <file.npz>`` (a saved network); the serving commands
-(``update``, ``query``) operate on an index file built by ``index``.
+(``update``, ``query``) operate on an index built by ``index``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
@@ -38,7 +46,17 @@ from repro.eval.split import DEFAULT_TEST_RATIOS, split_by_ratio
 from repro.graph.citation_network import CitationNetwork
 from repro.graph.statistics import summarize
 from repro.io.serialize import load_network, save_network
-from repro.serve import DeltaUpdater, NetworkDelta, RankingService, ScoreIndex
+from repro.serve import (
+    DeltaUpdater,
+    NetworkDelta,
+    PARTITIONERS,
+    QueryEngine,
+    RankingService,
+    ScoreIndex,
+    ShardedScoreIndex,
+    queries_from_file,
+    result_payload,
+)
 from repro.synth.profiles import DATASET_PROFILES, SIZE_FACTORS, generate_dataset
 
 __all__ = ["main", "build_parser"]
@@ -150,13 +168,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="build a score index (snapshot + solved methods) file",
     )
     _add_source_arguments(index)
-    index.add_argument("--output", required=True, help="output index .npz")
+    index.add_argument(
+        "--output",
+        required=True,
+        help=(
+            "output index .npz (or, with --shards > 1, an output "
+            "directory of per-shard .npz files)"
+        ),
+    )
     index.add_argument(
         "--methods",
         nargs="+",
         default=["AR", "PR", "CC"],
         choices=sorted(METHOD_REGISTRY),
         help="methods to solve and index (default: AR PR CC)",
+    )
+    index.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "partition the index across N shards (default 1 = single "
+            ".npz file)"
+        ),
+    )
+    index.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="hash",
+        help=(
+            "shard assignment: stable id hash, or contiguous "
+            "publication-year ranges (default: hash)"
+        ),
     )
 
     update = commands.add_parser(
@@ -190,7 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser(
         "query", help="serve a top-k query from a score index"
     )
-    query.add_argument("--index", required=True, help="index .npz to query")
+    query.add_argument(
+        "--index",
+        required=True,
+        help="index .npz (or sharded index directory) to query",
+    )
+    query.add_argument(
+        "--batch",
+        default=None,
+        help=(
+            "JSON file of queries to execute as one planned batch: "
+            '[{"type": "top_k", "method": "AR", "k": 10}, '
+            '{"type": "paper", "id": "..."}, '
+            '{"type": "compare", "methods": ["AR", "CC"]}]; '
+            "results print as JSON"
+        ),
+    )
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker threads for the per-shard query phase "
+            "(0 = all cores; default 1)"
+        ),
+    )
     query.add_argument(
         "--methods",
         nargs="+",
@@ -289,7 +356,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=7, help="generator seed")
     bench.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help=(
+            "shard count for the sharded-serving scenarios "
+            "(default 2; ignored by the others)"
+        ),
+    )
+    bench.add_argument(
         "--output-dir", default=".", help="where to write BENCH_*.json"
+    )
+
+    diff = commands.add_parser(
+        "bench-diff",
+        help=(
+            "compare two directories of BENCH_*.json artifacts; exit "
+            "non-zero on regressions (the CI benchmark gate)"
+        ),
+    )
+    diff.add_argument("base", help="baseline artifact directory")
+    diff.add_argument("head", help="candidate artifact directory")
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help=(
+            "fail when head elapsed_seconds > tolerance x base "
+            "(default 1.5)"
+        ),
+    )
+    diff.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-flavoured markdown table (for job summaries)",
     )
 
     return parser
@@ -410,6 +510,21 @@ def _command_index(args: argparse.Namespace) -> int:
         entry = index.add_method(label)
         note = f"{entry.iterations} iterations" if entry.iterations else "closed form"
         print(f"solved {label} ({note})")
+    if args.shards > 1:
+        store = ShardedScoreIndex.from_index(
+            index, n_shards=args.shards, partitioner=args.partitioner
+        )
+        store.save(args.output)
+        populations = ", ".join(
+            str(store.shard(i).n_papers) for i in range(store.n_shards)
+        )
+        print(
+            f"wrote sharded index v{index.version}: "
+            f"{network.n_papers} papers, {len(index.labels)} methods, "
+            f"{store.n_shards} {args.partitioner}-partitioned shards "
+            f"({populations} papers) to {args.output}/"
+        )
+        return 0
     index.save(args.output)
     print(
         f"wrote index v{index.version}: {network.n_papers} papers, "
@@ -419,6 +534,14 @@ def _command_index(args: argparse.Namespace) -> int:
 
 
 def _command_update(args: argparse.Namespace) -> int:
+    if os.path.isdir(args.index):
+        print(
+            "error: repro update operates on a single-file index; "
+            "rebuild sharded stores with repro index --shards after "
+            "updating the source index",
+            file=sys.stderr,
+        )
+        return 2
     index = ScoreIndex.load(args.index)
     updater = DeltaUpdater(
         index,
@@ -456,8 +579,27 @@ def _command_update(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    index = ScoreIndex.load(args.index)
-    service = RankingService(index)
+    if os.path.isdir(args.index):
+        # A sharded store loads lazily and serves through the engine.
+        service = QueryEngine(
+            ShardedScoreIndex.load(args.index), jobs=args.jobs
+        )
+    else:
+        service = RankingService(
+            ScoreIndex.load(args.index), jobs=args.jobs
+        )
+    if args.batch:
+        queries = queries_from_file(args.batch)
+        engine = (
+            service if isinstance(service, QueryEngine) else service.engine
+        )
+        results = engine.execute(queries)
+        print(
+            json.dumps(
+                [result_payload(result) for result in results], indent=2
+            )
+        )
+        return 0
     year_range = None
     if args.year_min is not None or args.year_max is not None:
         year_range = (
@@ -512,7 +654,7 @@ def _command_query(args: argparse.Namespace) -> int:
         format_table(
             ["rank", *results],
             rows,
-            title=f"top-{args.top} comparison, index v{index.version}{span}",
+            title=f"top-{args.top} comparison, index v{service.version}{span}",
         )
     )
     for (a, b), shared in comparison.overlap.items():
@@ -573,6 +715,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         smoke=args.smoke,
         seed=args.seed,
+        shards=args.shards,
     )
     path = result.write(args.output_dir)
     payload = result.payload
@@ -583,6 +726,19 @@ def _command_bench(args: argparse.Namespace) -> int:
         )
         rows.append(
             ["parallel best (s)", f"{payload['parallel']['best_seconds']:.3f}"]
+        )
+    if "serial" in payload and "batched" in payload:
+        rows.append(
+            ["serial best (s)", f"{payload['serial']['best_seconds']:.3f}"]
+        )
+        rows.append(
+            ["batched best (s)", f"{payload['batched']['best_seconds']:.3f}"]
+        )
+        rows.append(
+            [
+                "batched queries/s",
+                f"{payload['batched']['queries_per_second']:.0f}",
+            ]
         )
     if "speedup_vs_serial" in payload:
         rows.append(
@@ -611,6 +767,44 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_diff(args: argparse.Namespace) -> int:
+    from repro.bench.regression import compare_directories
+
+    report = compare_directories(
+        args.base, args.head, tolerance=args.tolerance
+    )
+    if args.markdown:
+        print(report.to_markdown())
+    else:
+        rows = [
+            [
+                row.scenario,
+                "-" if row.base_seconds is None else f"{row.base_seconds:.3f}",
+                "-" if row.head_seconds is None else f"{row.head_seconds:.3f}",
+                "-" if row.ratio is None else f"{row.ratio:.2f}x",
+                "ok" if row.identical_ok else "BROKEN",
+                row.status,
+            ]
+            for row in report.rows
+        ]
+        print(
+            format_table(
+                ["scenario", "base (s)", "head (s)", "ratio",
+                 "rankings", "status"],
+                rows,
+                title=(
+                    f"bench regression gate (tolerance "
+                    f"{report.tolerance:g}x)"
+                ),
+            )
+        )
+    if not report.ok:
+        names = ", ".join(row.scenario for row in report.failures)
+        print(f"error: benchmark regression in: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "summarize": _command_summarize,
@@ -623,6 +817,7 @@ _COMMANDS = {
     "query": _command_query,
     "compare": _command_compare,
     "bench": _command_bench,
+    "bench-diff": _command_bench_diff,
 }
 
 

@@ -20,6 +20,18 @@ class DataFormatError(ReproError):
     """An input file does not conform to the expected dataset format."""
 
 
+class IndexIntegrityError(DataFormatError):
+    """A persisted score index is internally inconsistent.
+
+    Raised when an index (or shard) file parses as the right format but
+    its pieces disagree: method metadata naming unknown or duplicate
+    labels, score vectors missing or undeclared, version numbers that
+    contradict each other across shard files.  Subclasses
+    :class:`DataFormatError`, so callers catching format problems
+    broadly keep working.
+    """
+
+
 class ConfigurationError(ReproError):
     """A method or experiment was configured with invalid parameters."""
 

@@ -1,10 +1,10 @@
-"""repro.serve — the incremental ranking service layer.
+"""repro.serve — the incremental, sharded ranking service layer.
 
 The paper ranks by *short-term* impact, a signal that is only useful if
 rankings can follow the corpus as new papers and citations arrive
 (BIP! DB, the deployment built on these methods, refreshes its scores
-from exactly such harvesting cycles).  This package turns the offline
-bench into that service:
+from exactly such harvesting cycles — and serves them for >100M
+publications).  This package turns the offline bench into that service:
 
 * :class:`ScoreIndex` — versioned per-method score vectors bound to a
   network snapshot, persistable as one ``.npz`` file;
@@ -12,14 +12,34 @@ bench into that service:
   and citations, applied by extending the snapshot in place (existing
   paper indices are preserved) and re-solving each method
   **warm-started** from its previous solution;
-* :class:`RankingService` — paginated top-k queries, year-range
-  filters, multi-method comparison and per-paper lookups, behind an
-  LRU result cache that the index version keeps honest.
+* :class:`ShardedScoreIndex` — the serving state partitioned across N
+  shards (hash or year-range), each shard its own lazily-loadable
+  ``.npz`` file, with delta growth routed to the affected shards;
+* :class:`QueryEngine` — batches of heterogeneous queries
+  (:class:`TopKQuery` / :class:`PaperQuery` / :class:`CompareQuery`)
+  planned per shard, executed concurrently, and k-way heap-merged into
+  results bit-identical to the unsharded path;
+* :class:`RankingService` — the per-request front end: paginated top-k
+  queries, year-range filters, multi-method comparison and per-paper
+  lookups behind an LRU result cache, delegating reads to the engine
+  (the unsharded service is the ``shards=1`` special case).
 
-CLI: ``repro index`` builds an index file, ``repro update`` applies a
-delta, ``repro query`` serves reads from it.
+CLI: ``repro index`` builds an index file (``--shards N`` for a shard
+directory), ``repro update`` applies a delta, ``repro query`` serves
+reads (``--batch FILE`` for a query batch).
 """
 
+from repro.serve.batch import (
+    CompareQuery,
+    PaperQuery,
+    Query,
+    QueryEngine,
+    TopKQuery,
+    pairwise_overlap,
+    queries_from_file,
+    queries_from_payload,
+    result_payload,
+)
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.delta import (
     DeltaUpdater,
@@ -27,17 +47,24 @@ from repro.serve.delta import (
     UpdateReport,
     delta_between,
 )
+from repro.serve.results import (
+    MethodComparison,
+    PaperDetails,
+    QueryResult,
+    RankedPaper,
+)
 from repro.serve.score_index import (
     INDEX_FORMAT_VERSION,
     MethodEntry,
     ScoreIndex,
 )
-from repro.serve.service import (
-    MethodComparison,
-    PaperDetails,
-    QueryResult,
-    RankedPaper,
-    RankingService,
+from repro.serve.service import RankingService
+from repro.serve.shard import (
+    PARTITIONERS,
+    SHARD_FORMAT_VERSION,
+    SHARD_MANIFEST,
+    Shard,
+    ShardedScoreIndex,
 )
 
 __all__ = [
@@ -50,6 +77,20 @@ __all__ = [
     "INDEX_FORMAT_VERSION",
     "MethodEntry",
     "ScoreIndex",
+    "PARTITIONERS",
+    "SHARD_FORMAT_VERSION",
+    "SHARD_MANIFEST",
+    "Shard",
+    "ShardedScoreIndex",
+    "CompareQuery",
+    "PaperQuery",
+    "Query",
+    "QueryEngine",
+    "TopKQuery",
+    "pairwise_overlap",
+    "queries_from_file",
+    "queries_from_payload",
+    "result_payload",
     "MethodComparison",
     "PaperDetails",
     "QueryResult",

@@ -25,12 +25,15 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ConfigurationError, DataFormatError
 from repro.graph.builder import MissingRefPolicy, NetworkBuilder
 from repro.graph.citation_network import CitationNetwork
 from repro.serve.score_index import MethodEntry, ScoreIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.serve.shard import ShardedScoreIndex
 
 __all__ = ["NetworkDelta", "DeltaUpdater", "UpdateReport", "delta_between"]
 
@@ -173,6 +176,9 @@ class UpdateReport:
         warm-started solves included).
     elapsed_seconds:
         Wall-clock time of extend + re-solve.
+    touched_shards:
+        Shard ids that gained papers, when the updater routes to a
+        :class:`~repro.serve.ShardedScoreIndex` (empty otherwise).
     """
 
     version: int
@@ -181,6 +187,7 @@ class UpdateReport:
     n_papers: int
     entries: Mapping[str, MethodEntry]
     elapsed_seconds: float
+    touched_shards: tuple[int, ...] = ()
 
 
 class DeltaUpdater:
@@ -197,6 +204,11 @@ class DeltaUpdater:
     warm:
         Warm-start re-solves from previous solutions (default).  Cold
         mode exists for benchmarking the savings, not for serving.
+    sharded:
+        An attached :class:`~repro.serve.ShardedScoreIndex` over the
+        same index.  When given, every applied delta is routed through
+        :meth:`~repro.serve.ShardedScoreIndex.sync` and the report
+        records which shards gained papers.
     """
 
     def __init__(
@@ -205,10 +217,12 @@ class DeltaUpdater:
         *,
         missing_references: MissingRefPolicy = "skip",
         warm: bool = True,
+        sharded: ShardedScoreIndex | None = None,
     ) -> None:
         self._index = index
         self._policy: MissingRefPolicy = missing_references
         self._warm = bool(warm)
+        self._sharded = sharded
 
     @property
     def index(self) -> ScoreIndex:
@@ -235,11 +249,19 @@ class DeltaUpdater:
         return builder.build()
 
     def apply(self, delta: NetworkDelta) -> UpdateReport:
-        """Extend the snapshot, re-solve all methods, bump the version."""
+        """Extend the snapshot, re-solve all methods, bump the version.
+
+        With an attached shard store, the new papers are then routed to
+        their shards (:meth:`ShardedScoreIndex.sync`) so the serving
+        layer never reads stale slices.
+        """
         started = time.perf_counter()
         before = self._index.network
         extended = self.extend_network(delta)
         entries = self._index.refresh(extended, warm=self._warm)
+        touched: tuple[int, ...] = ()
+        if self._sharded is not None:
+            touched = self._sharded.sync()
         return UpdateReport(
             version=self._index.version,
             n_new_papers=extended.n_papers - before.n_papers,
@@ -247,4 +269,5 @@ class DeltaUpdater:
             n_papers=extended.n_papers,
             entries=entries,
             elapsed_seconds=time.perf_counter() - started,
+            touched_shards=touched,
         )

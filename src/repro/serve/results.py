@@ -1,0 +1,93 @@
+"""Result objects shared by the query front ends.
+
+Both query layers — the per-request :class:`~repro.serve.RankingService`
+and the batched :class:`~repro.serve.QueryEngine` — answer with the
+same frozen dataclasses, defined here so neither layer depends on the
+other.  Equality is structural, which is what lets the tests state the
+core guarantee directly: a sharded, batched execution produces results
+``==`` to the unsharded, one-at-a-time path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "QueryResult",
+    "RankedPaper",
+    "MethodComparison",
+    "PaperDetails",
+]
+
+
+@dataclass(frozen=True)
+class RankedPaper:
+    """One row of a query result."""
+
+    rank: int
+    paper_id: str
+    year: float
+    score: float
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One page of a ranking query.
+
+    Attributes
+    ----------
+    method:
+        Method label the ranking is by.
+    version:
+        Index version the result was computed against.
+    k, offset:
+        The requested page (``offset`` papers skipped, then ``k`` rows).
+    total:
+        Papers matching the filter — for pagination UIs.
+    year_range:
+        The inclusive ``(lo, hi)`` filter, or ``None``.
+    entries:
+        The rows, ranks numbered within the filtered population.
+    """
+
+    method: str
+    version: int
+    k: int
+    offset: int
+    total: int
+    year_range: tuple[float, float] | None
+    entries: tuple[RankedPaper, ...]
+
+    @property
+    def paper_ids(self) -> tuple[str, ...]:
+        """Just the ids, in rank order."""
+        return tuple(entry.paper_id for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Top-k lists of several methods over the same filter, side by side.
+
+    Attributes
+    ----------
+    results:
+        Per-method :class:`QueryResult`, in request order.
+    overlap:
+        Pairwise ``|top-k(a) ∩ top-k(b)|`` for every unordered method
+        pair — the agreement measure behind the paper's Table 1-style
+        analyses.
+    """
+
+    results: Mapping[str, QueryResult]
+    overlap: Mapping[tuple[str, str], int]
+
+
+@dataclass(frozen=True)
+class PaperDetails:
+    """Scores and ranks of one paper under every indexed method."""
+
+    paper_id: str
+    year: float
+    scores: Mapping[str, float]
+    ranks: Mapping[str, int]

@@ -27,9 +27,13 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro._typing import FloatVector
-from repro.baselines import make_method, warm_startable
+from repro.baselines import METHOD_REGISTRY, make_method, warm_startable
 from repro.core.power_iteration import grow_start_vector
-from repro.errors import ConfigurationError, DataFormatError
+from repro.errors import (
+    ConfigurationError,
+    DataFormatError,
+    IndexIntegrityError,
+)
 from repro.graph.citation_network import CitationNetwork
 from repro.io.serialize import network_from_payload, network_payload
 
@@ -296,6 +300,12 @@ class ScoreIndex:
         DataFormatError
             If the file is missing, is a bare network file rather than
             an index, or declares an unsupported index format version.
+        IndexIntegrityError
+            If the file parses as an index but its pieces disagree:
+            metadata fields missing, method labels unknown to the
+            registry or duplicated, score vectors missing, undeclared,
+            or of the wrong length, version numbers malformed.  (A
+            subclass of :class:`DataFormatError`.)
         """
         if not os.path.exists(path):
             raise DataFormatError(f"file not found: {path}")
@@ -313,28 +323,99 @@ class ScoreIndex:
                 f"{path}: unsupported index format version {declared} "
                 f"(this build reads version {INDEX_FORMAT_VERSION})"
             )
+        records = _validated_method_records(meta, source=path)
         network = network_from_payload(arrays, source=path)
-        index = cls(network, version=int(meta["version"]))
-        for record in meta["methods"]:
-            label = str(record["label"])
+        index = cls(network, version=records["version"])
+        declared_keys = set()
+        for record in records["methods"]:
+            label = record["label"]
             key = f"index_scores__{label}"
+            declared_keys.add(key)
             if key not in arrays:
-                raise DataFormatError(
+                raise IndexIntegrityError(
                     f"{path}: score vector for {label!r} is missing"
                 )
             scores = np.asarray(arrays[key], dtype=np.float64)
             scores.setflags(write=False)
             if scores.shape != (network.n_papers,):
-                raise DataFormatError(
+                raise IndexIntegrityError(
                     f"{path}: score vector for {label!r} has length "
                     f"{scores.size}, expected {network.n_papers}"
                 )
             index._entries[label] = MethodEntry(
                 label=label,
-                params=dict(record["params"]),
+                params=record["params"],
                 scores=scores,
-                iterations=int(record["iterations"]),
-                converged=bool(record["converged"]),
-                warm_started=bool(record["warm_started"]),
+                iterations=record["iterations"],
+                converged=record["converged"],
+                warm_started=record["warm_started"],
+            )
+        undeclared = sorted(
+            name
+            for name in arrays
+            if name.startswith("index_scores__")
+            and name not in declared_keys
+        )
+        if undeclared:
+            raise IndexIntegrityError(
+                f"{path}: score vectors not declared in the metadata: "
+                f"{undeclared} — the file was assembled inconsistently"
             )
         return index
+
+
+def _validated_method_records(
+    meta: Mapping[str, Any], *, source: str
+) -> dict[str, Any]:
+    """Validate a persisted index's metadata block.
+
+    Returns ``{"version": int, "methods": [normalised records]}``.
+    Every failure raises :class:`IndexIntegrityError` — a loader must
+    never surface a bare :class:`KeyError` from a truncated or
+    hand-edited file.
+    """
+    try:
+        version = int(meta["version"])
+        raw_methods = meta["methods"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise IndexIntegrityError(
+            f"{source}: malformed index metadata ({error!r})"
+        ) from None
+    if version < 0:
+        raise IndexIntegrityError(
+            f"{source}: negative index version {version}"
+        )
+    if not isinstance(raw_methods, list):
+        raise IndexIntegrityError(
+            f"{source}: metadata 'methods' must be a list, "
+            f"got {type(raw_methods).__name__}"
+        )
+    methods: list[dict[str, Any]] = []
+    seen: set[str] = set()
+    for record in raw_methods:
+        try:
+            label = str(record["label"])
+            normalised = {
+                "label": label,
+                "params": dict(record["params"]),
+                "iterations": int(record["iterations"]),
+                "converged": bool(record["converged"]),
+                "warm_started": bool(record["warm_started"]),
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise IndexIntegrityError(
+                f"{source}: malformed method record ({error!r})"
+            ) from None
+        if label != label.upper() or label.upper() not in METHOD_REGISTRY:
+            known = ", ".join(sorted(METHOD_REGISTRY))
+            raise IndexIntegrityError(
+                f"{source}: metadata names unknown method {label!r} "
+                f"(registered: {known})"
+            )
+        if label in seen:
+            raise IndexIntegrityError(
+                f"{source}: metadata declares method {label!r} twice"
+            )
+        seen.add(label)
+        methods.append(normalised)
+    return {"version": version, "methods": methods}

@@ -2,23 +2,28 @@
 
 :class:`RankingService` is the piece a web tier would sit on.  It
 answers read queries — paginated top-k lists, year-range filtered
-rankings, multi-method comparisons, single-paper lookups — from the
-score vectors of a :class:`~repro.serve.ScoreIndex`, and funnels write
-traffic (deltas) through a :class:`~repro.serve.DeltaUpdater`.
+rankings, multi-method comparisons, single-paper lookups — and funnels
+write traffic (deltas) through a :class:`~repro.serve.DeltaUpdater`.
 
-Two layers keep the read path fast:
+Since the sharding refactor the service no longer reads score vectors
+directly: it owns a :class:`~repro.serve.ShardedScoreIndex` (a
+single-shard store by default — the unsharded service is just the
+``shards=1`` special case) and delegates every read to a
+:class:`~repro.serve.QueryEngine`, the same engine that serves batched
+multi-shard traffic.  What the service adds on top of the engine:
 
-* the full ranking permutation of each method is memoised per index
-  version (computing it is the only O(n log n) step), and
-* assembled query results go through an LRU cache whose keys include
-  the index version, so a delta update implicitly invalidates every
-  cached page (the cache is also cleared eagerly to free memory).
+* an LRU result cache whose keys include the serving-state version, so
+  a delta update implicitly invalidates every cached page;
+* write plumbing — :meth:`update` applies a delta, routes the growth to
+  the affected shards, and clears the cache;
+* freshness tracking — an out-of-band :meth:`ScoreIndex.refresh` is
+  detected by version mismatch and the shard store re-synced before the
+  next read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -26,9 +31,17 @@ from repro._typing import IntVector
 from repro.errors import ConfigurationError
 from repro.graph.builder import MissingRefPolicy
 from repro.ranking import ranking_from_scores
+from repro.serve.batch import QueryEngine, pairwise_overlap
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.delta import DeltaUpdater, NetworkDelta, UpdateReport
+from repro.serve.results import (
+    MethodComparison,
+    PaperDetails,
+    QueryResult,
+    RankedPaper,
+)
 from repro.serve.score_index import ScoreIndex
+from repro.serve.shard import ShardedScoreIndex
 
 __all__ = [
     "RankingService",
@@ -37,78 +50,6 @@ __all__ = [
     "MethodComparison",
     "PaperDetails",
 ]
-
-
-@dataclass(frozen=True)
-class RankedPaper:
-    """One row of a query result."""
-
-    rank: int
-    paper_id: str
-    year: float
-    score: float
-
-
-@dataclass(frozen=True)
-class QueryResult:
-    """One page of a ranking query.
-
-    Attributes
-    ----------
-    method:
-        Method label the ranking is by.
-    version:
-        Index version the result was computed against.
-    k, offset:
-        The requested page (``offset`` papers skipped, then ``k`` rows).
-    total:
-        Papers matching the filter — for pagination UIs.
-    year_range:
-        The inclusive ``(lo, hi)`` filter, or ``None``.
-    entries:
-        The rows, ranks numbered within the filtered population.
-    """
-
-    method: str
-    version: int
-    k: int
-    offset: int
-    total: int
-    year_range: tuple[float, float] | None
-    entries: tuple[RankedPaper, ...]
-
-    @property
-    def paper_ids(self) -> tuple[str, ...]:
-        """Just the ids, in rank order."""
-        return tuple(entry.paper_id for entry in self.entries)
-
-
-@dataclass(frozen=True)
-class MethodComparison:
-    """Top-k lists of several methods over the same filter, side by side.
-
-    Attributes
-    ----------
-    results:
-        Per-method :class:`QueryResult`, in request order.
-    overlap:
-        Pairwise ``|top-k(a) ∩ top-k(b)|`` for every unordered method
-        pair — the agreement measure behind the paper's Table 1-style
-        analyses.
-    """
-
-    results: Mapping[str, QueryResult]
-    overlap: Mapping[tuple[str, str], int]
-
-
-@dataclass(frozen=True)
-class PaperDetails:
-    """Scores and ranks of one paper under every indexed method."""
-
-    paper_id: str
-    year: float
-    scores: Mapping[str, float]
-    ranks: Mapping[str, int]
 
 
 class RankingService:
@@ -125,6 +66,17 @@ class RankingService:
     warm:
         Warm-start re-solves on update (default; cold mode exists for
         benchmarking).
+    shards:
+        Partition count of the underlying shard store.  ``1`` (the
+        default) serves exactly like the historical unsharded service;
+        any other count produces bit-identical results while spreading
+        per-shard work.
+    partitioner:
+        ``"hash"`` (default) or ``"year"`` — see
+        :class:`~repro.serve.ShardedScoreIndex`.
+    jobs:
+        Worker threads for the per-shard phase of each query
+        (``1`` = serial, ``0`` = all cores).
 
     Examples
     --------
@@ -144,21 +96,37 @@ class RankingService:
         cache_size: int = 128,
         missing_references: MissingRefPolicy = "skip",
         warm: bool = True,
+        shards: int = 1,
+        partitioner: str = "hash",
+        jobs: int | None = 1,
     ) -> None:
         self._index = index
+        self._sharded = ShardedScoreIndex.from_index(
+            index, n_shards=shards, partitioner=partitioner
+        )
+        self._engine = QueryEngine(self._sharded, jobs=jobs)
         self._updater = DeltaUpdater(
-            index, missing_references=missing_references, warm=warm
+            index,
+            missing_references=missing_references,
+            warm=warm,
+            sharded=self._sharded,
         )
         self._cache = LRUCache(maxsize=cache_size)
-        # label -> (version, permutation); one entry per method, so
-        # version bumps (even via an external ScoreIndex.refresh) can
-        # never accumulate stale permutations.
-        self._rankings: dict[str, tuple[int, IntVector]] = {}
 
     @property
     def index(self) -> ScoreIndex:
         """The score index queries are answered from."""
         return self._index
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The batched query engine reads are delegated to."""
+        return self._engine
+
+    @property
+    def sharded(self) -> ShardedScoreIndex:
+        """The shard store backing the engine."""
+        return self._sharded
 
     @property
     def version(self) -> int:
@@ -169,20 +137,46 @@ class RankingService:
         """Hit/miss/eviction counters of the result cache."""
         return self._cache.stats()
 
+    @property
+    def _rankings(self) -> dict[str, tuple[int, IntVector]]:
+        """Back-compat view of the memoised rankings.
+
+        Historically the service memoised one full permutation per
+        method as ``label -> (version, order)``; the permutations now
+        live per shard inside the engine.  This property reassembles
+        that mapping (for the labels whose shard orders are warm) so
+        diagnostics and tests keep one stable surface.
+        """
+        version = self._sharded.version
+        snapshot: dict[str, tuple[int, IntVector]] = {}
+        for label in self._engine.warm_methods():
+            full = np.empty(self._sharded.n_papers, dtype=np.float64)
+            for shard in self._sharded.iter_shards():
+                full[shard.global_indices] = shard.scores[label]
+            snapshot[label] = (version, ranking_from_scores(full))
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Freshness
+    # ------------------------------------------------------------------
+    def _fresh_version(self) -> int:
+        """Sync the shard store if the index moved underneath us.
+
+        `ScoreIndex.refresh` and `ScoreIndex.add_method` can be called
+        directly (warm-start benchmarks register methods late); a
+        version or label mismatch is the signal that the shard slices
+        are stale.
+        """
+        if (
+            self._sharded.version != self._index.version
+            or self._sharded.labels != self._index.labels
+        ):
+            self._sharded.sync()
+        return self._sharded.version
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def _ranking(self, label: str) -> IntVector:
-        """The full ranking permutation for ``label``, memoised while the
-        index version it was computed against is still current."""
-        version = self._index.version
-        memo = self._rankings.get(label)
-        if memo is None or memo[0] != version:
-            order = ranking_from_scores(self._index.scores(label))
-            self._rankings[label] = (version, order)
-            return order
-        return memo[1]
-
     def top_k(
         self,
         method: str = "AR",
@@ -221,37 +215,13 @@ class RankingService:
                 )
             span = (lo, hi)
 
-        cache_key = (self._index.version, label, k, offset, span)
+        version = self._fresh_version()
+        cache_key = (version, label, k, offset, span)
         cached = self._cache.get(cache_key)
         if cached is not None:
             return cached
-
-        entry = self._index.entry(label)  # validates the label
-        network = self._index.network
-        order = self._ranking(label)
-        if span is not None:
-            times = network.publication_times[order]
-            order = order[(times >= span[0]) & (times <= span[1])]
-        total = int(order.size)
-        page = order[offset: offset + k]
-        scores = entry.scores
-        rows = tuple(
-            RankedPaper(
-                rank=offset + position + 1,
-                paper_id=network.id_of(int(index)),
-                year=float(network.publication_times[index]),
-                score=float(scores[index]),
-            )
-            for position, index in enumerate(page)
-        )
-        result = QueryResult(
-            method=label,
-            version=self._index.version,
-            k=k,
-            offset=offset,
-            total=total,
-            year_range=span,
-            entries=rows,
+        result = self._engine.top_k(
+            label, k=k, offset=offset, year_range=span
         )
         self._cache.put(cache_key, result)
         return result
@@ -267,7 +237,8 @@ class RankingService:
         """The same result page of several methods, with overlaps.
 
         Overlaps count shared papers *within the requested page* of each
-        pair of methods.
+        pair of methods.  Pages go through :meth:`top_k`, so repeated
+        comparisons ride the result cache.
         """
         labels = [m.upper() for m in methods]
         if len(set(labels)) != len(labels):
@@ -278,38 +249,20 @@ class RankingService:
             )
             for label in labels
         }
-        overlap: dict[tuple[str, str], int] = {}
-        for i, a in enumerate(labels):
-            for b in labels[i + 1:]:
-                shared = set(results[a].paper_ids) & set(results[b].paper_ids)
-                overlap[(a, b)] = len(shared)
-        return MethodComparison(results=results, overlap=overlap)
+        return MethodComparison(
+            results=results, overlap=pairwise_overlap(results)
+        )
 
     def paper(self, paper_id: str) -> PaperDetails:
         """Scores and (unfiltered) ranks of one paper across all methods."""
-        network = self._index.network
-        index = network.index_of(str(paper_id))
-        scores: dict[str, float] = {}
-        ranks: dict[str, int] = {}
-        for label in self._index.labels:
-            vector = self._index.scores(label)
-            order = self._ranking(label)
-            position = int(np.nonzero(order == index)[0][0])
-            scores[label] = float(vector[index])
-            ranks[label] = position + 1
-        return PaperDetails(
-            paper_id=network.id_of(index),
-            year=float(network.publication_times[index]),
-            scores=scores,
-            ranks=ranks,
-        )
+        self._fresh_version()
+        return self._engine.paper(paper_id)
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def update(self, delta: NetworkDelta) -> UpdateReport:
-        """Apply a delta: extend, warm re-solve, invalidate caches."""
+        """Apply a delta: extend, warm re-solve, re-shard, invalidate."""
         report = self._updater.apply(delta)
         self._cache.clear()
-        self._rankings.clear()
         return report

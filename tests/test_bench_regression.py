@@ -1,0 +1,187 @@
+"""Tests for the benchmark-regression gate (repro.bench.regression)."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    compare_directories,
+    compare_results,
+    load_bench_results,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError, DataFormatError
+
+
+def _doc(scenario, elapsed, *, identical=None, config=None):
+    payload = {}
+    if identical is not None:
+        payload["identical_rankings"] = identical
+    return {
+        "schema_version": 1,
+        "scenario": scenario,
+        "elapsed_seconds": elapsed,
+        "config": config
+        or {"jobs": 2, "size": "tiny", "repeats": 1, "warmup": 0,
+            "smoke": True, "seed": 7},
+        "payload": payload,
+    }
+
+
+def _write(directory, documents):
+    directory.mkdir(exist_ok=True)
+    for document in documents:
+        path = directory / f"BENCH_{document['scenario']}.json"
+        path.write_text(json.dumps(document))
+    return str(directory)
+
+
+class TestCompareResults:
+    def test_ok_within_tolerance(self):
+        report = compare_results(
+            {"split": _doc("split", 1.0)},
+            {"split": _doc("split", 1.4)},
+            tolerance=1.5,
+        )
+        assert report.ok
+        (row,) = report.rows
+        assert row.status == "ok"
+        assert row.ratio == pytest.approx(1.4)
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        report = compare_results(
+            {"split": _doc("split", 1.0)},
+            {"split": _doc("split", 1.6)},
+            tolerance=1.5,
+        )
+        assert not report.ok
+        assert report.failures[0].status == "regression"
+
+    def test_broken_rankings_fail_even_when_faster(self):
+        report = compare_results(
+            {"tuning": _doc("tuning", 2.0, identical=True)},
+            {"tuning": _doc("tuning", 0.5, identical=False)},
+        )
+        assert not report.ok
+        assert report.failures[0].status == "broken"
+
+    def test_new_and_removed_scenarios_pass(self):
+        report = compare_results(
+            {"old": _doc("old", 1.0)},
+            {"new": _doc("new", 1.0, identical=True)},
+        )
+        assert report.ok
+        statuses = {row.scenario: row.status for row in report.rows}
+        assert statuses == {"old": "removed", "new": "new"}
+
+    def test_config_change_skips_time_comparison(self):
+        fast = {"jobs": 2, "size": "tiny", "repeats": 1, "warmup": 0,
+                "smoke": True, "seed": 7}
+        big = dict(fast, size="large")
+        report = compare_results(
+            {"split": _doc("split", 0.1, config=fast)},
+            {"split": _doc("split", 60.0, config=big)},
+        )
+        assert report.ok
+        assert report.rows[0].status == "config-changed"
+        assert report.rows[0].ratio is None
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            compare_results({}, {}, tolerance=1.0)
+
+    def test_markdown_mentions_failures(self):
+        report = compare_results(
+            {"split": _doc("split", 1.0)},
+            {"split": _doc("split", 9.0)},
+        )
+        markdown = report.to_markdown()
+        assert "FAIL" in markdown
+        assert "| split |" in markdown
+        assert "**regression**" in markdown
+
+
+class TestLoadResults:
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_bench_results(str(tmp_path / "nope")) == {}
+
+    def test_loads_by_scenario(self, tmp_path):
+        directory = _write(
+            tmp_path / "artifacts",
+            [_doc("split", 1.0), _doc("tuning", 2.0)],
+        )
+        results = load_bench_results(directory)
+        assert set(results) == {"split", "tuning"}
+
+    def test_invalid_json_rejected(self, tmp_path):
+        directory = tmp_path / "artifacts"
+        directory.mkdir()
+        (directory / "BENCH_bad.json").write_text("{nope")
+        with pytest.raises(DataFormatError, match="invalid JSON"):
+            load_bench_results(str(directory))
+
+    def test_non_bench_document_rejected(self, tmp_path):
+        directory = tmp_path / "artifacts"
+        directory.mkdir()
+        (directory / "BENCH_odd.json").write_text('{"hello": 1}')
+        with pytest.raises(DataFormatError, match="not a bench result"):
+            load_bench_results(str(directory))
+
+
+class TestBenchDiffCli:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = _write(tmp_path / "base", [_doc("split", 1.0)])
+        head = _write(tmp_path / "head", [_doc("split", 1.1)])
+        assert main(["bench-diff", base, head]) == 0
+        out = capsys.readouterr().out
+        assert "split" in out and "ok" in out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = _write(tmp_path / "base", [_doc("split", 1.0)])
+        head = _write(tmp_path / "head", [_doc("split", 2.0)])
+        assert main(["bench-diff", base, head, "--tolerance", "1.5"]) == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.err
+
+    def test_markdown_flag(self, tmp_path, capsys):
+        base = _write(tmp_path / "base", [_doc("split", 1.0)])
+        head = _write(tmp_path / "head", [_doc("split", 1.0)])
+        assert main(["bench-diff", base, head, "--markdown"]) == 0
+        assert "| scenario |" in capsys.readouterr().out
+
+    def test_empty_base_passes(self, tmp_path, capsys):
+        """A merge-base predating the harness must not fail the gate."""
+        (tmp_path / "base").mkdir()
+        head = _write(tmp_path / "head", [_doc("split", 1.0)])
+        assert main(["bench-diff", str(tmp_path / "base"), head]) == 0
+
+    def test_compare_directories_end_to_end(self, tmp_path):
+        base = _write(tmp_path / "base", [_doc("split", 1.0)])
+        head = _write(tmp_path / "head", [_doc("split", 1.2)])
+        report = compare_directories(base, head, tolerance=1.5)
+        assert report.ok
+
+
+class TestConfigEvolution:
+    def test_shards_mismatch_is_config_changed(self):
+        base_config = {"jobs": 2, "size": "tiny", "repeats": 1,
+                       "warmup": 0, "smoke": True, "seed": 7, "shards": 2}
+        head_config = dict(base_config, shards=8)
+        report = compare_results(
+            {"serve_batch": _doc("serve_batch", 1.0, config=base_config)},
+            {"serve_batch": _doc("serve_batch", 3.0, config=head_config)},
+        )
+        assert report.ok
+        assert report.rows[0].status == "config-changed"
+
+    def test_field_missing_on_base_stays_comparable(self):
+        """An older base without the 'shards' field must not mark the
+        whole comparison config-changed."""
+        old_config = {"jobs": 2, "size": "tiny", "repeats": 1,
+                      "warmup": 0, "smoke": True, "seed": 7}
+        new_config = dict(old_config, shards=2)
+        report = compare_results(
+            {"split": _doc("split", 1.0, config=old_config)},
+            {"split": _doc("split", 1.1, config=new_config)},
+        )
+        assert report.rows[0].status == "ok"

@@ -294,3 +294,98 @@ class TestBench:
         assert "identical rankings" in out
         document = json.loads((tmp_path / "BENCH_figure4.json").read_text())
         assert document["payload"]["identical_rankings"] is True
+
+
+class TestShardedServe:
+    @pytest.fixture
+    def shard_dir(self, hepth_file, tmp_path_factory, capsys):
+        path = str(tmp_path_factory.mktemp("serve") / "store")
+        assert main(
+            ["index", "--input", hepth_file, "--output", path,
+             "--methods", "PR", "CC", "--shards", "3",
+             "--partitioner", "year"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_index_shards_writes_directory(
+        self, hepth_file, tmp_path, capsys
+    ):
+        path = str(tmp_path / "store")
+        assert main(
+            ["index", "--input", hepth_file, "--output", path,
+             "--methods", "CC", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 hash-partitioned shards" in out
+        assert os.path.exists(os.path.join(path, "manifest.json"))
+        assert os.path.exists(os.path.join(path, "shard_0000.npz"))
+        assert os.path.exists(os.path.join(path, "shard_0001.npz"))
+
+    def test_query_from_shard_directory_matches_file(
+        self, hepth_file, shard_dir, tmp_path, capsys
+    ):
+        flat = str(tmp_path / "flat.npz")
+        assert main(
+            ["index", "--input", hepth_file, "--output", flat,
+             "--methods", "PR", "CC"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "--index", flat, "--methods", "PR", "--top", "7"]
+        ) == 0
+        from_file = _ranked_papers(capsys.readouterr().out)
+        assert main(
+            ["query", "--index", shard_dir, "--methods", "PR",
+             "--top", "7", "--jobs", "2"]
+        ) == 0
+        from_shards = _ranked_papers(capsys.readouterr().out)
+        assert from_shards == from_file
+        assert len(from_shards) == 7
+
+    def test_batch_query_outputs_json(self, shard_dir, tmp_path, capsys):
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps([
+            {"type": "top_k", "method": "PR", "k": 3},
+            {"type": "compare", "methods": ["PR", "CC"], "k": 5},
+        ]))
+        assert main(
+            ["query", "--index", shard_dir, "--batch", str(batch)]
+        ) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert [doc["type"] for doc in documents] == ["top_k", "compare"]
+        assert len(documents[0]["entries"]) == 3
+
+    def test_batch_query_on_flat_index(
+        self, hepth_file, tmp_path, capsys
+    ):
+        flat = str(tmp_path / "flat.npz")
+        assert main(
+            ["index", "--input", hepth_file, "--output", flat,
+             "--methods", "CC"]
+        ) == 0
+        capsys.readouterr()
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps([{"type": "top_k", "method": "CC"}]))
+        assert main(["query", "--index", flat, "--batch", str(batch)]) == 0
+        (document,) = json.loads(capsys.readouterr().out)
+        assert document["method"] == "CC"
+
+    def test_update_rejects_shard_directory(self, shard_dir, capsys):
+        assert main(
+            ["update", "--index", shard_dir, "--delta", "whatever.json"]
+        ) == 2
+        assert "single-file index" in capsys.readouterr().err
+
+    def test_bench_serve_batch_smoke(self, tmp_path, capsys):
+        assert main(
+            ["bench", "--scenario", "serve_batch", "--smoke",
+             "--repeats", "1", "--warmup", "0", "--shards", "2",
+             "--output-dir", str(tmp_path)]
+        ) == 0
+        document = json.loads(
+            (tmp_path / "BENCH_serve_batch.json").read_text()
+        )
+        assert document["payload"]["identical_rankings"] is True
+        assert document["payload"]["shards"] == 2
+        assert document["payload"]["batched"]["queries_per_second"] > 0

@@ -214,3 +214,92 @@ class TestLRUCache:
     def test_bad_maxsize(self):
         with pytest.raises(ConfigurationError):
             LRUCache(maxsize=0)
+
+
+class TestLoadIntegrityValidation:
+    """The load path must fail typed, never with a bare KeyError."""
+
+    @staticmethod
+    def _tampered(toy, tmp_path, mutate):
+        """Save a valid index, rewrite its metadata through ``mutate``."""
+        import json
+
+        path = str(tmp_path / "index.npz")
+        index = ScoreIndex(toy)
+        index.add_method("CC")
+        index.save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(str(arrays["index_meta"][0]))
+        mutate(meta, arrays)
+        arrays["index_meta"] = np.asarray([json.dumps(meta)], dtype=np.str_)
+        np.savez(path, **arrays)
+        return path
+
+    def test_missing_version_field(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        path = self._tampered(
+            toy, tmp_path, lambda meta, arrays: meta.pop("version")
+        )
+        with pytest.raises(IndexIntegrityError, match="malformed"):
+            ScoreIndex.load(path)
+
+    def test_negative_version(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        def mutate(meta, arrays):
+            meta["version"] = -3
+
+        with pytest.raises(IndexIntegrityError, match="negative"):
+            ScoreIndex.load(self._tampered(toy, tmp_path, mutate))
+
+    def test_unknown_method_label(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        def mutate(meta, arrays):
+            meta["methods"][0]["label"] = "NOT-A-METHOD"
+
+        with pytest.raises(IndexIntegrityError, match="unknown method"):
+            ScoreIndex.load(self._tampered(toy, tmp_path, mutate))
+
+    def test_duplicate_method_records(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        def mutate(meta, arrays):
+            meta["methods"].append(dict(meta["methods"][0]))
+
+        with pytest.raises(IndexIntegrityError, match="twice"):
+            ScoreIndex.load(self._tampered(toy, tmp_path, mutate))
+
+    def test_declared_scores_missing(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        def mutate(meta, arrays):
+            del arrays["index_scores__CC"]
+
+        with pytest.raises(IndexIntegrityError, match="missing"):
+            ScoreIndex.load(self._tampered(toy, tmp_path, mutate))
+
+    def test_undeclared_score_vector(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        def mutate(meta, arrays):
+            arrays["index_scores__PR"] = arrays["index_scores__CC"]
+
+        with pytest.raises(IndexIntegrityError, match="not declared"):
+            ScoreIndex.load(self._tampered(toy, tmp_path, mutate))
+
+    def test_truncated_method_record(self, toy, tmp_path):
+        from repro.errors import IndexIntegrityError
+
+        def mutate(meta, arrays):
+            del meta["methods"][0]["params"]
+
+        with pytest.raises(IndexIntegrityError, match="malformed method"):
+            ScoreIndex.load(self._tampered(toy, tmp_path, mutate))
+
+    def test_integrity_error_is_a_data_format_error(self):
+        from repro.errors import DataFormatError, IndexIntegrityError
+
+        assert issubclass(IndexIntegrityError, DataFormatError)

@@ -1,0 +1,281 @@
+"""Unit tests for repro.serve.shard — partitioning, sync, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IndexIntegrityError
+from repro.serve import (
+    NetworkDelta,
+    DeltaUpdater,
+    ScoreIndex,
+    ShardedScoreIndex,
+)
+from repro.serve.shard import _hash_assign, hash_shard_of, year_boundaries
+
+
+@pytest.fixture
+def indexed(hepth_tiny):
+    index = ScoreIndex(hepth_tiny)
+    index.add_method("PR")
+    index.add_method("CC")
+    return index
+
+
+class TestPartitioners:
+    def test_hash_is_stable_and_process_independent(self):
+        # Fixed expectations pin the on-disk routing contract: a store
+        # built today must route deltas identically forever.
+        assert hash_shard_of("P0000001", 7) == hash_shard_of("P0000001", 7)
+        values = {hash_shard_of(f"P{i:07d}", 5) for i in range(200)}
+        assert values == set(range(5))  # every shard gets traffic
+
+    def test_vectorised_hash_matches_scalar(self):
+        ids = [f"paper-{i}" for i in range(500)] + ["x", "P", "Zz9"]
+        vec = _hash_assign(ids, 7)
+        scalar = np.array([hash_shard_of(p, 7) for p in ids])
+        assert (vec == scalar).all()
+
+    def test_year_boundaries_balance(self, hepth_tiny):
+        bounds = year_boundaries(hepth_tiny.publication_times, 4)
+        assert bounds.shape == (3,)
+        assert (np.diff(bounds) >= 0).all()
+
+    def test_unknown_partitioner_rejected(self, indexed):
+        with pytest.raises(ConfigurationError, match="unknown partitioner"):
+            ShardedScoreIndex.from_index(
+                indexed, n_shards=2, partitioner="alphabetical"
+            )
+
+    def test_bad_shard_count_rejected(self, indexed):
+        with pytest.raises(ConfigurationError, match="n_shards"):
+            ShardedScoreIndex.from_index(indexed, n_shards=0)
+
+    def test_methodless_index_rejected(self, hepth_tiny):
+        with pytest.raises(ConfigurationError, match="no solved methods"):
+            ShardedScoreIndex.from_index(ScoreIndex(hepth_tiny))
+
+
+class TestShardStructure:
+    @pytest.mark.parametrize("partitioner", ["hash", "year"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    def test_partition_covers_every_paper_once(
+        self, indexed, partitioner, n_shards
+    ):
+        store = ShardedScoreIndex.from_index(
+            indexed, n_shards=n_shards, partitioner=partitioner
+        )
+        seen = np.concatenate(
+            [shard.global_indices for shard in store.iter_shards()]
+        )
+        assert np.sort(seen).tolist() == list(
+            range(indexed.network.n_papers)
+        )
+        assert store.n_papers == indexed.network.n_papers
+
+    def test_year_partition_is_contiguous(self, indexed):
+        store = ShardedScoreIndex.from_index(
+            indexed, n_shards=3, partitioner="year"
+        )
+        tops = [
+            float(shard.times.max())
+            for shard in store.iter_shards()
+            if shard.n_papers
+        ]
+        bottoms = [
+            float(shard.times.min())
+            for shard in store.iter_shards()
+            if shard.n_papers
+        ]
+        for earlier_top, later_bottom in zip(tops, bottoms[1:]):
+            assert earlier_top <= later_bottom
+
+    def test_shard_slices_match_index(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=3)
+        full = indexed.scores("PR")
+        for shard in store.iter_shards():
+            assert (shard.scores["PR"] == full[shard.global_indices]).all()
+
+    def test_shard_scores_read_only(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        with pytest.raises(ValueError, match="read-only"):
+            store.shard(0).scores["PR"][0] = 9.9
+
+    def test_shard_id_out_of_range(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            store.shard(2)
+
+
+class TestSyncRouting:
+    def test_sync_reports_touched_shards(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=4)
+        updater = DeltaUpdater(indexed, sharded=store)
+        new_ids = [f"NEW-{i}" for i in range(6)]
+        report = updater.apply(
+            NetworkDelta(
+                papers=tuple((pid, 2004.0) for pid in new_ids),
+                citations=(),
+            )
+        )
+        expected = sorted({hash_shard_of(pid, 4) for pid in new_ids})
+        assert list(report.touched_shards) == expected
+        assert store.version == indexed.version
+        assert store.n_papers == indexed.network.n_papers
+
+    def test_sync_refreshes_scores_without_growth(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        indexed.refresh()
+        touched = store.sync()
+        assert touched == ()
+        assert store.version == indexed.version
+        full = indexed.scores("PR")
+        for shard in store.iter_shards():
+            assert (shard.scores["PR"] == full[shard.global_indices]).all()
+
+    def test_year_routing_uses_build_time_boundaries(self, indexed):
+        store = ShardedScoreIndex.from_index(
+            indexed, n_shards=3, partitioner="year"
+        )
+        updater = DeltaUpdater(indexed, sharded=store)
+        # A paper far in the future lands in the last year shard.
+        report = updater.apply(
+            NetworkDelta(papers=(("FUTURE", 2050.0),), citations=())
+        )
+        assert report.touched_shards == (2,)
+
+    def test_detached_store_cannot_sync(self, indexed, tmp_path):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        store.save(str(tmp_path / "store"))
+        loaded = ShardedScoreIndex.load(str(tmp_path / "store"))
+        with pytest.raises(ConfigurationError, match="detached"):
+            loaded.sync()
+        with pytest.raises(ConfigurationError, match="detached"):
+            loaded.save(str(tmp_path / "other"))
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_everything(self, indexed, tmp_path):
+        store = ShardedScoreIndex.from_index(
+            indexed, n_shards=3, partitioner="year"
+        )
+        store.save(str(tmp_path / "store"))
+        loaded = ShardedScoreIndex.load(str(tmp_path / "store"))
+        assert loaded.n_shards == 3
+        assert loaded.partitioner == "year"
+        assert loaded.version == store.version
+        assert loaded.labels == store.labels
+        for shard_id in range(3):
+            original = store.shard(shard_id)
+            restored = loaded.shard(shard_id)
+            assert restored.paper_ids == original.paper_ids
+            assert (
+                restored.global_indices == original.global_indices
+            ).all()
+            for label in store.labels:
+                assert (
+                    restored.scores[label] == original.scores[label]
+                ).all()
+
+    def test_load_is_lazy(self, indexed, tmp_path):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=4)
+        store.save(str(tmp_path / "store"))
+        loaded = ShardedScoreIndex.load(str(tmp_path / "store"))
+        assert loaded.loaded_shard_count == 0
+        loaded.shard(1)
+        assert loaded.loaded_shard_count == 1
+
+    def test_single_shard_file_is_a_score_index(self, indexed, tmp_path):
+        """Each shard file independently round-trips through the
+        existing single-file loader — the persistence contract."""
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        store.save(str(tmp_path / "store"))
+        single = ScoreIndex.load(str(tmp_path / "store" / "shard_0000.npz"))
+        shard = store.shard(0)
+        assert single.labels == store.labels
+        assert single.network.n_papers == shard.n_papers
+        assert (single.scores("PR") == shard.scores["PR"]).all()
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(IndexIntegrityError, match="manifest"):
+            ShardedScoreIndex.load(str(tmp_path))
+
+    def test_manifest_shard_count_mismatch(self, indexed, tmp_path):
+        import json
+        import os
+
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        directory = str(tmp_path / "store")
+        store.save(directory)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["n_shards"] = 3
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(IndexIntegrityError, match="3 shards"):
+            ShardedScoreIndex.load(directory)
+
+    def test_version_mismatch_across_shards_detected(
+        self, indexed, tmp_path
+    ):
+        import json
+        import os
+
+        store = ShardedScoreIndex.from_index(indexed, n_shards=2)
+        directory = str(tmp_path / "store")
+        store.save(directory)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["version"] = 41
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        loaded = ShardedScoreIndex.load(directory)
+        with pytest.raises(IndexIntegrityError, match="version"):
+            loaded.shard(0)
+
+
+class TestSpanMemoBound:
+    def test_filtered_span_memos_are_capped(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=1)
+        shard = store.shard(0)
+        for start in range(shard.MAX_SPAN_MEMOS + 20):
+            shard.order("PR", (1990.0 + start, 2000.0 + start))
+        spans = sum(1 for _, span in shard._orders if span is not None)
+        assert spans <= shard.MAX_SPAN_MEMOS
+        # The full per-method order is never evicted.
+        assert ("PR", None) in shard._orders
+
+    def test_evicted_span_recomputes_identically(self, indexed):
+        store = ShardedScoreIndex.from_index(indexed, n_shards=1)
+        shard = store.shard(0)
+        span = (1995.0, 1999.0)
+        first = shard.order("PR", span).copy()
+        for start in range(shard.MAX_SPAN_MEMOS + 5):
+            shard.order("PR", (1800.0 + start, 1801.0 + start))
+        assert (shard.order("PR", span) == first).all()
+
+
+class TestYearPruning:
+    def test_time_bounds_only_for_year_partitioner(self, indexed):
+        hash_store = ShardedScoreIndex.from_index(indexed, n_shards=3)
+        assert hash_store.shard_time_bounds(0) is None
+        year_store = ShardedScoreIndex.from_index(
+            indexed, n_shards=3, partitioner="year"
+        )
+        lo0, hi0 = year_store.shard_time_bounds(0)
+        lo2, hi2 = year_store.shard_time_bounds(2)
+        assert lo0 == float("-inf") and hi2 == float("inf")
+        assert hi0 <= lo2
+
+    def test_bounds_cover_actual_shard_times(self, indexed):
+        store = ShardedScoreIndex.from_index(
+            indexed, n_shards=4, partitioner="year"
+        )
+        for shard_id in range(4):
+            shard = store.shard(shard_id)
+            if shard.n_papers == 0:
+                continue
+            lo, hi = store.shard_time_bounds(shard_id)
+            assert lo <= float(shard.times.min())
+            assert float(shard.times.max()) <= hi
