@@ -139,6 +139,10 @@ __all__ = [
     "ShardedScoreIndex",
     "TopKQuery",
     "delta_between",
+    # streaming
+    "EventLog",
+    "StreamIngestor",
+    "batch_compute",
     # errors
     "ReproError",
     "GraphError",
@@ -149,14 +153,18 @@ __all__ = [
     "IndexIntegrityError",
 ]
 
-#: Deliberately lazy exports (PEP 562): the experiment engine and the
-#: bench harness sit on top of everything else, and eager imports here
-#: would make every ``import repro`` (each CLI invocation included) pay
-#: for machinery only the compare/bench paths use.
+#: Deliberately lazy exports (PEP 562): the experiment engine, the
+#: bench harness and the stream-replay layer sit on top of everything
+#: else, and eager imports here would make every ``import repro`` (each
+#: CLI invocation included) pay for machinery only the
+#: compare/bench/stream paths use.
 _LAZY_EXPORTS = {
     "ExperimentEngine": ("repro.parallel", "ExperimentEngine"),
     "SplitSnapshot": ("repro.parallel", "SplitSnapshot"),
     "run_scenario": ("repro.bench", "run_scenario"),
+    "EventLog": ("repro.stream", "EventLog"),
+    "StreamIngestor": ("repro.stream", "StreamIngestor"),
+    "batch_compute": ("repro.stream", "batch_compute"),
 }
 
 

@@ -30,6 +30,12 @@ Scenario catalogue
     :class:`~repro.serve.QueryEngine` (``--shards``, ``--jobs``)
     vs the same queries issued one at a time against an unsharded
     :class:`~repro.serve.RankingService`, with a bit-identical check.
+``stream``
+    The streaming write path: a full citation-event log replayed in
+    micro-batches through warm-started updates (with a mid-replay
+    checkpoint/resume leg), reported as events/second and verified
+    bit-identical — finalized replay, resumed replay, and cold batch
+    compute must produce the same score vectors.
 
 Smoke mode (``--smoke``) shrinks each scenario to CI scale; the JSON
 records that the cut was applied, so numbers are never compared across
@@ -341,6 +347,85 @@ def _bench_operator(config: BenchConfig) -> dict[str, Any]:
         "applies_per_second": applies / apply_stats.best,
         "nnz": int(operator.sparse_part.nnz),
         "n_dangling": operator.n_dangling,
+    }
+
+
+@scenario(
+    "stream",
+    "Event-log replay (micro-batched warm-start ingest + "
+    "checkpoint/resume) vs cold batch compute",
+)
+def _bench_stream(config: BenchConfig) -> dict[str, Any]:
+    import tempfile
+
+    from repro.stream import EventLog, StreamIngestor, batch_compute
+
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    log = EventLog.from_network(network)
+    methods = ("AR", "CC") if config.smoke else ("AR", "PR", "CC")
+    batch_size = 32 if config.smoke else 64
+    # AttRank fits its decay rate from citation ages; the bootstrap
+    # must cover enough of the stream for that fit to be defined.
+    bootstrap = min(512, len(log))
+
+    def make_ingestor() -> StreamIngestor:
+        return StreamIngestor(
+            log,
+            methods,
+            batch_size=batch_size,
+            bootstrap_size=bootstrap,
+            shards=config.shards,
+        )
+
+    def replay_full() -> StreamIngestor:
+        ingestor = make_ingestor()
+        ingestor.replay()
+        ingestor.finalize()
+        return ingestor
+
+    replay_stats, replayed = time_callable(
+        replay_full, warmup=config.warmup, repeats=config.repeats
+    )
+    batch_stats, cold = time_callable(
+        lambda: batch_compute(log, methods),
+        warmup=config.warmup,
+        repeats=config.repeats,
+    )
+
+    # The checkpoint/resume leg (untimed): interrupt mid-replay, resume
+    # from the persisted state, and require the same final scores.
+    interrupted = make_ingestor()
+    first = interrupted.replay(max_batches=max(1, replayed.batches_applied // 2))
+    with tempfile.TemporaryDirectory() as scratch:
+        interrupted.checkpoint(scratch)
+        resumed = StreamIngestor.resume(scratch, log)
+    resumed.replay()
+    resumed.finalize()
+
+    identical = all(
+        np.array_equal(replayed.index.scores(label), cold.scores(label))
+        and np.array_equal(resumed.index.scores(label), cold.scores(label))
+        for label in methods
+    )
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "methods": list(methods),
+        "n_events": len(log),
+        "batch_size": batch_size,
+        "bootstrap_size": bootstrap,
+        "shards": config.shards,
+        "batches": replayed.batches_applied,
+        "checkpoint_resume": {
+            "interrupted_after_batches": first.n_batches,
+            "resumed_batches": resumed.batches_applied - first.n_batches,
+        },
+        "replay": {
+            **replay_stats.as_dict(),
+            "events_per_second": len(log) / replay_stats.best,
+        },
+        "batch": batch_stats.as_dict(),
+        "replay_overhead_vs_batch": replay_stats.best / batch_stats.best,
+        "identical_rankings": identical,
     }
 
 

@@ -15,6 +15,10 @@ Subcommands
                index file or shard directory; ``--batch FILE`` executes
                a JSON batch of heterogeneous queries through the
                :class:`~repro.serve.QueryEngine`.
+``stream``     Event-log streaming: ``extract`` a JSONL log from a
+               network, ``replay`` it through micro-batched warm-start
+               updates (with optional checkpoints), ``resume`` a
+               killed replay, ``checkpoint`` inspects a saved one.
 ``compare``    Reproduce a figure panel (tune all methods per ratio),
                fanned out over ``--jobs`` worker processes.
 ``bench``      Run a benchmark scenario and write ``BENCH_<name>.json``.
@@ -274,6 +278,133 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--year-max", type=float, default=None, help="latest year, inclusive"
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="event-log streaming: extract, replay, resume, checkpoint",
+    )
+    stream_commands = stream.add_subparsers(
+        dest="stream_command", required=True
+    )
+
+    extract = stream_commands.add_parser(
+        "extract",
+        help="convert a network into a time-ordered JSONL event log",
+    )
+    _add_source_arguments(extract)
+    extract.add_argument(
+        "--output", required=True, help="output .jsonl event-log path"
+    )
+
+    def _add_replay_arguments(parser: argparse.ArgumentParser) -> None:
+        # Run controls shared by replay and resume; the batch *policy*
+        # is replay-only (a resume must cut the log exactly as the
+        # checkpointed run would have, so it comes from the manifest).
+        parser.add_argument(
+            "--max-batches",
+            type=int,
+            default=None,
+            help="stop after N batches (default: run to the end)",
+        )
+        parser.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            help="directory to write checkpoints into",
+        )
+        parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=25,
+            help=(
+                "checkpoint every N batches when --checkpoint-dir is "
+                "set (default 25)"
+            ),
+        )
+        parser.add_argument(
+            "--index-out",
+            default=None,
+            help="save the final score index to this .npz path",
+        )
+        parser.add_argument(
+            "--no-finalize",
+            action="store_true",
+            help=(
+                "skip the canonical cold re-solve at the end of the "
+                "log (leaves warm-started scores)"
+            ),
+        )
+
+    replay = stream_commands.add_parser(
+        "replay", help="replay an event log through warm-start updates"
+    )
+    replay.add_argument("--log", required=True, help="JSONL event log")
+    replay.add_argument(
+        "--methods",
+        nargs="+",
+        default=["AR", "PR", "CC"],
+        choices=sorted(METHOD_REGISTRY),
+        help="methods to keep live (default: AR PR CC)",
+    )
+    replay.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="minimum events per micro-batch (default 64)",
+    )
+    replay.add_argument(
+        "--watermark-years",
+        type=float,
+        default=None,
+        help=(
+            "also close a batch once its events span this many years "
+            "(default: disabled)"
+        ),
+    )
+    replay.add_argument(
+        "--bootstrap-size",
+        type=int,
+        default=256,
+        help=(
+            "minimum events in the snapshot-building first batch "
+            "(default 256; methods fitting parameters from citation "
+            "structure need a non-degenerate bootstrap)"
+        ),
+    )
+    replay.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count of the serving state (default 1)",
+    )
+    replay.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="hash",
+        help="shard assignment policy (default: hash)",
+    )
+    replay.add_argument(
+        "--missing-references",
+        choices=["skip", "error"],
+        default="skip",
+        help="policy for citations of unknown papers (default: skip)",
+    )
+    _add_replay_arguments(replay)
+
+    resume = stream_commands.add_parser(
+        "resume", help="continue a replay from a checkpoint directory"
+    )
+    resume.add_argument(
+        "--checkpoint", required=True, help="checkpoint directory"
+    )
+    resume.add_argument("--log", required=True, help="JSONL event log")
+    _add_replay_arguments(resume)
+
+    inspect = stream_commands.add_parser(
+        "checkpoint", help="print the state of a saved checkpoint"
+    )
+    inspect.add_argument(
+        "--checkpoint", required=True, help="checkpoint directory"
     )
 
     compare = commands.add_parser(
@@ -665,6 +796,160 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    handlers = {
+        "extract": _stream_extract,
+        "replay": _stream_replay,
+        "resume": _stream_resume,
+        "checkpoint": _stream_checkpoint,
+    }
+    return handlers[args.stream_command](args)
+
+
+def _stream_extract(args: argparse.Namespace) -> int:
+    from repro.stream import EventLog
+
+    network = _load_source(args)
+    log = EventLog.from_network(network)
+    log.save(args.output)
+    print(
+        f"wrote {len(log)} events ({log.n_papers} papers, "
+        f"{log.n_citations} citations) to {args.output}"
+    )
+    return 0
+
+
+def _drive_replay(ingestor, args: argparse.Namespace) -> int:
+    """Run an ingestor to completion with checkpoints and reporting.
+
+    Shared by ``stream replay`` and ``stream resume`` — after the
+    ingestor is built (fresh or from a checkpoint), the two commands
+    behave identically.
+    """
+    checkpoint_every = args.checkpoint_every
+    if args.checkpoint_dir is not None and checkpoint_every < 1:
+        print(
+            "error: --checkpoint-every must be >= 1", file=sys.stderr
+        )
+        return 2
+    if args.max_batches is not None and args.max_batches < 1:
+        print("error: --max-batches must be >= 1", file=sys.stderr)
+        return 2
+    total_batches = 0
+    remaining = args.max_batches
+    while not ingestor.exhausted:
+        if remaining is not None and remaining <= 0:
+            break
+        chunk = checkpoint_every if args.checkpoint_dir else None
+        if remaining is not None:
+            chunk = remaining if chunk is None else min(chunk, remaining)
+        report = ingestor.replay(max_batches=chunk)
+        total_batches += report.n_batches
+        if remaining is not None:
+            remaining -= report.n_batches
+        if args.checkpoint_dir and report.n_batches:
+            path = ingestor.checkpoint(args.checkpoint_dir)
+            print(
+                f"checkpoint @ {ingestor.offset}/{len(ingestor.log)} "
+                f"events ({ingestor.batches_applied} batches) -> {path}"
+            )
+    finalized = False
+    if ingestor.exhausted and not args.no_finalize:
+        ingestor.finalize()
+        finalized = True
+        if args.checkpoint_dir:
+            ingestor.checkpoint(args.checkpoint_dir)
+    index = ingestor.index
+    rows = [
+        [
+            entry.label,
+            "warm" if entry.warm_started else "cold",
+            entry.iterations,
+            "yes" if entry.converged else "NO",
+        ]
+        for entry in (index.entry(label) for label in index.labels)
+    ]
+    state = "finalized (canonical)" if finalized else (
+        "exhausted (warm scores)" if ingestor.exhausted else
+        f"paused at event {ingestor.offset}/{len(ingestor.log)}"
+    )
+    print(
+        format_table(
+            ["method", "last solve", "iterations", "converged"],
+            rows,
+            title=(
+                f"replayed {total_batches} batches -> "
+                f"{index.network.n_papers} papers, index "
+                f"v{index.version}, {state}"
+            ),
+        )
+    )
+    if args.index_out:
+        index.save(args.index_out)
+        print(f"wrote index to {args.index_out}")
+    return 0
+
+
+def _stream_replay(args: argparse.Namespace) -> int:
+    from repro.stream import EventLog, StreamIngestor
+
+    log = EventLog.load(args.log)
+    ingestor = StreamIngestor(
+        log,
+        methods=args.methods,
+        batch_size=args.batch_size,
+        bootstrap_size=args.bootstrap_size,
+        watermark_years=args.watermark_years,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        missing_references=args.missing_references,
+    )
+    return _drive_replay(ingestor, args)
+
+
+def _stream_resume(args: argparse.Namespace) -> int:
+    from repro.stream import EventLog, StreamIngestor
+
+    log = EventLog.load(args.log)
+    ingestor = StreamIngestor.resume(args.checkpoint, log)
+    print(
+        f"resumed at event {ingestor.offset}/{len(log)} "
+        f"({ingestor.batches_applied} batches applied, index "
+        f"v{ingestor.index.version})"
+    )
+    return _drive_replay(ingestor, args)
+
+
+def _stream_checkpoint(args: argparse.Namespace) -> int:
+    from repro.stream import Checkpoint
+
+    state = Checkpoint.load(args.checkpoint)
+    index = state.load_index(args.checkpoint)
+    print(
+        format_kv_block(
+            {
+                "events consumed": state.offset,
+                "batches applied": state.batches_applied,
+                "batch size": state.batch_size,
+                "watermark (years)": (
+                    "disabled"
+                    if state.watermark_years is None
+                    else f"{state.watermark_years:g}"
+                ),
+                "shards": state.shards,
+                "partitioner": state.partitioner,
+                "missing references": state.missing_references,
+                "index version": state.index_version,
+                "papers": index.network.n_papers,
+                "methods": ", ".join(index.labels),
+                "log digest": state.log_digest[:16] + "…",
+                "created (UTC)": state.created_utc,
+            }
+        )
+    )
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     from repro.parallel import ExperimentEngine
 
@@ -738,6 +1023,20 @@ def _command_bench(args: argparse.Namespace) -> int:
             [
                 "batched queries/s",
                 f"{payload['batched']['queries_per_second']:.0f}",
+            ]
+        )
+    if "replay" in payload and "events_per_second" in payload["replay"]:
+        rows.append(
+            [
+                "replay events/s",
+                f"{payload['replay']['events_per_second']:.0f}",
+            ]
+        )
+    if "replay_overhead_vs_batch" in payload:
+        rows.append(
+            [
+                "replay overhead vs batch",
+                f"{payload['replay_overhead_vs_batch']:.2f}x",
             ]
         )
     if "speedup_vs_serial" in payload:
@@ -815,6 +1114,7 @@ _COMMANDS = {
     "index": _command_index,
     "update": _command_update,
     "query": _command_query,
+    "stream": _command_stream,
     "compare": _command_compare,
     "bench": _command_bench,
     "bench-diff": _command_bench_diff,

@@ -56,3 +56,13 @@ class ConvergenceError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation request is inconsistent with the data it is given."""
+
+
+class StreamError(ReproError):
+    """An event log or stream replay violates the streaming contract.
+
+    Raised when an event log is not replayable (events out of time
+    order, citation events detached from their citing paper's event),
+    when a checkpoint does not match the log it is resumed against, or
+    when a replay is driven past the end of its log.
+    """

@@ -163,14 +163,20 @@ class RankingService:
         """Sync the shard store if the index moved underneath us.
 
         `ScoreIndex.refresh` and `ScoreIndex.add_method` can be called
-        directly (warm-start benchmarks register methods late); a
-        version or label mismatch is the signal that the shard slices
-        are stale.
+        directly (warm-start benchmarks register methods late, and a
+        stream replay's :meth:`~repro.stream.StreamIngestor.finalize`
+        re-solves out of band); a version or label mismatch is the
+        signal that the shard slices are stale.  A *version* change
+        additionally invalidates the result cache: entries keyed by
+        older versions can never be served again, and letting them
+        squat in the LRU until capacity evicts them would push out live
+        pages — on a long replay, every micro-batch would poison the
+        cache a little more.
         """
-        if (
-            self._sharded.version != self._index.version
-            or self._sharded.labels != self._index.labels
-        ):
+        if self._sharded.version != self._index.version:
+            self._sharded.sync()
+            self._cache.clear()
+        elif self._sharded.labels != self._index.labels:
             self._sharded.sync()
         return self._sharded.version
 
@@ -262,7 +268,13 @@ class RankingService:
     # Writes
     # ------------------------------------------------------------------
     def update(self, delta: NetworkDelta) -> UpdateReport:
-        """Apply a delta: extend, warm re-solve, re-shard, invalidate."""
+        """Apply a delta: extend, warm re-solve, re-shard, invalidate.
+
+        The cache clear is belt-and-braces with the version-keyed
+        cache entries: keys of the old version could never be served
+        again anyway, but dropping them releases the memory at the
+        moment it becomes dead instead of waiting for LRU eviction.
+        """
         report = self._updater.apply(delta)
         self._cache.clear()
         return report

@@ -1,0 +1,419 @@
+"""Citation-event logs — the corpus as a time-ordered stream.
+
+The paper's methods rank a *snapshot*, but the snapshot itself is the
+result of a stream: papers are published, and each arrives carrying its
+reference list.  :class:`EventLog` materialises that stream as an
+ordered sequence of two event kinds:
+
+* :class:`PaperEvent` — a paper is published at ``time``;
+* :class:`CitationEvent` — the freshly published paper cites an
+  existing one (the event's time is the citing paper's publication
+  time).
+
+The log is *grouped by construction*: every citation event follows the
+paper event of its citing paper, with no other paper event in between.
+This mirrors the serve layer's corpus model (reference lists of
+published papers are fixed — :class:`~repro.serve.NetworkDelta` applies
+the same rule), and it is what lets :class:`~repro.stream.StreamIngestor`
+cut the log into micro-batches at any paper boundary without ever
+splitting a paper from its references.
+
+Logs persist as JSONL (one event object per line), which streams,
+appends, and diffs well; ``repr``-based float serialisation round-trips
+``float64`` exactly, so a saved log replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DataFormatError, StreamError
+from repro.graph.citation_network import CitationNetwork
+
+__all__ = [
+    "PaperEvent",
+    "CitationEvent",
+    "StreamEvent",
+    "EventLog",
+    "LOG_FORMAT_VERSION",
+]
+
+#: On-disk format version stamped into the JSONL header line.
+LOG_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PaperEvent:
+    """A paper is published at ``time``."""
+
+    time: float
+    paper_id: str
+
+    def to_payload(self) -> dict:
+        """The JSONL object for this event."""
+        return {"type": "paper", "time": self.time, "id": self.paper_id}
+
+
+@dataclass(frozen=True)
+class CitationEvent:
+    """The paper published at ``time`` (``citing``) cites ``cited``."""
+
+    time: float
+    citing: str
+    cited: str
+
+    def to_payload(self) -> dict:
+        """The JSONL object for this event."""
+        return {
+            "type": "cite",
+            "time": self.time,
+            "citing": self.citing,
+            "cited": self.cited,
+        }
+
+
+StreamEvent = Union[PaperEvent, CitationEvent]
+
+
+def _event_line(event: StreamEvent) -> str:
+    """Canonical JSONL line of one event (also the digest input)."""
+    return json.dumps(event.to_payload(), sort_keys=True)
+
+
+class EventLog:
+    """An immutable, validated, time-ordered sequence of stream events.
+
+    Parameters
+    ----------
+    events:
+        The events, already in arrival order.  Construction validates
+        the streaming contract: event times never decrease, paper ids
+        are unique, and every citation event immediately follows its
+        citing paper's event block (grouping — see the module
+        docstring).  Cited ids are *not* required to be in the log;
+        out-of-collection references are resolved by the ingest
+        policy, exactly like :class:`~repro.graph.NetworkBuilder`.
+
+    Examples
+    --------
+    >>> from repro.synth import toy_network
+    >>> log = EventLog.from_network(toy_network())
+    >>> (log.n_papers, log.n_citations)
+    (8, 13)
+    >>> log[0]
+    PaperEvent(time=1990.0, paper_id='A')
+    """
+
+    def __init__(self, events: Iterable[StreamEvent]) -> None:
+        self._events: tuple[StreamEvent, ...] = tuple(events)
+        self._validate()
+
+    def _validate(self) -> None:
+        last_time = -np.inf
+        current_paper: str | None = None
+        seen: set[str] = set()
+        for position, event in enumerate(self._events):
+            if isinstance(event, PaperEvent):
+                if event.paper_id in seen:
+                    raise StreamError(
+                        f"event {position}: duplicate paper event for "
+                        f"{event.paper_id!r}"
+                    )
+                seen.add(event.paper_id)
+                current_paper = event.paper_id
+            elif isinstance(event, CitationEvent):
+                if event.citing != current_paper:
+                    raise StreamError(
+                        f"event {position}: citation from "
+                        f"{event.citing!r} is detached from its citing "
+                        "paper's event (published papers cannot gain "
+                        "references — a citation event must follow its "
+                        "citing paper's event block)"
+                    )
+                if event.cited == event.citing:
+                    raise StreamError(
+                        f"event {position}: self-citation of "
+                        f"{event.citing!r}"
+                    )
+            else:
+                raise StreamError(
+                    f"event {position}: unsupported event type "
+                    f"{type(event).__name__}"
+                )
+            if not np.isfinite(event.time):
+                raise StreamError(
+                    f"event {position}: non-finite event time"
+                )
+            if event.time < last_time:
+                raise StreamError(
+                    f"event {position}: time {event.time} precedes the "
+                    f"previous event's {last_time} — logs are "
+                    "time-ordered"
+                )
+            last_time = event.time
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EventLog) and self._events == other._events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventLog(n_events={len(self._events)}, "
+            f"n_papers={self.n_papers}, n_citations={self.n_citations})"
+        )
+
+    @property
+    def events(self) -> tuple[StreamEvent, ...]:
+        """All events, in arrival order."""
+        return self._events
+
+    @property
+    def n_papers(self) -> int:
+        """Number of paper events in the log."""
+        return sum(1 for e in self._events if isinstance(e, PaperEvent))
+
+    @property
+    def n_citations(self) -> int:
+        """Number of citation events in the log."""
+        return sum(1 for e in self._events if isinstance(e, CitationEvent))
+
+    def time_span(self) -> tuple[float, float]:
+        """``(first, last)`` event times of a non-empty log."""
+        if not self._events:
+            raise StreamError("empty log has no time span")
+        return (self._events[0].time, self._events[-1].time)
+
+    def digest(self, upto: int | None = None) -> str:
+        """SHA-256 over the canonical lines of the first ``upto`` events.
+
+        Checkpoints store this digest so a resume can prove it is
+        continuing the *same* stream it stopped in, not a log that
+        happens to share a length.
+        """
+        count = len(self._events) if upto is None else int(upto)
+        if count < 0 or count > len(self._events):
+            raise StreamError(
+                f"digest offset {count} out of range "
+                f"[0, {len(self._events)}]"
+            )
+        hasher = hashlib.sha256()
+        for event in self._events[:count]:
+            hasher.update(_event_line(event).encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Extraction from a snapshot
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(cls, network: CitationNetwork) -> "EventLog":
+        """The event log whose replay reconstructs ``network``.
+
+        Papers are emitted in chronological order (stable on the dense
+        index for ties), each immediately followed by its citation
+        events in reference-list order.  For a network whose paper
+        indices are already chronological — every loader and generator
+        in this repository produces such networks — replaying the log
+        rebuilds the snapshot *bit-identically*, dense indices
+        included.
+
+        Raises
+        ------
+        StreamError
+            If the network is not replayable as a stream: some paper
+            cites a paper that would arrive after it (the network
+            violates time order, cf.
+            :meth:`CitationNetwork.validate(require_time_order=True)
+            <repro.graph.CitationNetwork.validate>`).
+        """
+        times = network.publication_times
+        order = np.lexsort((np.arange(network.n_papers), times))
+        position = np.empty(network.n_papers, dtype=np.int64)
+        position[order] = np.arange(network.n_papers)
+
+        references: list[list[int]] = [[] for _ in range(network.n_papers)]
+        for citing, cited in zip(network.citing, network.cited):
+            if position[int(cited)] >= position[int(citing)]:
+                raise StreamError(
+                    f"paper {network.id_of(int(citing))!r} cites "
+                    f"{network.id_of(int(cited))!r}, which arrives "
+                    "later in the stream; only time-ordered networks "
+                    "can be replayed as event logs"
+                )
+            references[int(citing)].append(int(cited))
+
+        events: list[StreamEvent] = []
+        for index in order:
+            paper = int(index)
+            time = float(times[paper])
+            events.append(
+                PaperEvent(time=time, paper_id=network.id_of(paper))
+            )
+            events.extend(
+                CitationEvent(
+                    time=time,
+                    citing=network.id_of(paper),
+                    cited=network.id_of(target),
+                )
+                for target in references[paper]
+            )
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # JSONL persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the log as JSONL: a header line, then one event per line.
+
+        The write is atomic (temp file + rename), matching the other
+        persistence paths of this repository.
+        """
+        temp_path = f"{path}.tmp-{os.getpid()}"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "format": "repro-event-log",
+                            "log_format_version": LOG_FORMAT_VERSION,
+                            "n_events": len(self._events),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                for event in self._events:
+                    handle.write(_event_line(event) + "\n")
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):
+                os.remove(temp_path)
+
+    @classmethod
+    def load(cls, path: str) -> "EventLog":
+        """Read a log written by :meth:`save`.
+
+        Raises
+        ------
+        DataFormatError
+            If the file is missing, is not an event log, declares an
+            unsupported format version, or contains malformed lines.
+        StreamError
+            If the events parse but violate the streaming contract.
+        """
+        if not os.path.exists(path):
+            raise DataFormatError(f"file not found: {path}")
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise DataFormatError(f"{path}: empty file is not an event log")
+        header = _parse_line(path, 1, lines[0])
+        if header.get("format") != "repro-event-log":
+            raise DataFormatError(
+                f"{path}: not a repro event log (missing header line)"
+            )
+        try:
+            declared = int(header.get("log_format_version", -1))
+        except (TypeError, ValueError):
+            raise DataFormatError(
+                f"{path}: malformed log_format_version "
+                f"{header.get('log_format_version')!r}"
+            ) from None
+        if declared != LOG_FORMAT_VERSION:
+            raise DataFormatError(
+                f"{path}: unsupported log format version {declared} "
+                f"(this build reads version {LOG_FORMAT_VERSION})"
+            )
+        events: list[StreamEvent] = []
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            payload = _parse_line(path, number, line)
+            events.append(_event_from_payload(path, number, payload))
+        declared_events = header.get("n_events")
+        if declared_events is not None:
+            try:
+                declared_events = int(declared_events)
+            except (TypeError, ValueError):
+                raise DataFormatError(
+                    f"{path}: malformed n_events {declared_events!r}"
+                ) from None
+            if declared_events != len(events):
+                raise DataFormatError(
+                    f"{path}: header declares {declared_events} events "
+                    f"but the file contains {len(events)} — the log "
+                    "was truncated or concatenated"
+                )
+        return cls(events)
+
+
+def _parse_line(path: str, number: int, line: str) -> dict:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise DataFormatError(
+            f"{path}:{number}: invalid JSON ({error})"
+        ) from None
+    if not isinstance(payload, dict):
+        raise DataFormatError(
+            f"{path}:{number}: expected a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def _event_from_payload(path: str, number: int, payload: dict) -> StreamEvent:
+    kind = payload.get("type")
+    try:
+        if kind == "paper":
+            return PaperEvent(
+                time=float(payload["time"]), paper_id=str(payload["id"])
+            )
+        if kind == "cite":
+            return CitationEvent(
+                time=float(payload["time"]),
+                citing=str(payload["citing"]),
+                cited=str(payload["cited"]),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataFormatError(
+            f"{path}:{number}: malformed {kind!r} event ({error!r})"
+        ) from None
+    raise DataFormatError(
+        f"{path}:{number}: unknown event type {kind!r} "
+        "(expected 'paper' or 'cite')"
+    )
+
+
+def group_boundaries(events: Sequence[StreamEvent]) -> tuple[int, ...]:
+    """Positions where a micro-batch may end (exclusive cut points).
+
+    A cut is legal immediately before each paper event (and at the end
+    of the sequence): cutting there never separates a paper from its
+    citation events.  Position 0 is never a boundary — a batch must
+    contain at least one group.
+    """
+    cuts = [
+        position
+        for position, event in enumerate(events)
+        if isinstance(event, PaperEvent) and position > 0
+    ]
+    cuts.append(len(events))
+    return tuple(cuts)

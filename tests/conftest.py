@@ -6,14 +6,34 @@ whole suite generates each of them once.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graph.builder import NetworkBuilder
 from repro.graph.citation_network import CitationNetwork
 from repro.synth.profiles import generate_dataset
 from repro.synth.scenarios import toy_network
 from repro.eval.split import split_by_ratio
+
+# Deterministic property testing: `derandomize` makes hypothesis derive
+# its examples from each test's source rather than a random seed, so CI
+# and local runs explore the same cases and failures reproduce exactly.
+# Override with HYPOTHESIS_PROFILE=dev for randomised local exploration.
+settings.register_profile(
+    "repro-ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-ci"))
 
 
 @pytest.fixture

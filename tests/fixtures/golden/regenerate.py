@@ -1,0 +1,88 @@
+"""Regenerate the golden regression fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/golden/regenerate.py
+
+Writes two files next to this script:
+
+* ``network.json`` — a frozen ~120-paper citation network with author
+  and venue metadata (a chronological prefix of the seeded synthetic
+  DBLP corpus, flattened to plain JSON so the fixture no longer
+  depends on the generator staying fixed);
+* ``scores.json`` — the score vector of every golden method
+  (AR/PR/CR/FR/WSDM/RAM/ECM at registry-default parameters) over that
+  network, serialised as JSON numbers (Python float serialisation
+  round-trips ``float64`` exactly).
+
+``tests/test_golden.py`` recomputes the scores from ``network.json``
+and fails with a per-method diff if any numerical path drifts.  Only
+regenerate after an *intentional* change to a scoring path, and say so
+in the commit message — these fixtures exist to make silent drift
+impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.baselines import make_method
+from repro.graph.citation_network import CitationNetwork
+from repro.synth.profiles import generate_dataset
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: The golden method lineup (registry labels, default parameters).
+GOLDEN_METHODS = ("AR", "PR", "CR", "FR", "WSDM", "RAM", "ECM")
+
+#: Papers kept from the seeded corpus (its index order is chronological).
+PREFIX = 120
+
+
+def frozen_network() -> CitationNetwork:
+    """The chronological prefix of the seeded DBLP corpus."""
+    corpus = generate_dataset("dblp", size="tiny", seed=42)
+    return corpus.subnetwork(np.arange(PREFIX))
+
+
+def network_to_payload(network: CitationNetwork) -> dict:
+    return {
+        "paper_ids": list(network.paper_ids),
+        "publication_times": [float(t) for t in network.publication_times],
+        "citing": [int(i) for i in network.citing],
+        "cited": [int(i) for i in network.cited],
+        "paper_authors": [
+            list(authors) for authors in (network.paper_authors or ())
+        ],
+        "paper_venues": [int(v) for v in network.paper_venues],
+    }
+
+
+def main() -> None:
+    network = frozen_network()
+    with open(
+        os.path.join(HERE, "network.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(network_to_payload(network), handle, indent=1)
+        handle.write("\n")
+
+    scores = {
+        label: [float(s) for s in make_method(label).scores(network)]
+        for label in GOLDEN_METHODS
+    }
+    with open(
+        os.path.join(HERE, "scores.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(scores, handle, indent=1)
+        handle.write("\n")
+    print(
+        f"froze {network.n_papers} papers / {network.n_citations} "
+        f"citations and {len(GOLDEN_METHODS)} score vectors"
+    )
+
+
+if __name__ == "__main__":
+    main()

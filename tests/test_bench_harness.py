@@ -18,7 +18,15 @@ from repro.bench import (
 from repro.errors import ConfigurationError
 
 #: Every scenario the harness must know about, per the bench catalogue.
-EXPECTED_SCENARIOS = {"figure4", "tuning", "serve_delta", "split", "operator"}
+EXPECTED_SCENARIOS = {
+    "figure4",
+    "tuning",
+    "serve_delta",
+    "serve_batch",
+    "split",
+    "operator",
+    "stream",
+}
 
 
 class TestTimeCallable:

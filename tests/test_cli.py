@@ -389,3 +389,115 @@ class TestShardedServe:
         assert document["payload"]["identical_rankings"] is True
         assert document["payload"]["shards"] == 2
         assert document["payload"]["batched"]["queries_per_second"] > 0
+
+
+class TestStream:
+    @pytest.fixture
+    def log_file(self, hepth_file, tmp_path, capsys):
+        path = str(tmp_path / "events.jsonl")
+        assert main(
+            ["stream", "extract", "--input", hepth_file, "--output", path]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        return path
+
+    def test_extract_writes_loadable_log(self, log_file):
+        from repro.stream import EventLog
+
+        log = EventLog.load(log_file)
+        assert log.n_papers == 750
+
+    def test_replay_to_index(self, log_file, tmp_path, capsys):
+        out = str(tmp_path / "streamed.npz")
+        assert main(
+            ["stream", "replay", "--log", log_file,
+             "--methods", "PR", "CC", "--batch-size", "256",
+             "--bootstrap-size", "256", "--index-out", out]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "finalized (canonical)" in text
+        assert os.path.exists(out)
+        from repro.serve import ScoreIndex
+        from repro.stream import EventLog, batch_compute
+
+        index = ScoreIndex.load(out)
+        cold = batch_compute(EventLog.load(log_file), ("PR", "CC"))
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            index.scores("PR"), cold.scores("PR")
+        )
+
+    def test_replay_checkpoint_resume_inspect(
+        self, log_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["stream", "replay", "--log", log_file,
+             "--methods", "CC", "--batch-size", "64",
+             "--bootstrap-size", "64", "--max-batches", "10",
+             "--checkpoint-dir", ckpt, "--checkpoint-every", "4"]
+        ) == 0
+        assert "checkpoint @" in capsys.readouterr().out
+
+        assert main(["stream", "checkpoint", "--checkpoint", ckpt]) == 0
+        inspected = capsys.readouterr().out
+        assert "events consumed" in inspected and "CC" in inspected
+
+        out = str(tmp_path / "resumed.npz")
+        assert main(
+            ["stream", "resume", "--checkpoint", ckpt,
+             "--log", log_file, "--index-out", out]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "resumed at event" in text
+        assert "finalized (canonical)" in text
+        assert os.path.exists(out)
+
+    def test_resume_wrong_log_fails_cleanly(
+        self, log_file, hepth_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["stream", "replay", "--log", log_file, "--methods", "CC",
+             "--batch-size", "64", "--bootstrap-size", "64",
+             "--max-batches", "3", "--checkpoint-dir", ckpt]
+        ) == 0
+        capsys.readouterr()
+        other = str(tmp_path / "other.jsonl")
+        assert main(
+            ["stream", "extract", "--dataset", "hep-th", "--size",
+             "tiny", "--seed", "9", "--output", other]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["stream", "resume", "--checkpoint", ckpt, "--log", other]
+        ) == 1
+        assert "digest" in capsys.readouterr().err
+
+    def test_no_finalize_leaves_warm_scores(self, log_file, capsys):
+        assert main(
+            ["stream", "replay", "--log", log_file, "--methods", "CC",
+             "--batch-size", "512", "--bootstrap-size", "512",
+             "--no-finalize"]
+        ) == 0
+        assert "exhausted (warm scores)" in capsys.readouterr().out
+
+    def test_bench_stream_smoke(self, tmp_path, capsys):
+        assert main(
+            ["bench", "--scenario", "stream", "--smoke", "--repeats",
+             "1", "--warmup", "0", "--shards", "2",
+             "--output-dir", str(tmp_path)]
+        ) == 0
+        document = json.loads((tmp_path / "BENCH_stream.json").read_text())
+        payload = document["payload"]
+        assert payload["identical_rankings"] is True
+        assert payload["replay"]["events_per_second"] > 0
+        assert payload["checkpoint_resume"]["resumed_batches"] > 0
+
+    def test_replay_rejects_bad_max_batches(self, log_file, capsys):
+        assert main(
+            ["stream", "replay", "--log", log_file, "--methods", "CC",
+             "--max-batches", "0"]
+        ) == 2
+        assert "--max-batches" in capsys.readouterr().err

@@ -9,7 +9,12 @@ then assert the structural invariants of the paper:
 * attention / recency / AttRank vectors are probability vectors,
 * AttRank's fixed point is independent of the starting vector,
 * metric ranges and identities (Spearman symmetry, nDCG bounds),
-* split ground truth is consistent under every ratio.
+* split ground truth is consistent under every ratio,
+* stream-replay equivalence: a finalized micro-batched replay of any
+  network's event log is bit-identical to the cold batch compute, at
+  any batch size, shard count, and checkpoint/resume point,
+* shard partitioners assign each paper independently of corpus order,
+* the ranking comparator ``(-score, index)`` is a total order.
 """
 
 from __future__ import annotations
@@ -235,6 +240,208 @@ def test_ndcg_monotone_under_improvement(seed):
     improved = scores.copy()
     improved[best] = scores.max() + 1.0
     assert ndcg_at_k(improved, gains, 10) >= ndcg_at_k(scores, gains, 10) - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Stream-replay invariants
+# ---------------------------------------------------------------------------
+
+
+#: AttRank with a pinned decay rate: random tiny bootstrap snapshots
+#: cannot support the citation-age fit the default configuration runs.
+_STREAM_PARAMS = {"AR": {"decay_rate": -0.6}}
+_STREAM_METHODS = ("AR", "PR", "CC")
+
+
+@given(
+    citation_networks(min_papers=4, max_papers=25),
+    st.integers(1, 24),
+    st.integers(1, 4),
+)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_replay_equals_batch_compute(network, batch_size, shards):
+    """Finalized replay == cold batch compute, bit for bit."""
+    from repro.stream import EventLog, StreamIngestor, batch_compute
+
+    log = EventLog.from_network(network)
+    cold = batch_compute(log, _STREAM_METHODS, method_params=_STREAM_PARAMS)
+    ingestor = StreamIngestor(
+        log,
+        _STREAM_METHODS,
+        batch_size=batch_size,
+        shards=shards,
+        method_params=_STREAM_PARAMS,
+    )
+    report = ingestor.replay()
+    assert report.exhausted
+    ingestor.finalize()
+    assert ingestor.index.network.paper_ids == cold.network.paper_ids
+    for label in _STREAM_METHODS:
+        assert np.array_equal(
+            ingestor.index.scores(label), cold.scores(label)
+        ), label
+
+
+@given(citation_networks(min_papers=6, max_papers=25), st.integers(1, 8))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_resumed_replay_is_bit_identical(network, batch_size):
+    """Checkpoint/resume at an arbitrary point changes nothing."""
+    import tempfile
+
+    from repro.stream import EventLog, StreamIngestor
+
+    log = EventLog.from_network(network)
+
+    def build():
+        return StreamIngestor(
+            log,
+            ("PR", "CC"),
+            batch_size=batch_size,
+            method_params=_STREAM_PARAMS,
+        )
+
+    uninterrupted = build()
+    uninterrupted.replay()
+
+    interrupted = build()
+    interrupted.replay(max_batches=1)
+    with tempfile.TemporaryDirectory() as scratch:
+        interrupted.checkpoint(scratch)
+        resumed = StreamIngestor.resume(scratch, log)
+    resumed.replay()
+    assert resumed.index.version == uninterrupted.index.version
+    for label in ("PR", "CC"):
+        assert np.array_equal(
+            resumed.index.scores(label),
+            uninterrupted.index.scores(label),
+        ), label
+
+
+# ---------------------------------------------------------------------------
+# Partitioner invariants
+# ---------------------------------------------------------------------------
+
+
+_paper_populations = st.lists(
+    st.tuples(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(1900.0, 2030.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+    unique_by=lambda pair: pair[0],
+)
+
+
+@given(
+    _paper_populations,
+    st.integers(1, 7),
+    st.sampled_from(["hash", "year"]),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_partitioner_stable_under_permutation(papers, n_shards, partitioner, rand):
+    """A paper's shard depends on the paper, not on corpus order."""
+    from repro.serve.shard import _assign, year_boundaries
+
+    ids = [pid for pid, _ in papers]
+    times = np.asarray([t for _, t in papers])
+    boundaries = (
+        year_boundaries(times, n_shards) if partitioner == "year" else None
+    )
+    original = dict(
+        zip(ids, _assign(ids, times, n_shards, partitioner, boundaries))
+    )
+    shuffled = list(papers)
+    rand.shuffle(shuffled)
+    ids2 = [pid for pid, _ in shuffled]
+    times2 = np.asarray([t for _, t in shuffled])
+    boundaries2 = (
+        year_boundaries(times2, n_shards) if partitioner == "year" else None
+    )
+    permuted = dict(
+        zip(ids2, _assign(ids2, times2, n_shards, partitioner, boundaries2))
+    )
+    assert original == permuted
+    assert all(0 <= shard < n_shards for shard in original.values())
+
+
+@given(_paper_populations, st.integers(1, 7))
+@settings(max_examples=40, deadline=None)
+def test_hash_partitioner_vectorised_matches_scalar(papers, n_shards):
+    """The bulk byte-column FNV path equals the per-id scalar path."""
+    from repro.serve.shard import _hash_assign, hash_shard_of
+
+    ids = [pid for pid, _ in papers]
+    bulk = _hash_assign(ids, n_shards)
+    assert [int(s) for s in bulk] == [
+        hash_shard_of(pid, n_shards) for pid in ids
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Ranking-comparator invariants
+# ---------------------------------------------------------------------------
+
+
+_tied_scores = st.lists(
+    st.floats(0.0, 4.0, allow_nan=False).map(lambda x: round(x, 1)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(_tied_scores)
+@settings(max_examples=50, deadline=None)
+def test_ranking_comparator_total_order(values):
+    """ranking_from_scores realises the strict total order
+    ``i < j  iff  (-score[i], i) < (-score[j], j)``."""
+    from repro.ranking import ranking_from_scores
+
+    scores = np.asarray(values)
+    order = ranking_from_scores(scores)
+    # A permutation of the population.
+    assert sorted(order.tolist()) == list(range(scores.size))
+    # Agrees with python's sort on the comparator key — which is
+    # antisymmetric, transitive, and total by construction.
+    expected = sorted(range(scores.size), key=lambda i: (-scores[i], i))
+    assert order.tolist() == expected
+    # Scores non-increasing along the ranking; ties by ascending index.
+    ranked = scores[order]
+    assert np.all(ranked[:-1] >= ranked[1:])
+    for a, b in zip(order[:-1], order[1:]):
+        if scores[a] == scores[b]:
+            assert a < b
+
+
+@given(_tied_scores, st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_ranking_comparator_consistent_under_relabeling(values, rand):
+    """Permuting the papers permutes the ranking consistently: the
+    sequence of *scores* read along the ranking is invariant."""
+    from repro.ranking import ranking_from_scores
+
+    scores = np.asarray(values)
+    permutation = list(range(scores.size))
+    rand.shuffle(permutation)
+    permutation = np.asarray(permutation)
+    relabeled = scores[permutation]
+    np.testing.assert_array_equal(
+        scores[ranking_from_scores(scores)],
+        relabeled[ranking_from_scores(relabeled)],
+    )
 
 
 # ---------------------------------------------------------------------------

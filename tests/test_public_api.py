@@ -12,6 +12,7 @@ from repro.errors import (
     EvaluationError,
     GraphError,
     ReproError,
+    StreamError,
 )
 
 
@@ -56,7 +57,13 @@ class TestPublicSurface:
 class TestErrorHierarchy:
     @pytest.mark.parametrize(
         "subclass",
-        [GraphError, DataFormatError, ConfigurationError, EvaluationError],
+        [
+            GraphError,
+            DataFormatError,
+            ConfigurationError,
+            EvaluationError,
+            StreamError,
+        ],
     )
     def test_derives_from_base(self, subclass):
         assert issubclass(subclass, ReproError)

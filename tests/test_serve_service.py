@@ -98,6 +98,41 @@ class TestCaching:
         # The new citation is visible: the leader gained one point.
         assert after.entries[0].score == before.entries[0].score + 1
 
+    def test_out_of_band_ingest_never_serves_stale(self, service):
+        """Regression: an ingest that bypasses service.update (a stream
+        replay driving DeltaUpdater directly, or any second writer on
+        the same index) must never let the service hand back a cached
+        pre-ingest page."""
+        from repro.serve import DeltaUpdater
+
+        before = service.top_k("CC", k=3)
+        assert service.top_k("CC", k=3) is before  # primed the cache
+        DeltaUpdater(service.index).apply(
+            NetworkDelta(
+                papers=(("NEW", 2004.0),),
+                citations=(("NEW", before.paper_ids[0]),),
+            )
+        )
+        after = service.top_k("CC", k=3)
+        assert after is not before
+        assert after.version == before.version + 1
+        assert after.entries[0].score == before.entries[0].score + 1
+
+    def test_out_of_band_version_change_clears_cache(self, service):
+        """Regression: version-keyed entries from before an out-of-band
+        refresh are dead weight; detecting the new version must drop
+        them instead of letting them squat in the LRU (capacity 8 here
+        — a replay of many micro-batches would otherwise evict every
+        live page)."""
+        for k in (2, 3, 4, 5):
+            service.top_k("PR", k=k)
+        assert service.cache_stats().size == 4
+        service.index.refresh()  # e.g. a stream finalize
+        service.top_k("PR", k=2)
+        stats = service.cache_stats()
+        # Only the fresh entry survives; the four stale ones are gone.
+        assert stats.size == 1
+
 
 class TestCompare:
     def test_results_and_overlap(self, service):

@@ -1,0 +1,196 @@
+"""Tests for the event-log layer (extraction, validation, JSONL)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataFormatError, StreamError
+from repro.stream import (
+    CitationEvent,
+    EventLog,
+    PaperEvent,
+    group_boundaries,
+    network_from_log,
+)
+
+
+class TestConstruction:
+    def test_orders_and_counts(self, toy):
+        log = EventLog.from_network(toy)
+        assert len(log) == toy.n_papers + toy.n_citations
+        assert log.n_papers == toy.n_papers
+        assert log.n_citations == toy.n_citations
+        times = [event.time for event in log]
+        assert times == sorted(times)
+
+    def test_grouping_citations_follow_their_paper(self, toy):
+        current = None
+        for event in EventLog.from_network(toy):
+            if isinstance(event, PaperEvent):
+                current = event.paper_id
+            else:
+                assert event.citing == current
+
+    def test_rejects_time_regression(self):
+        with pytest.raises(StreamError, match="time-ordered"):
+            EventLog(
+                [
+                    PaperEvent(time=2000.0, paper_id="a"),
+                    PaperEvent(time=1999.0, paper_id="b"),
+                ]
+            )
+
+    def test_rejects_duplicate_paper(self):
+        with pytest.raises(StreamError, match="duplicate"):
+            EventLog(
+                [
+                    PaperEvent(time=2000.0, paper_id="a"),
+                    PaperEvent(time=2001.0, paper_id="a"),
+                ]
+            )
+
+    def test_rejects_detached_citation(self):
+        # The citation names "a" as citing, but "b" is the live group.
+        with pytest.raises(StreamError, match="detached"):
+            EventLog(
+                [
+                    PaperEvent(time=2000.0, paper_id="a"),
+                    PaperEvent(time=2001.0, paper_id="b"),
+                    CitationEvent(time=2001.0, citing="a", cited="b"),
+                ]
+            )
+
+    def test_rejects_self_citation(self):
+        with pytest.raises(StreamError, match="self-citation"):
+            EventLog(
+                [
+                    PaperEvent(time=2000.0, paper_id="a"),
+                    CitationEvent(time=2000.0, citing="a", cited="a"),
+                ]
+            )
+
+    def test_rejects_leading_citation(self):
+        with pytest.raises(StreamError, match="detached"):
+            EventLog([CitationEvent(time=2000.0, citing="a", cited="b")])
+
+    def test_from_network_rejects_forward_citations(self):
+        from repro.graph.citation_network import CitationNetwork
+
+        # "old" (1990) cites "new" (2000): not replayable as a stream.
+        network = CitationNetwork(
+            ["old", "new"], [1990.0, 2000.0], citing=[0], cited=[1]
+        )
+        with pytest.raises(StreamError, match="arrives later"):
+            EventLog.from_network(network)
+
+    def test_time_span_and_digest(self, toy):
+        log = EventLog.from_network(toy)
+        lo, hi = log.time_span()
+        assert (lo, hi) == (1990.0, 2003.0)
+        assert log.digest(0) != log.digest(len(log))
+        assert log.digest() == log.digest(len(log))
+        with pytest.raises(StreamError):
+            log.digest(len(log) + 1)
+
+
+class TestRoundTrips:
+    def test_network_round_trip_is_exact(self, hepth_tiny):
+        log = EventLog.from_network(hepth_tiny)
+        rebuilt = network_from_log(log)
+        assert rebuilt.paper_ids == hepth_tiny.paper_ids
+        np.testing.assert_array_equal(
+            rebuilt.publication_times, hepth_tiny.publication_times
+        )
+        assert rebuilt.n_citations == hepth_tiny.n_citations
+        assert (
+            rebuilt.citation_matrix != hepth_tiny.citation_matrix
+        ).nnz == 0
+
+    def test_jsonl_round_trip_is_exact(self, toy, tmp_path):
+        log = EventLog.from_network(toy)
+        path = str(tmp_path / "events.jsonl")
+        log.save(path)
+        loaded = EventLog.load(path)
+        assert loaded == log
+        assert loaded.digest() == log.digest()
+
+    def test_jsonl_preserves_fractional_times(self, tmp_path):
+        # repr-based float serialisation must round-trip exactly.
+        time = 1997.1000000000001
+        log = EventLog([PaperEvent(time=time, paper_id="x")])
+        path = str(tmp_path / "events.jsonl")
+        log.save(path)
+        assert EventLog.load(path)[0].time == time
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DataFormatError, match="not found"):
+            EventLog.load(str(tmp_path / "absent.jsonl"))
+
+    def test_load_rejects_non_log(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(DataFormatError, match="not a repro event log"):
+            EventLog.load(str(path))
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"format": "repro-event-log", "log_format_version": 99}\n'
+        )
+        with pytest.raises(DataFormatError, match="version 99"):
+            EventLog.load(str(path))
+
+    def test_load_rejects_truncation(self, toy, tmp_path):
+        log = EventLog.from_network(toy)
+        path = tmp_path / "events.jsonl"
+        log.save(str(path))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(DataFormatError, match="truncated"):
+            EventLog.load(str(path))
+
+    def test_load_rejects_unknown_event_type(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"format": "repro-event-log", "log_format_version": 1}\n'
+            '{"type": "retraction", "time": 2000.0, "id": "x"}\n'
+        )
+        with pytest.raises(DataFormatError, match="unknown event type"):
+            EventLog.load(str(path))
+
+
+class TestGroupBoundaries:
+    def test_boundaries_are_paper_positions(self, toy):
+        log = EventLog.from_network(toy)
+        cuts = group_boundaries(log.events)
+        assert cuts[-1] == len(log)
+        for cut in cuts[:-1]:
+            assert isinstance(log[cut], PaperEvent)
+        assert 0 not in cuts
+
+    def test_empty_log_errors(self):
+        log = EventLog([])
+        with pytest.raises(StreamError, match="empty"):
+            log.time_span()
+        with pytest.raises(StreamError, match="empty"):
+            network_from_log(log)
+
+
+class TestHeaderHardening:
+    def test_load_rejects_non_numeric_version(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"format": "repro-event-log", "log_format_version": "one"}\n'
+        )
+        with pytest.raises(DataFormatError, match="malformed log_format"):
+            EventLog.load(str(path))
+
+    def test_load_rejects_non_numeric_event_count(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"format": "repro-event-log", "log_format_version": 1, '
+            '"n_events": []}\n'
+        )
+        with pytest.raises(DataFormatError, match="malformed n_events"):
+            EventLog.load(str(path))
