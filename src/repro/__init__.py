@@ -40,9 +40,11 @@ from repro.errors import (
     ConvergenceError,
     DataFormatError,
     EvaluationError,
+    GatewayError,
     GraphError,
     IndexIntegrityError,
     ReproError,
+    StreamError,
 )
 from repro.eval import (
     NDCG,
@@ -143,6 +145,9 @@ __all__ = [
     "EventLog",
     "StreamIngestor",
     "batch_compute",
+    # gateway
+    "GatewayServer",
+    "GatewayThread",
     # errors
     "ReproError",
     "GraphError",
@@ -151,6 +156,8 @@ __all__ = [
     "ConvergenceError",
     "EvaluationError",
     "IndexIntegrityError",
+    "StreamError",
+    "GatewayError",
 ]
 
 #: Deliberately lazy exports (PEP 562): the experiment engine, the
@@ -165,6 +172,8 @@ _LAZY_EXPORTS = {
     "EventLog": ("repro.stream", "EventLog"),
     "StreamIngestor": ("repro.stream", "StreamIngestor"),
     "batch_compute": ("repro.stream", "batch_compute"),
+    "GatewayServer": ("repro.gateway", "GatewayServer"),
+    "GatewayThread": ("repro.gateway", "GatewayThread"),
 }
 
 

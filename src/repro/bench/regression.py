@@ -87,6 +87,12 @@ class RegressionRow:
     status:
         ``ok`` | ``regression`` | ``broken`` | ``new`` | ``removed`` |
         ``config-changed``.
+    latency:
+        The head payload's latency quantiles (``p50_ms``/``p95_ms``/
+        ``p99_ms``), when the scenario reports them (the serving
+        scenarios do; offline grid scenarios do not) — rendered as an
+        extra column so tail-latency movement is visible in the PR
+        summary even while total elapsed time stays inside tolerance.
     """
 
     scenario: str
@@ -95,6 +101,19 @@ class RegressionRow:
     ratio: float | None
     identical_ok: bool
     status: str
+    latency: Mapping[str, float] | None = None
+
+    def latency_cell(self) -> str:
+        """``p50/p95/p99`` in ms, or ``-`` when not reported."""
+        if not self.latency:
+            return "-"
+        try:
+            return "/".join(
+                f"{float(self.latency[key]):.1f}"
+                for key in ("p50_ms", "p95_ms", "p99_ms")
+            )
+        except (KeyError, TypeError, ValueError):
+            return "-"
 
     @property
     def failed(self) -> bool:
@@ -129,14 +148,14 @@ class RegressionReport:
             "(`elapsed_seconds`), or when `identical_rankings` is "
             "false on head.",
             "",
-            "| scenario | base (s) | head (s) | ratio | rankings | "
-            "status |",
-            "| --- | ---: | ---: | ---: | :---: | :---: |",
+            "| scenario | base (s) | head (s) | ratio | "
+            "p50/p95/p99 (ms) | rankings | status |",
+            "| --- | ---: | ---: | ---: | ---: | :---: | :---: |",
         ]
         for row in self.rows:
             lines.append(
-                "| {scenario} | {base} | {head} | {ratio} | {ident} | "
-                "{status} |".format(
+                "| {scenario} | {base} | {head} | {ratio} | {latency} "
+                "| {ident} | {status} |".format(
                     scenario=row.scenario,
                     base=(
                         f"{row.base_seconds:.3f}"
@@ -153,6 +172,7 @@ class RegressionReport:
                         if row.ratio is not None
                         else "—"
                     ),
+                    latency=row.latency_cell(),
                     ident="ok" if row.identical_ok else "**BROKEN**",
                     status=(
                         f"**{row.status}**"
@@ -222,6 +242,8 @@ def compare_results(
         head_seconds = float(head_doc["elapsed_seconds"])
         identical = head_doc.get("payload", {}).get("identical_rankings")
         identical_ok = identical is not False
+        raw_latency = head_doc.get("payload", {}).get("latency")
+        latency = raw_latency if isinstance(raw_latency, dict) else None
         if base_doc is None:
             rows.append(
                 RegressionRow(
@@ -231,6 +253,7 @@ def compare_results(
                     ratio=None,
                     identical_ok=identical_ok,
                     status="broken" if not identical_ok else "new",
+                    latency=latency,
                 )
             )
             continue
@@ -255,6 +278,7 @@ def compare_results(
                 ratio=ratio,
                 identical_ok=identical_ok,
                 status=status,
+                latency=latency,
             )
         )
     return RegressionReport(tolerance=float(tolerance), rows=tuple(rows))

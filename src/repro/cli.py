@@ -19,6 +19,13 @@ Subcommands
                network, ``replay`` it through micro-batched warm-start
                updates (with optional checkpoints), ``resume`` a
                killed replay, ``checkpoint`` inspects a saved one.
+``serve-http`` Serve an index over HTTP: the asyncio gateway with
+               request coalescing, admission control, live metrics,
+               and graceful drain.
+``loadgen``    Drive an in-process gateway with concurrent clients and
+               mixed traffic (optionally with live stream updates),
+               verify every response against a direct service call,
+               and report requests/sec + latency quantiles.
 ``compare``    Reproduce a figure panel (tune all methods per ratio),
                fanned out over ``--jobs`` worker processes.
 ``bench``      Run a benchmark scenario and write ``BENCH_<name>.json``.
@@ -58,6 +65,7 @@ from repro.serve import (
     RankingService,
     ScoreIndex,
     ShardedScoreIndex,
+    execute_with_attribution,
     queries_from_file,
     result_payload,
 )
@@ -407,6 +415,145 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", required=True, help="checkpoint directory"
     )
 
+    serve_http = commands.add_parser(
+        "serve-http",
+        help="serve a score index over HTTP (asyncio gateway)",
+    )
+    serve_http.add_argument(
+        "--index",
+        required=True,
+        help="index .npz (or sharded index directory) to serve",
+    )
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks a free one; default 8080)",
+    )
+    serve_http.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help=(
+            "requests executing concurrently (caps the coalesced "
+            "batch size); admitted requests beyond it queue"
+        ),
+    )
+    serve_http.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="queued requests beyond which arrivals are shed with 503",
+    )
+    serve_http.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        help="largest coalesced query batch",
+    )
+    serve_http.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-endpoint requests/second (429 beyond; default: off)",
+    )
+    serve_http.add_argument(
+        "--rate-burst",
+        type=int,
+        default=32,
+        help="token-bucket burst for --rate-limit (default 32)",
+    )
+    serve_http.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the per-shard query phase",
+    )
+    serve_http.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        help=(
+            "serve for N seconds, then drain and exit (default: run "
+            "until interrupted)"
+        ),
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help=(
+            "verified load bench: concurrent clients against an "
+            "in-process gateway"
+        ),
+    )
+    load_source = loadgen.add_mutually_exclusive_group(required=True)
+    load_source.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_PROFILES),
+        help="synthetic profile: stream-update mode (bootstrap half, "
+        "apply the rest live during the run)",
+    )
+    load_source.add_argument(
+        "--input", help="saved .npz network (stream-update mode)"
+    )
+    load_source.add_argument(
+        "--index",
+        help="pre-built index .npz or shard directory (static mode)",
+    )
+    loadgen.add_argument(
+        "--size",
+        choices=sorted(SIZE_FACTORS),
+        default="tiny",
+        help="scale of the synthetic profile (default: tiny)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=7, help="generator + traffic seed"
+    )
+    loadgen.add_argument(
+        "--methods",
+        nargs="+",
+        default=["AR", "PR", "CC"],
+        choices=sorted(METHOD_REGISTRY),
+        help="methods to serve (stream mode; static mode uses the "
+        "index's own labels)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=4, help="concurrent connections"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=50, help="requests per client"
+    )
+    loadgen.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="stream micro-batch size applied live during the run",
+    )
+    loadgen.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count of the serving state (stream mode)",
+    )
+    loadgen.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="hash",
+        help="shard assignment policy (default: hash)",
+    )
+    loadgen.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the response-by-response bit-identity check",
+    )
+    loadgen.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full report as JSON instead of a table",
+    )
+
     compare = commands.add_parser(
         "compare",
         help=(
@@ -709,28 +856,43 @@ def _command_update(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_query(args: argparse.Namespace) -> int:
-    if os.path.isdir(args.index):
+def _serving_backend(path: str, jobs: int | None):
+    """Open an index file or shard directory as a serving backend."""
+    if os.path.isdir(path):
         # A sharded store loads lazily and serves through the engine.
-        service = QueryEngine(
-            ShardedScoreIndex.load(args.index), jobs=args.jobs
-        )
-    else:
-        service = RankingService(
-            ScoreIndex.load(args.index), jobs=args.jobs
-        )
+        return QueryEngine(ShardedScoreIndex.load(path), jobs=jobs)
+    return RankingService(ScoreIndex.load(path), jobs=jobs)
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    service = _serving_backend(args.index, args.jobs)
     if args.batch:
         queries = queries_from_file(args.batch)
         engine = (
             service if isinstance(service, QueryEngine) else service.engine
         )
-        results = engine.execute(queries)
-        print(
-            json.dumps(
-                [result_payload(result) for result in results], indent=2
-            )
+        # Per-query failure attribution (shared with the gateway's
+        # coalescer): a broken query gets a typed JSON error object in
+        # its slot while every healthy one still gets its result.
+        _, outcomes = execute_with_attribution(
+            engine.execute_versioned, queries
         )
-        return 0
+        failures = 0
+        payloads = []
+        for outcome in outcomes:
+            if isinstance(outcome, ReproError):
+                failures += 1
+                payloads.append(
+                    {
+                        "type": "error",
+                        "error": type(outcome).__name__,
+                        "message": str(outcome),
+                    }
+                )
+            else:
+                payloads.append(result_payload(outcome))
+        print(json.dumps(payloads, indent=2))
+        return 1 if failures else 0
     year_range = None
     if args.year_min is not None or args.year_max is not None:
         year_range = (
@@ -950,6 +1112,142 @@ def _stream_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_http(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import GatewayConfig, GatewayServer
+
+    backend = _serving_backend(args.index, args.jobs)
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+    )
+
+    async def serve() -> None:
+        server = GatewayServer(backend, config=config)
+        await server.start()
+        print(
+            f"serving {args.index} on http://{config.host}:{server.port}"
+            f" ({'for %.1fs' % args.for_seconds if args.for_seconds else 'Ctrl-C drains and stops'})",
+            flush=True,
+        )
+        try:
+            if args.for_seconds is not None:
+                await asyncio.sleep(args.for_seconds)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()
+            print("gateway drained and stopped")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        # asyncio.run already cancelled serve(); the finally block's
+        # drain ran inside the loop before it closed.
+        pass
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.gateway import GatewayConfig
+    from repro.gateway.loadgen import run_load_over_log, run_load_static
+
+    verify = not args.no_verify
+    config = GatewayConfig(port=0)
+    if args.index:
+        backend = _serving_backend(args.index, jobs=1)
+        labels = (
+            backend.index.labels
+            if isinstance(backend, RankingService)
+            else backend.sharded.labels
+        )
+        report = run_load_static(
+            backend,
+            labels,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+            config=config,
+            verify=verify and isinstance(backend, RankingService),
+        )
+    else:
+        from repro.stream import EventLog
+
+        network = _load_source(args)
+        log = EventLog.from_network(network)
+        report = run_load_over_log(
+            log,
+            tuple(args.methods),
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            config=config,
+            verify=verify,
+        )
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        latency = report["latency"]
+        rows = [
+            ["requests", report["requests"]],
+            ["requests/s", f"{report['requests_per_second']:.0f}"],
+            ["p50 (ms)", f"{latency['p50_ms']:.2f}"],
+            ["p95 (ms)", f"{latency['p95_ms']:.2f}"],
+            ["p99 (ms)", f"{latency['p99_ms']:.2f}"],
+            ["mean batch size", f"{report['coalescing']['mean_batch_size']:.1f}"],
+            ["updates applied", report["updates_applied"]],
+            ["shed 429 / 503", f"{report['shed_429']} / {report['shed_503']}"],
+            ["5xx responses", report["errors_5xx"]],
+            [
+                "identical rankings",
+                (
+                    f"yes ({report['verified_responses']} verified)"
+                    if report["identical_rankings"]
+                    else (
+                        "not checked"
+                        if not verify
+                        or report["verified_responses"]
+                        + report["mismatched_responses"] == 0
+                        else f"NO ({report['mismatched_responses']} mismatches)"
+                    )
+                ),
+            ],
+        ]
+        print(
+            format_table(
+                ["measure", "value"],
+                rows,
+                title=(
+                    f"loadgen: {args.clients} clients x "
+                    f"{args.requests} requests"
+                ),
+            )
+        )
+    failed = report["errors_5xx"] > 0 or (
+        verify
+        and report["verified_responses"] + report["mismatched_responses"] > 0
+        and not report["identical_rankings"]
+    )
+    if failed:
+        print(
+            "error: [GatewayError] load run failed the gate "
+            f"(5xx={report['errors_5xx']}, "
+            f"mismatches={report['mismatched_responses']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     from repro.parallel import ExperimentEngine
 
@@ -1039,6 +1337,28 @@ def _command_bench(args: argparse.Namespace) -> int:
                 f"{payload['replay_overhead_vs_batch']:.2f}x",
             ]
         )
+    if "requests_per_second" in payload:
+        rows.append(
+            ["requests/s", f"{payload['requests_per_second']:.0f}"]
+        )
+    if "latency" in payload and "p50_ms" in payload.get("latency", {}):
+        latency = payload["latency"]
+        rows.append(
+            [
+                "latency p50/p95/p99 (ms)",
+                f"{latency['p50_ms']:.2f} / {latency['p95_ms']:.2f} / "
+                f"{latency['p99_ms']:.2f}",
+            ]
+        )
+    if "coalescing" in payload and "mean_batch_size" in payload.get(
+        "coalescing", {}
+    ):
+        rows.append(
+            [
+                "mean coalesced batch",
+                f"{payload['coalescing']['mean_batch_size']:.1f}",
+            ]
+        )
     if "speedup_vs_serial" in payload:
         rows.append(
             ["speedup vs serial", f"{payload['speedup_vs_serial']:.2f}x"]
@@ -1081,6 +1401,7 @@ def _command_bench_diff(args: argparse.Namespace) -> int:
                 "-" if row.base_seconds is None else f"{row.base_seconds:.3f}",
                 "-" if row.head_seconds is None else f"{row.head_seconds:.3f}",
                 "-" if row.ratio is None else f"{row.ratio:.2f}x",
+                row.latency_cell(),
                 "ok" if row.identical_ok else "BROKEN",
                 row.status,
             ]
@@ -1089,7 +1410,7 @@ def _command_bench_diff(args: argparse.Namespace) -> int:
         print(
             format_table(
                 ["scenario", "base (s)", "head (s)", "ratio",
-                 "rankings", "status"],
+                 "p50/p95/p99 (ms)", "rankings", "status"],
                 rows,
                 title=(
                     f"bench regression gate (tolerance "
@@ -1115,6 +1436,8 @@ _COMMANDS = {
     "update": _command_update,
     "query": _command_query,
     "stream": _command_stream,
+    "serve-http": _command_serve_http,
+    "loadgen": _command_loadgen,
     "compare": _command_compare,
     "bench": _command_bench,
     "bench-diff": _command_bench_diff,
@@ -1128,7 +1451,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        # One line, typed: scripts match on the class name instead of
+        # parsing prose, and no library failure ever shows a traceback.
+        print(
+            f"error: [{type(error).__name__}] {error}", file=sys.stderr
+        )
         return 1
 
 

@@ -58,6 +58,19 @@ class EvaluationError(ReproError):
     """An evaluation request is inconsistent with the data it is given."""
 
 
+class GatewayError(ReproError):
+    """The HTTP serving gateway cannot accept or complete a request.
+
+    Raised for gateway-level failures: submitting to a coalescer that
+    is shutting down, malformed HTTP requests beyond the parser's
+    limits, or a server asked to start twice.  Load shedding is *not*
+    an error — the admission layer answers 429/503 responses without
+    raising — but a request caught mid-drain surfaces as this type so
+    callers can distinguish "the gateway refused" from "the query was
+    invalid".
+    """
+
+
 class StreamError(ReproError):
     """An event log or stream replay violates the streaming contract.
 

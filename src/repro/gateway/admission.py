@@ -1,0 +1,200 @@
+"""Admission control: bounded concurrency, bounded queueing, rate limits.
+
+A gateway that accepts every request dies by queueing: latency grows
+without bound and *every* client times out, instead of a few being told
+to back off.  The admission layer makes overload a first-class,
+*typed* outcome decided before any query work happens:
+
+* **capacity** — at most ``max_inflight`` requests execute at once and
+  at most ``max_queue`` more may wait behind them; a request beyond
+  both is shed with ``503`` (retry later, the server is saturated);
+* **rate** — each endpoint may carry a token bucket; a request that
+  finds the bucket empty is shed with ``429`` (this client is too
+  fast, independent of server load).
+
+Decisions are :class:`AdmissionDecision` values, not exceptions — load
+shedding is the system working as designed, and the server turns the
+decision into an HTTP status without a stack unwind.  All state is
+plain counters mutated from the event loop thread, so there is nothing
+to lock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The typed outcome of one admission check.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the request may proceed (the caller must
+        :meth:`AdmissionController.release` it when done).
+    status:
+        HTTP status the server should answer with: ``200`` when
+        admitted, ``429`` (rate limited) or ``503`` (overloaded)
+        when shed.
+    reason:
+        Machine-readable shed reason (``"ok"``, ``"rate-limited"``,
+        ``"queue-full"``, ``"draining"``).
+    """
+
+    admitted: bool
+    status: int
+    reason: str
+
+
+_ADMITTED = AdmissionDecision(admitted=True, status=200, reason="ok")
+_RATE_LIMITED = AdmissionDecision(
+    admitted=False, status=429, reason="rate-limited"
+)
+_QUEUE_FULL = AdmissionDecision(
+    admitted=False, status=503, reason="queue-full"
+)
+_DRAINING = AdmissionDecision(
+    admitted=False, status=503, reason="draining"
+)
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` deep.
+
+    >>> bucket = TokenBucket(rate=10.0, burst=2)
+    >>> bucket.take(now=0.0), bucket.take(now=0.0), bucket.take(now=0.0)
+    (True, True, False)
+    >>> bucket.take(now=0.1)   # one token refilled after 100ms
+    True
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last: float | None = None
+
+    def take(self, now: float | None = None) -> bool:
+        """Consume one token if available; refill by elapsed time first."""
+        if now is None:
+            now = time.monotonic()
+        if self._last is not None and now > self._last:
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._last) * self.rate,
+            )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Decide, per request, between execute / queue / shed.
+
+    Parameters
+    ----------
+    max_inflight:
+        Requests allowed to execute concurrently.  The controller
+        itself enforces only the combined ``max_inflight + max_queue``
+        cap; the *execution* bound is realised by the gateway sizing
+        its coalesced batches to ``max_inflight``, so at most that
+        many admitted requests enter the query layer at once while the
+        rest wait in the coalescer's pending queue.
+    max_queue:
+        Additional requests allowed to wait.  ``max_inflight +
+        max_queue`` is the hard cap on admitted-but-unfinished
+        requests; one more is shed with 503.
+    rate_limits:
+        Optional ``endpoint -> TokenBucket`` map; an endpoint without a
+        bucket is never 429'd.
+
+    The controller also owns the *draining* flag: once
+    :meth:`start_draining` is called (graceful shutdown), every new
+    request is shed with 503 while already-admitted ones run to
+    completion — which is exactly what lets the server drain without
+    dropping in-flight work.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 64,
+        max_queue: int = 256,
+        rate_limits: dict[str, TokenBucket] | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0, got {max_queue}"
+            )
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.rate_limits = dict(rate_limits or {})
+        self.active = 0          # admitted and not yet released
+        self.peak_active = 0
+        self.admitted_total = 0
+        self.draining = False
+
+    @property
+    def capacity(self) -> int:
+        """Hard cap on admitted-but-unfinished requests."""
+        return self.max_inflight + self.max_queue
+
+    def try_admit(
+        self, endpoint: str, *, now: float | None = None
+    ) -> AdmissionDecision:
+        """One admission check; the caller must release admitted requests.
+
+        Order matters: the rate check runs first so a misbehaving
+        client is told 429 even when the server also happens to be
+        full — 429 is actionable for that client, 503 is not.
+        """
+        if self.draining:
+            return _DRAINING
+        bucket = self.rate_limits.get(endpoint)
+        if bucket is not None and not bucket.take(now):
+            return _RATE_LIMITED
+        if self.active >= self.capacity:
+            return _QUEUE_FULL
+        self.active += 1
+        self.admitted_total += 1
+        if self.active > self.peak_active:
+            self.peak_active = self.active
+        return _ADMITTED
+
+    def release(self) -> None:
+        """Return one admitted request's slot."""
+        assert self.active > 0, "release() without a matching admit"
+        self.active -= 1
+
+    def start_draining(self) -> None:
+        """Shed all new requests from now on (graceful shutdown)."""
+        self.draining = True
+
+    def snapshot(self) -> dict[str, int | bool]:
+        """Counters for ``/v1/metrics``."""
+        return {
+            "active": self.active,
+            "peak_active": self.peak_active,
+            "admitted_total": self.admitted_total,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "draining": self.draining,
+        }

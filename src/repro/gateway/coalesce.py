@@ -1,0 +1,234 @@
+"""Request coalescing: many concurrent HTTP queries, one engine batch.
+
+The PR-3 :class:`~repro.serve.QueryEngine` amortises shard fan-out over
+a *batch* of queries — but HTTP requests arrive one at a time.  The
+:class:`RequestCoalescer` closes that gap with the classic
+natural-batching loop: requests park in a pending list, a single
+worker task drains the list into one
+:meth:`~repro.serve.RankingService.execute_batch` call, and every
+request that arrives *while that batch executes* accumulates into the
+next one.  Under light load batches have size 1 (no added latency);
+under heavy load batch size grows with concurrency, which is exactly
+when amortisation pays.
+
+Correctness guarantees:
+
+* **Bit-identical results.**  A coalesced query is answered by the same
+  engine, at one pinned store generation, as a direct
+  :class:`~repro.serve.RankingService` call — the PR-3 equivalence
+  property carries over unchanged, and every response is stamped with
+  the index version it was computed at.
+* **No torn reads during live updates.**  The coalescer owns an
+  :class:`asyncio.Lock` that serialises engine batches with stream
+  updates (:meth:`exclusively` is how the updater applies micro-batches).
+  A batch therefore executes entirely before or entirely after any
+  version swap.
+* **Per-query failure attribution.**  A batch that fails to plan
+  (unknown method, bad page, unknown paper id) is retried query by
+  query, so one bad request gets its typed error while the rest of the
+  batch is served normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Sequence, Union
+
+from repro.errors import GatewayError, ReproError
+from repro.gateway.metrics import GatewayMetrics
+from repro.serve.batch import Query, QueryEngine, execute_with_attribution
+from repro.serve.service import RankingService
+
+__all__ = ["RequestCoalescer"]
+
+Backend = Union[RankingService, QueryEngine]
+
+
+class RequestCoalescer:
+    """Batch concurrent queries onto one serving backend.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.serve.RankingService` (batches flow through
+        its LRU result cache via :meth:`~RankingService.execute_batch`)
+        or a bare :class:`~repro.serve.QueryEngine` (cache-less — the
+        detached shard-directory serving mode).
+    max_batch:
+        Largest single engine batch; pending requests beyond it wait
+        for the next drain (they are not shed — that is admission's
+        job).
+    metrics:
+        Optional :class:`~repro.gateway.GatewayMetrics` to record the
+        coalesced batch-size distribution into.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.serve import RankingService, ScoreIndex, TopKQuery
+    >>> from repro.synth import toy_network
+    >>> index = ScoreIndex(toy_network())
+    >>> index.add_method("CC")
+    >>> async def main():
+    ...     coalescer = RequestCoalescer(RankingService(index))
+    ...     await coalescer.start()
+    ...     try:
+    ...         return await coalescer.submit(TopKQuery(method="CC", k=2))
+    ...     finally:
+    ...         await coalescer.close()
+    >>> version, page = asyncio.run(main())
+    >>> (version, page.paper_ids)
+    (0, ('A', 'C'))
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        max_batch: int = 128,
+        metrics: GatewayMetrics | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise GatewayError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        self._backend = backend
+        self._max_batch = int(max_batch)
+        self._metrics = metrics
+        self._pending: list[tuple[Query, asyncio.Future]] = []
+        self._wakeup = asyncio.Event()
+        self._lock = asyncio.Lock()
+        self._worker: asyncio.Task | None = None
+        self._closed = False
+
+    @property
+    def backend(self) -> Backend:
+        """The serving object batches execute against."""
+        return self._backend
+
+    @property
+    def pending_count(self) -> int:
+        """Requests parked for the next drain."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the drain worker (idempotent)."""
+        if self._closed:
+            raise GatewayError("coalescer is closed")
+        if self._worker is None:
+            self._worker = asyncio.ensure_future(self._run())
+
+    async def close(self) -> None:
+        """Drain everything already submitted, then stop the worker.
+
+        Part of the graceful-shutdown path: requests admitted before
+        the drain began still get real answers; only *new* submits are
+        refused (with :class:`~repro.errors.GatewayError`).
+        """
+        self._closed = True
+        self._wakeup.set()
+        if self._worker is not None:
+            await self._worker
+            self._worker = None
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+    async def submit(self, query: Query) -> tuple[int, Any]:
+        """Park one query, await its batch, return ``(version, result)``.
+
+        Raises the query's own typed :class:`~repro.errors.ReproError`
+        on failure (unknown method/paper, invalid page), or
+        :class:`~repro.errors.GatewayError` if the coalescer is
+        draining.
+        """
+        if self._closed:
+            raise GatewayError(
+                "gateway is draining; no new requests accepted"
+            )
+        if self._worker is None:
+            await self.start()
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending.append((query, future))
+        self._wakeup.set()
+        return await future
+
+    async def exclusively(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` in the executor while no batch is executing.
+
+        The stream updater applies index micro-batches through here:
+        holding the batch lock across the update makes the version
+        swap atomic with respect to every coalesced read.
+        """
+        async with self._lock:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, fn
+            )
+
+    # ------------------------------------------------------------------
+    # The drain worker
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                # Re-check before sleeping: a submit may have landed
+                # between the emptiness check and the clear.
+                if not self._pending and not self._closed:
+                    await self._wakeup.wait()
+                continue
+            batch = self._pending[: self._max_batch]
+            del self._pending[: len(batch)]
+            queries = [query for query, _ in batch]
+            try:
+                async with self._lock:
+                    version, outcomes = await loop.run_in_executor(
+                        None, self._execute, queries
+                    )
+            except Exception as error:  # executor / backend breakage
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            if self._metrics is not None:
+                self._metrics.batch_sizes.observe(len(batch))
+            for (_, future), outcome in zip(batch, outcomes):
+                if future.done():  # client went away mid-batch
+                    continue
+                if isinstance(outcome, ReproError):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result((version, outcome))
+
+    def _backend_execute(
+        self, queries: Sequence[Query]
+    ) -> tuple[int, tuple[Any, ...]]:
+        if isinstance(self._backend, RankingService):
+            return self._backend.execute_batch(queries)
+        return self._backend.execute_versioned(queries)
+
+    def _execute(
+        self, queries: Sequence[Query]
+    ) -> tuple[int, list[Any]]:
+        """One engine batch; on failure, per-query error attribution.
+
+        Runs in the executor thread, always under ``self._lock`` — so
+        at most one engine batch (or one stream update) touches the
+        serving state at a time, and the fallback's one-element batches
+        all see the same version as each other.
+        """
+        version, outcomes = execute_with_attribution(
+            self._backend_execute, queries
+        )
+        if version < 0:
+            # Every query failed; stamp the current state anyway.
+            version = self._backend.version
+        return version, outcomes

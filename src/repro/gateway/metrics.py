@@ -1,0 +1,270 @@
+"""Lock-free gateway observability: counters and latency histograms.
+
+A serving tier is only operable if its latency distribution is visible
+*while it serves*; a mean hides exactly the tail that a ranking site's
+front page dies on.  This module keeps the accounting cheap enough to
+sit on the request hot path:
+
+* every instrument is a plain Python ``int`` bumped inline — atomic
+  enough under the GIL (and exact in the gateway's single-threaded
+  event loop), so there are no locks to contend on;
+* latencies go into a :class:`LatencyHistogram` with *fixed*
+  geometric buckets — recording is one bisect + one increment, and
+  quantiles (p50/p95/p99) are recovered from the bucket counts on
+  demand, so a million observations cost a few hundred ints of memory;
+* coalesced batch sizes go into a small fixed histogram too, which is
+  how the bench reports the batch-size distribution that request
+  coalescing actually achieved.
+
+``/v1/metrics`` renders one JSON document from a snapshot of all of
+this plus the serve-layer LRU counters
+(:meth:`~repro.serve.RankingService.cache_stats`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping
+
+__all__ = ["LatencyHistogram", "BatchSizeHistogram", "GatewayMetrics"]
+
+
+def _geometric_bounds(
+    lo: float, hi: float, per_decade: int
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds from ``lo`` to ``hi`` seconds."""
+    bounds = []
+    factor = 10.0 ** (1.0 / per_decade)
+    value = lo
+    while value < hi:
+        bounds.append(value)
+        value *= factor
+    bounds.append(hi)
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile recovery.
+
+    Buckets are geometric from 50 microseconds to 30 seconds (ten per
+    decade, ~59 buckets), which bounds the quantile estimation error at
+    one bucket width (~26% relative) — coarse for billing, plenty for
+    "did p99 triple".  Everything above the last bound lands in a
+    +inf overflow bucket.
+
+    >>> hist = LatencyHistogram()
+    >>> for ms in (1, 1, 2, 50):
+    ...     hist.observe(ms / 1000.0)
+    >>> hist.count
+    4
+    >>> hist.quantile(0.5) < hist.quantile(0.99)
+    True
+    """
+
+    __slots__ = ("_bounds", "_counts", "count", "total_seconds", "max_seconds")
+
+    BOUNDS = _geometric_bounds(50e-6, 30.0, per_decade=10)
+
+    def __init__(self) -> None:
+        self._bounds = self.BOUNDS
+        self._counts = [0] * (len(self._bounds) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency (seconds)."""
+        self._counts[bisect_left(self._bounds, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile in seconds (upper bucket bound; 0 if empty).
+
+        Reported as the *upper* bound of the bucket the quantile rank
+        falls into — a conservative estimate that never understates the
+        tail.  The overflow bucket reports the observed maximum.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for position, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                if position >= len(self._bounds):
+                    return self.max_seconds
+                # The true maximum caps the top bucket's upper bound —
+                # p99 must never report above the slowest observation.
+                return min(self._bounds[position], self.max_seconds)
+        return self.max_seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0 when empty)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Quantiles and totals, in milliseconds, JSON-ready."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.quantile(0.50) * 1000.0,
+            "p95_ms": self.quantile(0.95) * 1000.0,
+            "p99_ms": self.quantile(0.99) * 1000.0,
+            "max_ms": self.max_seconds * 1000.0,
+        }
+
+
+class BatchSizeHistogram:
+    """Distribution of coalesced batch sizes (1, 2, ..., 2^k buckets).
+
+    Power-of-two buckets: ``1``, ``2``, ``3-4``, ``5-8``, ... —
+    the interesting signal is "are batches forming at all", which the
+    low buckets answer exactly.
+    """
+
+    __slots__ = ("_counts", "batches", "requests")
+
+    N_BUCKETS = 12  # last bucket: > 2^10 = 1024
+
+    def __init__(self) -> None:
+        self._counts = [0] * self.N_BUCKETS
+        self.batches = 0
+        self.requests = 0
+
+    def observe(self, size: int) -> None:
+        """Record one executed batch of ``size`` requests."""
+        bucket = 0 if size <= 1 else min(
+            (size - 1).bit_length(), self.N_BUCKETS - 1
+        )
+        self._counts[bucket] += 1
+        self.batches += 1
+        self.requests += size
+
+    @property
+    def mean(self) -> float:
+        """Mean requests per executed batch (0 when idle)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Bucket labels -> counts, plus totals."""
+        labels = ["1"]
+        for b in range(1, self.N_BUCKETS - 1):
+            lo, hi = (1 << (b - 1)) + 1, 1 << b
+            labels.append(str(hi) if lo == hi else f"{lo}-{hi}")
+        labels.append(f">{1 << (self.N_BUCKETS - 2)}")
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "mean_batch_size": self.mean,
+            "distribution": {
+                label: count
+                for label, count in zip(labels, self._counts)
+                if count
+            },
+        }
+
+
+class GatewayMetrics:
+    """All gateway instruments behind one facade.
+
+    One instance per gateway; the server, admission controller,
+    coalescer and stream updater all write into it, and ``/v1/metrics``
+    (plus the bench harness) reads :meth:`render`.
+    """
+
+    def __init__(self) -> None:
+        self.started_requests = 0
+        self.responses_by_status: dict[int, int] = {}
+        self.requests_by_endpoint: dict[str, int] = {}
+        self.shed_429 = 0
+        self.shed_503 = 0
+        self.updates_applied = 0
+        self.batch_sizes = BatchSizeHistogram()
+        self._latency_by_endpoint: dict[str, LatencyHistogram] = {}
+
+    def note_request(self, endpoint: str) -> None:
+        """Count one arriving request against its endpoint."""
+        self.started_requests += 1
+        counts = self.requests_by_endpoint
+        counts[endpoint] = counts.get(endpoint, 0) + 1
+
+    def note_response(
+        self, endpoint: str, status: int, seconds: float
+    ) -> None:
+        """Count one finished response and record its latency."""
+        by_status = self.responses_by_status
+        by_status[status] = by_status.get(status, 0) + 1
+        if status == 429:
+            self.shed_429 += 1
+        elif status == 503:
+            self.shed_503 += 1
+        self.latency(endpoint).observe(seconds)
+
+    def note_update(self) -> None:
+        """Count one live stream micro-batch applied."""
+        self.updates_applied += 1
+
+    def latency(self, endpoint: str) -> LatencyHistogram:
+        """The latency histogram of one endpoint (created on demand)."""
+        hist = self._latency_by_endpoint.get(endpoint)
+        if hist is None:
+            hist = self._latency_by_endpoint.setdefault(
+                endpoint, LatencyHistogram()
+            )
+        return hist
+
+    def combined_latency(self) -> LatencyHistogram:
+        """All endpoints pooled into one histogram (for the bench)."""
+        pooled = LatencyHistogram()
+        for hist in self._latency_by_endpoint.values():
+            for position, count in enumerate(hist._counts):
+                pooled._counts[position] += count
+            pooled.count += hist.count
+            pooled.total_seconds += hist.total_seconds
+            pooled.max_seconds = max(pooled.max_seconds, hist.max_seconds)
+        return pooled
+
+    def render(
+        self, cache_stats: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """The full ``/v1/metrics`` document (JSON-serialisable)."""
+        errors = sum(
+            count
+            for status, count in self.responses_by_status.items()
+            if status >= 500
+        )
+        document: dict[str, Any] = {
+            "requests": {
+                "started": self.started_requests,
+                "by_endpoint": dict(self.requests_by_endpoint),
+            },
+            "responses": {
+                "by_status": {
+                    str(status): count
+                    for status, count in sorted(
+                        self.responses_by_status.items()
+                    )
+                },
+                "shed_429": self.shed_429,
+                "shed_503": self.shed_503,
+                "errors_5xx": errors,
+            },
+            "latency": {
+                "overall": self.combined_latency().snapshot(),
+                "by_endpoint": {
+                    endpoint: hist.snapshot()
+                    for endpoint, hist in sorted(
+                        self._latency_by_endpoint.items()
+                    )
+                },
+            },
+            "coalescing": self.batch_sizes.snapshot(),
+            "stream_updates": {"applied": self.updates_applied},
+        }
+        if cache_stats is not None:
+            document["result_cache"] = dict(cache_stats)
+        return document

@@ -1,0 +1,632 @@
+"""The asyncio HTTP/1.1 gateway server.
+
+Stdlib only — ``asyncio.start_server`` plus a deliberately small
+HTTP/1.1 parser (GET, JSON out, keep-alive, bounded header sizes).
+The request path is::
+
+    connection -> parse -> route -> admission -> coalescer -> JSON
+
+Endpoints
+---------
+``GET /v1/top?method=AR&k=10&offset=0&year_min=..&year_max=..``
+    One ranking page (:class:`~repro.serve.TopKQuery`).
+``GET /v1/paper/{id}``
+    Scores and ranks of one paper (:class:`~repro.serve.PaperQuery`).
+``GET /v1/compare?methods=AR,CC&k=10``
+    Side-by-side pages with overlaps (:class:`~repro.serve.CompareQuery`).
+``GET /v1/healthz``
+    Liveness: status, index version, paper count.
+``GET /v1/metrics``
+    The full observability document (latency quantiles, shed counts,
+    coalesced batch sizes, serve-layer cache counters).
+
+Query responses are ``{"version": V, "result": {...}}`` where the
+result object is byte-for-byte the CLI's
+:func:`~repro.serve.result_payload` rendering of the same dataclass a
+direct :class:`~repro.serve.RankingService` call returns — the
+invariant the load bench verifies response by response.
+
+Shutdown drains: :meth:`GatewayServer.stop` stops accepting, sheds new
+requests with 503 (``reason: draining``), lets every admitted request
+finish, then closes the remaining keep-alive connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import (
+    ConfigurationError,
+    DataFormatError,
+    GatewayError,
+    GraphError,
+    ReproError,
+)
+from repro.gateway.admission import AdmissionController, TokenBucket
+from repro.gateway.coalesce import Backend, RequestCoalescer
+from repro.gateway.metrics import GatewayMetrics
+from repro.gateway.updates import StreamUpdater
+from repro.serve.batch import (
+    CompareQuery,
+    PaperQuery,
+    Query,
+    TopKQuery,
+    result_payload,
+)
+from repro.serve.service import RankingService
+from repro.stream.ingest import StreamIngestor
+
+__all__ = ["GatewayConfig", "GatewayServer", "GatewayThread"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Parser limits: a request line or header longer than this is a 400.
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one gateway instance.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port 0 picks a free port (the bound one is on
+        :attr:`GatewayServer.port` after start).
+    max_inflight, max_queue:
+        Admission capacity (see
+        :class:`~repro.gateway.AdmissionController`).
+    max_batch:
+        Largest coalesced engine batch.
+    rate_limit, rate_burst:
+        Optional per-endpoint token bucket (requests/second + burst);
+        ``None`` disables 429 shedding.
+    update_interval:
+        Sleep between live stream micro-batches (when an ingestor is
+        attached).
+    drain_seconds:
+        How long :meth:`GatewayServer.stop` waits for in-flight
+        requests before closing connections anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_inflight: int = 64
+    max_queue: int = 256
+    max_batch: int = 128
+    rate_limit: float | None = None
+    rate_burst: int = 32
+    update_interval: float = 0.01
+    drain_seconds: float = 5.0
+
+
+class GatewayServer:
+    """One HTTP serving gateway over a ranking backend.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.serve.RankingService` (live, cache-backed) or
+        a :class:`~repro.serve.QueryEngine` over a detached shard
+        store (read-only).
+    config:
+        See :class:`GatewayConfig`.
+    ingestor:
+        Optional PR-4 :class:`~repro.stream.StreamIngestor` whose
+        remaining events are applied live while the server answers
+        queries; its service must be ``backend``.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        config: GatewayConfig | None = None,
+        ingestor: StreamIngestor | None = None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.backend = backend
+        self.metrics = GatewayMetrics()
+        rate_limits: dict[str, TokenBucket] = {}
+        if self.config.rate_limit is not None:
+            rate_limits = {
+                endpoint: TokenBucket(
+                    rate=self.config.rate_limit,
+                    burst=self.config.rate_burst,
+                )
+                for endpoint in ("top", "paper", "compare")
+            }
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            rate_limits=rate_limits,
+        )
+        # max_inflight is a promise about concurrent *execution*: at
+        # most that many requests enter one engine batch, the rest
+        # wait admitted in the coalescer's pending queue.  Capping the
+        # batch size here is what makes the admission knob real.
+        self.coalescer = RequestCoalescer(
+            backend,
+            max_batch=min(self.config.max_batch, self.config.max_inflight),
+            metrics=self.metrics,
+        )
+        self.updater: StreamUpdater | None = None
+        if ingestor is not None:
+            self.updater = StreamUpdater(
+                ingestor,
+                self.coalescer,
+                interval=self.config.update_interval,
+                metrics=self.metrics,
+            )
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._updater_task: asyncio.Task | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, listen, start the coalescer (and the live updater)."""
+        if self._server is not None:
+            raise GatewayError("gateway server already started")
+        await self.coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.updater is not None:
+            self._updater_task = asyncio.ensure_future(
+                self.updater.run()
+            )
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's foreground mode)."""
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: finish admitted work, then close everything.
+
+        Order matters: (1) shed new arrivals, (2) stop accepting
+        connections, (3) stop the updater after its in-flight batch,
+        (4) wait out in-flight requests (bounded by
+        ``drain_seconds``), (5) drain the coalescer, (6) close the
+        remaining keep-alive connections.
+        """
+        self.admission.start_draining()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._updater_task is not None:
+            assert self.updater is not None
+            self.updater.stop()
+            await self._updater_task
+            self._updater_task = None
+        deadline = time.monotonic() + self.config.drain_seconds
+        while self.admission.active > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        await self.coalescer.close()
+        for writer in tuple(self._connections):
+            writer.close()
+        self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except GatewayError as error:
+                    # A malformed request is answered, not crashed on:
+                    # the parser cannot trust the connection state
+                    # afterwards, so close after the 400.
+                    await self._write_response(
+                        writer,
+                        400,
+                        _error_payload("GatewayError", str(error)),
+                        False,
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._respond(writer, *request)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str]] | None:
+        """Parse one request; ``None`` on clean EOF.
+
+        Raises :class:`~repro.errors.GatewayError` on a request the
+        parser refuses (oversized lines, malformed request line, too
+        many headers) — the caller answers 400 and closes.
+        """
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise GatewayError("request line too long") from None
+        if len(line) > _MAX_LINE:
+            raise GatewayError("request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise GatewayError(f"malformed request line: {parts[:2]}")
+        method, target, _http_version = parts
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            try:
+                line = await reader.readuntil(b"\r\n")
+            except asyncio.LimitOverrunError:
+                raise GatewayError("header line too long") from None
+            if len(line) > _MAX_LINE:
+                raise GatewayError("header line too long")
+            if line in (b"\r\n", b"\n"):
+                return method.upper(), target, headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raise GatewayError("too many request headers")
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: Mapping[str, str],
+    ) -> bool:
+        started = time.perf_counter()
+        keep_alive = headers.get("connection", "").lower() != "close"
+        split = urlsplit(target)
+        path = split.path
+        endpoint = self._endpoint_of(path)
+        self.metrics.note_request(endpoint)
+
+        status: int
+        payload: dict[str, Any]
+        admitted = False
+        if method != "GET":
+            status, payload = 405, _error_payload(
+                "GatewayError", f"method {method} not allowed (GET only)"
+            )
+        elif endpoint == "healthz":
+            status, payload = 200, self._healthz_payload()
+        elif endpoint == "metrics":
+            status, payload = 200, self._metrics_payload()
+        elif endpoint in ("top", "paper", "compare"):
+            decision = self.admission.try_admit(endpoint)
+            if not decision.admitted:
+                status, payload = decision.status, _error_payload(
+                    "GatewayError",
+                    f"request shed: {decision.reason}",
+                    reason=decision.reason,
+                )
+            else:
+                admitted = True
+                try:
+                    status, payload = await self._answer_query(
+                        endpoint, path, parse_qs(split.query)
+                    )
+                except Exception as error:
+                    # Non-ReproError breakage (the coalescer forwards
+                    # arbitrary executor failures): answer 500 rather
+                    # than dropping the connection — and fall through
+                    # to the finally below, so the admitted slot is
+                    # released instead of leaking until the gateway
+                    # sheds everything as queue-full.
+                    status, payload = 500, _error_payload(
+                        type(error).__name__,
+                        str(error) or "internal error",
+                    )
+        else:
+            status, payload = 404, _error_payload(
+                "GatewayError", f"no such endpoint: {path}"
+            )
+        if self.admission.draining:
+            keep_alive = False
+        try:
+            await self._write_response(writer, status, payload, keep_alive)
+        finally:
+            # Release only after the body is flushed: stop()'s
+            # active==0 drain wait must cover response *writing*, or
+            # the connection-close sweep could truncate a slow
+            # client's body mid-flush.
+            if admitted:
+                self.admission.release()
+            self.metrics.note_response(
+                endpoint, status, time.perf_counter() - started
+            )
+        return keep_alive
+
+    @staticmethod
+    def _endpoint_of(path: str) -> str:
+        if path == "/v1/healthz":
+            return "healthz"
+        if path == "/v1/metrics":
+            return "metrics"
+        if path == "/v1/top":
+            return "top"
+        if path == "/v1/compare":
+            return "compare"
+        if path.startswith("/v1/paper/"):
+            return "paper"
+        return "unknown"
+
+    async def _answer_query(
+        self,
+        endpoint: str,
+        path: str,
+        params: Mapping[str, list[str]],
+    ) -> tuple[int, dict[str, Any]]:
+        """Parse, coalesce, and map typed failures to HTTP statuses.
+
+        Admission happens in :meth:`_respond` (the caller), which
+        releases the slot only after the response body is flushed.
+        """
+        try:
+            query = _parse_query(endpoint, path, params)
+            version, result = await self.coalescer.submit(query)
+            return 200, {
+                "version": version,
+                "result": result_payload(result),
+            }
+        except GraphError as error:
+            return 404, _error_payload("GraphError", str(error))
+        except (ConfigurationError, DataFormatError) as error:
+            return 400, _error_payload(type(error).__name__, str(error))
+        except GatewayError as error:
+            return 503, _error_payload(
+                "GatewayError", str(error), reason="draining"
+            )
+        except ReproError as error:
+            return 500, _error_payload(type(error).__name__, str(error))
+
+    def _healthz_payload(self) -> dict[str, Any]:
+        backend = self.backend
+        if isinstance(backend, RankingService):
+            version = backend.version
+            papers = backend.index.network.n_papers
+        else:
+            version = backend.version
+            papers = backend.sharded.n_papers
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "version": version,
+            "papers": papers,
+            "live_updates": self.updater is not None,
+        }
+
+    def _metrics_payload(self) -> dict[str, Any]:
+        cache_stats = None
+        if isinstance(self.backend, RankingService):
+            cache_stats = self.backend.cache_stats().as_dict()
+        document = self.metrics.render(cache_stats)
+        document["admission"] = self.admission.snapshot()
+        return document
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Mapping[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _error_payload(
+    error_type: str, message: str, *, reason: str | None = None
+) -> dict[str, Any]:
+    error: dict[str, Any] = {"type": error_type, "message": message}
+    if reason is not None:
+        error["reason"] = reason
+    return {"error": error}
+
+
+def _parse_query(
+    endpoint: str, path: str, params: Mapping[str, list[str]]
+) -> Query:
+    """Build the engine query for one endpoint; bad params are 400s."""
+
+    def one(name: str, default: str | None = None) -> str | None:
+        values = params.get(name)
+        return values[-1] if values else default
+
+    def integer(name: str, default: int) -> int:
+        raw = one(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"query parameter {name!r} must be an integer, "
+                f"got {raw!r}"
+            ) from None
+
+    def span() -> tuple[float, float] | None:
+        lo_raw, hi_raw = one("year_min"), one("year_max")
+        if lo_raw is None and hi_raw is None:
+            return None
+        try:
+            lo = float(lo_raw) if lo_raw is not None else float("-inf")
+            hi = float(hi_raw) if hi_raw is not None else float("inf")
+        except ValueError:
+            raise ConfigurationError(
+                "year_min/year_max must be numbers"
+            ) from None
+        return (lo, hi)
+
+    if endpoint == "top":
+        return TopKQuery(
+            method=one("method", "AR") or "AR",
+            k=integer("k", 10),
+            offset=integer("offset", 0),
+            year_range=span(),
+        )
+    if endpoint == "compare":
+        raw = one("methods")
+        if not raw:
+            raise ConfigurationError(
+                "compare needs ?methods=A,B[,C...]"
+            )
+        return CompareQuery(
+            methods=tuple(
+                label.strip() for label in raw.split(",") if label.strip()
+            ),
+            k=integer("k", 10),
+            offset=integer("offset", 0),
+            year_range=span(),
+        )
+    assert endpoint == "paper"
+    paper_id = unquote(path[len("/v1/paper/"):])
+    if not paper_id:
+        raise ConfigurationError("paper id missing from path")
+    return PaperQuery(paper_id=paper_id)
+
+
+class GatewayThread:
+    """Run a gateway on a background thread with its own event loop.
+
+    For synchronous callers — the docs example, the bench harness, and
+    tests that drive the server with ``urllib`` — a context manager
+    that starts the loop, reports the bound port, and drains on exit:
+
+    >>> from repro.serve import RankingService, ScoreIndex
+    >>> from repro.synth import toy_network
+    >>> index = ScoreIndex(toy_network())
+    >>> index.add_method("CC")
+    >>> with GatewayThread(RankingService(index)) as gateway:
+    ...     import json, urllib.request
+    ...     body = urllib.request.urlopen(
+    ...         f"http://127.0.0.1:{gateway.port}/v1/healthz"
+    ...     ).read()
+    >>> json.loads(body)["status"]
+    'ok'
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        config: GatewayConfig | None = None,
+        ingestor: StreamIngestor | None = None,
+    ) -> None:
+        self._backend = backend
+        self._config = config or GatewayConfig(port=0)
+        self._ingestor = ingestor
+        self.server: GatewayServer | None = None
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "GatewayThread":
+        """Start the loop thread; returns once the port is bound."""
+        if self._thread is not None:
+            raise GatewayError("gateway thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise GatewayError("gateway thread failed to start in time")
+        return self
+
+    async def _main(self) -> None:
+        try:
+            server = GatewayServer(
+                self._backend,
+                config=self._config,
+                ingestor=self._ingestor,
+            )
+            await server.start()
+        except BaseException as error:  # surface to the caller thread
+            self._startup_error = error
+            self._started.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._started.set()
+        await self._shutdown.wait()
+        await server.stop()
+
+    def stop(self) -> None:
+        """Drain, join, and reset so the thread can be started again."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout=60)
+        self._thread = None
+        # Re-arm for a clean restart: without this a second start()
+        # would see the stale _started event and report the dead port.
+        self._started.clear()
+        self.server = None
+        self.port = None
+        self._loop = None
+        self._shutdown = None
+        self._startup_error = None
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

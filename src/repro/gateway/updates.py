@@ -1,0 +1,132 @@
+"""Live index updates under traffic: the gateway's write path.
+
+The paper's premise — rank by *current* short-term impact — only holds
+if the serving index tracks the citation stream while queries keep
+flowing.  :class:`StreamUpdater` is the background task that does this:
+it drives a :class:`~repro.stream.StreamIngestor` (the PR-4 replay
+engine) one micro-batch at a time, each application wrapped in the
+coalescer's batch lock via
+:meth:`~repro.gateway.RequestCoalescer.exclusively`.
+
+That single lock is the whole consistency story:
+
+* while a batch of coalesced reads executes, the updater waits — no
+  read ever observes a half-applied delta;
+* while a micro-batch applies (extend + warm re-solve + shard sync +
+  cache invalidation, all inside
+  :meth:`~repro.serve.RankingService.update`), reads wait — and the new
+  generation becomes visible as ONE
+  :class:`~repro.serve.StoreSnapshot` swap, so the first read after
+  the update sees the complete new version;
+* between batches the updater yields (``interval`` seconds), which is
+  where queued traffic drains.
+
+Because the ingestor's replay is deterministic, a verification replica
+replaying the same log with the same policy passes through
+bit-identical index states — the load bench exploits this to check
+every recorded gateway response against a direct service call at the
+same version.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import GatewayError
+from repro.gateway.coalesce import RequestCoalescer
+from repro.gateway.metrics import GatewayMetrics
+from repro.serve.service import RankingService
+from repro.stream.ingest import StreamIngestor
+
+__all__ = ["StreamUpdater"]
+
+
+class StreamUpdater:
+    """Apply stream micro-batches to a live gateway's serving state.
+
+    Parameters
+    ----------
+    ingestor:
+        The replay engine to drive.  Its bootstrap batch must already
+        be applied (the gateway serves from ``ingestor.service``), and
+        that service must be the coalescer's backend — updating a
+        *different* index than the one being served would be a silent
+        split-brain, so the constructor refuses it.
+    coalescer:
+        The read path to serialise against.
+    interval:
+        Seconds to sleep between micro-batches (lets reads drain; 0
+        yields to the event loop once per batch).
+    max_batches:
+        Stop after this many batches (``None`` = run the log dry).
+    metrics:
+        Optional metrics sink (counts applied updates).
+    """
+
+    def __init__(
+        self,
+        ingestor: StreamIngestor,
+        coalescer: RequestCoalescer,
+        *,
+        interval: float = 0.01,
+        max_batches: int | None = None,
+        metrics: GatewayMetrics | None = None,
+    ) -> None:
+        backend = coalescer.backend
+        if not isinstance(backend, RankingService):
+            raise GatewayError(
+                "live updates need a RankingService backend (a bare "
+                "QueryEngine serves a detached store that cannot sync)"
+            )
+        if ingestor.service is not backend:
+            raise GatewayError(
+                "the updater's ingestor must drive the same "
+                "RankingService the coalescer serves from"
+            )
+        if interval < 0:
+            raise GatewayError(
+                f"interval must be >= 0, got {interval}"
+            )
+        self._ingestor = ingestor
+        self._coalescer = coalescer
+        self._interval = float(interval)
+        self._max_batches = max_batches
+        self._metrics = metrics
+        self._stopping = False
+        self.batches_applied = 0
+        self.versions_published: list[int] = []
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the ingestor's log is fully consumed."""
+        return self._ingestor.exhausted
+
+    def stop(self) -> None:
+        """Finish the in-flight batch, then return from :meth:`run`."""
+        self._stopping = True
+
+    async def run(self) -> int:
+        """Apply micro-batches until the log (or the budget) runs out.
+
+        Returns the number of batches applied by this call.  Intended
+        to run as a background task next to the server; cancellation
+        between batches is safe (the lock is never held across the
+        sleep).
+        """
+        applied = 0
+        while not self._ingestor.exhausted and not self._stopping:
+            if (
+                self._max_batches is not None
+                and applied >= self._max_batches
+            ):
+                break
+            report = await self._coalescer.exclusively(
+                self._ingestor.step
+            )
+            applied += 1
+            self.batches_applied += 1
+            self.versions_published.append(report.version)
+            if self._metrics is not None:
+                self._metrics.note_update()
+            await asyncio.sleep(self._interval)
+        return applied

@@ -35,6 +35,7 @@ from repro.serve.batch import (
     Query,
     QueryEngine,
     TopKQuery,
+    execute_with_attribution,
     pairwise_overlap,
     queries_from_file,
     queries_from_payload,
@@ -65,6 +66,7 @@ from repro.serve.shard import (
     SHARD_MANIFEST,
     Shard,
     ShardedScoreIndex,
+    StoreSnapshot,
 )
 
 __all__ = [
@@ -82,11 +84,13 @@ __all__ = [
     "SHARD_MANIFEST",
     "Shard",
     "ShardedScoreIndex",
+    "StoreSnapshot",
     "CompareQuery",
     "PaperQuery",
     "Query",
     "QueryEngine",
     "TopKQuery",
+    "execute_with_attribution",
     "pairwise_overlap",
     "queries_from_file",
     "queries_from_payload",

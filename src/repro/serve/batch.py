@@ -30,18 +30,23 @@ from __future__ import annotations
 import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence, Union
+from typing import Any, Callable, Mapping, Sequence, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DataFormatError, GraphError
+from repro.errors import (
+    ConfigurationError,
+    DataFormatError,
+    GraphError,
+    ReproError,
+)
 from repro.serve.results import (
     MethodComparison,
     PaperDetails,
     QueryResult,
     RankedPaper,
 )
-from repro.serve.shard import Shard, ShardedScoreIndex
+from repro.serve.shard import Shard, ShardedScoreIndex, StoreSnapshot
 
 __all__ = [
     "QueryEngine",
@@ -49,11 +54,48 @@ __all__ = [
     "PaperQuery",
     "CompareQuery",
     "Query",
+    "execute_with_attribution",
     "pairwise_overlap",
     "queries_from_file",
     "queries_from_payload",
     "result_payload",
 ]
+
+
+def execute_with_attribution(
+    execute_versioned: "Callable[[Sequence[Query]], tuple[int, tuple[Any, ...]]]",
+    queries: Sequence[Query],
+) -> tuple[int, list[Any]]:
+    """Run a batch; attribute a failure to its query, not the batch.
+
+    Batch planning is all-or-nothing — one unknown method or paper id
+    raises before any query is answered.  Both front ends that accept
+    *mixed* batches (the gateway's request coalescer and
+    ``repro query --batch``) want per-query attribution instead: on a
+    :class:`~repro.errors.ReproError`, the batch is retried one query
+    at a time, and each outcome slot holds either the result or the
+    typed error that query raised.  The shared helper keeps the two
+    surfaces' semantics identical by construction.
+
+    ``execute_versioned`` is any ``queries -> (version, results)``
+    callable (:meth:`QueryEngine.execute_versioned`,
+    :meth:`~repro.serve.RankingService.execute_batch`).  Returns
+    ``(version, outcomes)``; the version is ``-1`` when every query
+    failed (no serving state was consulted).
+    """
+    try:
+        version, results = execute_versioned(queries)
+        return version, list(results)
+    except ReproError:
+        outcomes: list[Any] = []
+        version = -1
+        for query in queries:
+            try:
+                version, (result,) = execute_versioned([query])
+                outcomes.append(result)
+            except ReproError as error:
+                outcomes.append(error)
+        return version, outcomes
 
 
 @dataclass(frozen=True)
@@ -146,7 +188,7 @@ class QueryEngine:
     >>> index.add_method("CC")
     >>> engine = QueryEngine(ShardedScoreIndex.from_index(index, n_shards=2))
     >>> engine.top_k("CC", k=2).paper_ids
-    ('A', 'B')
+    ('A', 'C')
     """
 
     def __init__(
@@ -191,25 +233,43 @@ class QueryEngine:
         :class:`PaperDetails` for :class:`PaperQuery`,
         :class:`MethodComparison` for :class:`CompareQuery`.
         """
-        plan = self._plan(queries)
-        shard_results = self._run_shard_phase(plan)
+        return self.execute_versioned(queries)[1]
+
+    def execute_versioned(
+        self, queries: Sequence[Query]
+    ) -> tuple[int, tuple[Any, ...]]:
+        """Run a batch against ONE generation; return its version too.
+
+        The whole batch — planning, shard phase, merges — executes
+        against a single :class:`~repro.serve.StoreSnapshot` captured
+        up front, so a concurrent :meth:`ShardedScoreIndex.sync` can
+        never tear a batch across two index versions: every result is
+        bit-identical to a single-version execution at the returned
+        version.  The gateway stamps its HTTP responses with exactly
+        this number.
+        """
+        snap = self._sharded.snapshot()
+        plan = self._plan(queries, snap)
+        shard_results = self._run_shard_phase(plan, snap)
         # Merged global orders are shared across the batch: twelve
         # pages over the same (method, span) trigger one merge.
         merge_cache: dict[_RankingNeed, tuple[Any, ...]] = {}
-        return tuple(
-            self._merge_query(query, shard_results, merge_cache)
+        return snap.version, tuple(
+            self._merge_query(query, snap, shard_results, merge_cache)
             for query in queries
         )
 
     # -- planning -------------------------------------------------------
-    def _plan(self, queries: Sequence[Query]) -> dict[_RankingNeed, int]:
+    def _plan(
+        self, queries: Sequence[Query], snap: StoreSnapshot
+    ) -> dict[_RankingNeed, int]:
         """Validate the batch; collect distinct needs at max depth."""
-        labels = set(self._sharded.labels)
+        labels = set(snap.labels)
         needs: dict[_RankingNeed, int] = {}
 
         def require(label: str, span, depth: int) -> None:
             if label not in labels:
-                known = ", ".join(self._sharded.labels) or "<none>"
+                known = ", ".join(snap.labels) or "<none>"
                 raise ConfigurationError(
                     f"method {label!r} is not in the index "
                     f"(indexed: {known})"
@@ -237,7 +297,7 @@ class QueryEngine:
             elif isinstance(query, PaperQuery):
                 # Rank counting needs the unfiltered order of every
                 # method in every shard (depth 0: order only).
-                for label in self._sharded.labels:
+                for label in snap.labels:
                     require(label, None, 0)
             else:
                 raise ConfigurationError(
@@ -254,7 +314,7 @@ class QueryEngine:
 
     # -- shard phase ----------------------------------------------------
     def _run_shard_phase(
-        self, plan: dict[_RankingNeed, int]
+        self, plan: dict[_RankingNeed, int], snap: StoreSnapshot
     ) -> dict[int, dict[_RankingNeed, tuple[int, Any]]]:
         """Compute every planned need on every shard.
 
@@ -268,11 +328,10 @@ class QueryEngine:
         without touching the shard — and a shard none of whose needs
         survive is never even loaded from disk.
         """
-        store = self._sharded
         empty = np.zeros(0, dtype=np.int64)
 
         def run_shard(shard_id: int) -> dict[_RankingNeed, tuple[int, Any]]:
-            bounds = store.shard_time_bounds(shard_id)
+            bounds = snap.shard_time_bounds(shard_id)
             results: dict[_RankingNeed, tuple[int, Any]] = {}
             live: list[tuple[_RankingNeed, int]] = []
             for need, depth in plan.items():
@@ -288,17 +347,17 @@ class QueryEngine:
                 else:
                     live.append((need, depth))
             if live:
-                shard = store.shard(shard_id)
+                shard = snap.shard(shard_id)
                 for need, depth in live:
                     results[need] = shard.candidates(
                         need.label, need.span, depth
                     )
             return results
 
-        shard_ids = range(store.n_shards)
-        if self.jobs == 1 or store.n_shards == 1:
+        shard_ids = range(snap.n_shards)
+        if self.jobs == 1 or snap.n_shards == 1:
             return {sid: run_shard(sid) for sid in shard_ids}
-        workers = min(self.jobs, store.n_shards)
+        workers = min(self.jobs, snap.n_shards)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             produced = pool.map(run_shard, shard_ids)
             return dict(zip(shard_ids, produced))
@@ -307,6 +366,7 @@ class QueryEngine:
     def _merge_query(
         self,
         query: Query,
+        snap: StoreSnapshot,
         shard_results: dict[int, dict[_RankingNeed, tuple[int, Any]]],
         merge_cache: dict[_RankingNeed, tuple[Any, ...]],
     ) -> Any:
@@ -316,6 +376,7 @@ class QueryEngine:
                 query.k,
                 query.offset,
                 _normalise_span(query.year_range),
+                snap,
                 shard_results,
                 merge_cache,
             )
@@ -324,7 +385,7 @@ class QueryEngine:
             results = {
                 label.upper(): self._merge_top_k(
                     label.upper(), query.k, query.offset, span,
-                    shard_results, merge_cache,
+                    snap, shard_results, merge_cache,
                 )
                 for label in query.methods
             }
@@ -332,11 +393,12 @@ class QueryEngine:
                 results=results, overlap=pairwise_overlap(results)
             )
         assert isinstance(query, PaperQuery)
-        return self._lookup_paper(query.paper_id)
+        return self._lookup_paper(query.paper_id, snap)
 
     def _merged(
         self,
         need: _RankingNeed,
+        snap: StoreSnapshot,
         shard_results: dict[int, dict[_RankingNeed, tuple[int, Any]]],
         merge_cache: dict[_RankingNeed, tuple[Any, ...]],
     ) -> tuple[int, Any, Any, Any]:
@@ -357,14 +419,13 @@ class QueryEngine:
         got = merge_cache.get(need)
         if got is not None:
             return got
-        store = self._sharded
         total = 0
         parts: list[tuple[Shard, Any]] = []
-        for shard_id in range(store.n_shards):
+        for shard_id in range(snap.n_shards):
             shard_total, positions = shard_results[shard_id][need]
             total += shard_total
             if positions.size:
-                parts.append((store.shard(shard_id), positions))
+                parts.append((snap.shard(shard_id), positions))
         if not parts:
             owners = np.zeros(0, dtype=np.int64)
             locals_ = np.zeros(0, dtype=np.int64)
@@ -402,24 +463,24 @@ class QueryEngine:
         k: int,
         offset: int,
         span: tuple[float, float] | None,
+        snap: StoreSnapshot,
         shard_results: dict[int, dict[_RankingNeed, tuple[int, Any]]],
         merge_cache: dict[_RankingNeed, tuple[Any, ...]],
     ) -> QueryResult:
         """One result page, sliced from the batch-shared merged order."""
-        store = self._sharded
         total, owners, locals_, scores = self._merged(
-            _RankingNeed(label=label, span=span), shard_results,
+            _RankingNeed(label=label, span=span), snap, shard_results,
             merge_cache,
         )
         take = offset + k
         rows = tuple(
             RankedPaper(
                 rank=offset + position + 1,
-                paper_id=store.shard(int(owners[entry])).paper_ids[
+                paper_id=snap.shard(int(owners[entry])).paper_ids[
                     int(locals_[entry])
                 ],
                 year=float(
-                    store.shard(int(owners[entry])).times[
+                    snap.shard(int(owners[entry])).times[
                         int(locals_[entry])
                     ]
                 ),
@@ -429,7 +490,7 @@ class QueryEngine:
         )
         return QueryResult(
             method=label,
-            version=store.version,
+            version=snap.version,
             k=k,
             offset=offset,
             total=total,
@@ -437,11 +498,12 @@ class QueryEngine:
             entries=rows,
         )
 
-    def _lookup_paper(self, paper_id: str) -> PaperDetails:
-        store = self._sharded
+    def _lookup_paper(
+        self, paper_id: str, snap: StoreSnapshot
+    ) -> PaperDetails:
         home: Shard | None = None
         local = None
-        for shard in store.iter_shards():
+        for shard in snap.iter_shards():
             local = shard.location_of(paper_id)
             if local is not None:
                 home = shard
@@ -451,11 +513,11 @@ class QueryEngine:
         global_index = int(home.global_indices[local])
         scores: dict[str, float] = {}
         ranks: dict[str, int] = {}
-        for label in store.labels:
+        for label in snap.labels:
             value = float(home.scores[label][local])
             before = sum(
                 shard.count_ranked_before(label, value, global_index)
-                for shard in store.iter_shards()
+                for shard in snap.iter_shards()
             )
             scores[label] = value
             ranks[label] = before + 1
@@ -515,12 +577,13 @@ class QueryEngine:
     def warm_methods(self) -> tuple[str, ...]:
         """Labels whose unfiltered order is memoised in *every* loaded
         shard — i.e. rankings served since the last version change."""
+        snap = self._sharded.snapshot()
+        loaded = snap.loaded_shards()
         warm = []
-        for label in self._sharded.labels:
-            if all(
-                (label, None) in shard._orders
-                for shard in self._sharded._shards.values()
-            ) and self._sharded._shards:
+        for label in snap.labels:
+            if loaded and all(
+                (label, None) in shard._orders for shard in loaded
+            ):
                 warm.append(label)
         return tuple(warm)
 

@@ -35,13 +35,24 @@ class CacheStats:
         Lookup outcomes.
     evictions:
         Entries dropped because the cache was full.
+    invalidations:
+        :meth:`LRUCache.clear` calls — how often a version bump (or an
+        explicit flush) dropped the whole cache.  Distinct from
+        evictions: an eviction is capacity pressure, an invalidation
+        is staleness.
     size, maxsize:
         Current and maximum entry counts.
+
+    All counters are plain integers bumped inline (no locks): the
+    gateway's ``/v1/metrics`` endpoint and the bench reports read them
+    concurrently with lookups, and an occasionally-stale snapshot is
+    fine where a lock on the query hot path would not be.
     """
 
     hits: int
     misses: int
     evictions: int
+    invalidations: int
     size: int
     maxsize: int
 
@@ -50,6 +61,18 @@ class CacheStats:
         """Fraction of lookups served from the cache (0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready counters (for ``/v1/metrics`` and bench payloads)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class LRUCache:
@@ -73,6 +96,7 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -100,15 +124,17 @@ class LRUCache:
             self._evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry (the counters survive)."""
+        """Drop every entry; counts one invalidation (counters survive)."""
         self._entries.clear()
+        self._invalidations += 1
 
     def stats(self) -> CacheStats:
-        """A snapshot of the hit/miss/eviction counters."""
+        """A snapshot of the hit/miss/eviction/invalidation counters."""
         return CacheStats(
             hits=self._hits,
             misses=self._misses,
             evictions=self._evictions,
+            invalidations=self._invalidations,
             size=len(self._entries),
             maxsize=self._maxsize,
         )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -309,8 +310,18 @@ class ScoreIndex:
         """
         if not os.path.exists(path):
             raise DataFormatError(f"file not found: {path}")
-        with np.load(path, allow_pickle=False) as archive:
-            arrays = {name: archive[name] for name in archive.files}
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except DataFormatError:
+            raise
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            # np.load raises zipfile/OS errors on truncated archives
+            # and directories; a CLI caller must get a typed one-liner,
+            # not a traceback.
+            raise DataFormatError(
+                f"{path}: not a readable .npz index ({error})"
+            ) from None
         if "index_meta" not in arrays:
             raise DataFormatError(
                 f"{path}: not a repro score index (missing index_meta; "

@@ -23,7 +23,7 @@ multi-shard traffic.  What the service adds on top of the engine:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -31,7 +31,14 @@ from repro._typing import IntVector
 from repro.errors import ConfigurationError
 from repro.graph.builder import MissingRefPolicy
 from repro.ranking import ranking_from_scores
-from repro.serve.batch import QueryEngine, pairwise_overlap
+from repro.serve.batch import (
+    CompareQuery,
+    PaperQuery,
+    Query,
+    QueryEngine,
+    TopKQuery,
+    pairwise_overlap,
+)
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.delta import DeltaUpdater, NetworkDelta, UpdateReport
 from repro.serve.results import (
@@ -50,6 +57,22 @@ __all__ = [
     "MethodComparison",
     "PaperDetails",
 ]
+
+
+def _normalise_page(
+    k: int, offset: int, year_range: tuple[float, float] | None
+) -> tuple[float, float] | None:
+    """Validate one page request; return the canonical float span."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if offset < 0:
+        raise ConfigurationError(f"offset must be >= 0, got {offset}")
+    if year_range is None:
+        return None
+    lo, hi = float(year_range[0]), float(year_range[1])
+    if lo > hi:
+        raise ConfigurationError(f"empty year range: {lo} > {hi}")
+    return (lo, hi)
 
 
 class RankingService:
@@ -86,7 +109,7 @@ class RankingService:
     >>> index.add_method("CC")
     >>> service = RankingService(index)
     >>> service.top_k("CC", k=2).paper_ids
-    ('A', 'B')
+    ('A', 'C')
     """
 
     def __init__(
@@ -147,14 +170,14 @@ class RankingService:
         that mapping (for the labels whose shard orders are warm) so
         diagnostics and tests keep one stable surface.
         """
-        version = self._sharded.version
-        snapshot: dict[str, tuple[int, IntVector]] = {}
+        snap = self._sharded.snapshot()
+        rankings: dict[str, tuple[int, IntVector]] = {}
         for label in self._engine.warm_methods():
-            full = np.empty(self._sharded.n_papers, dtype=np.float64)
-            for shard in self._sharded.iter_shards():
+            full = np.empty(snap.n_papers, dtype=np.float64)
+            for shard in snap.iter_shards():
                 full[shard.global_indices] = shard.scores[label]
-            snapshot[label] = (version, ranking_from_scores(full))
-        return snapshot
+            rankings[label] = (snap.version, ranking_from_scores(full))
+        return rankings
 
     # ------------------------------------------------------------------
     # Freshness
@@ -208,19 +231,7 @@ class RankingService:
             renumbered within the filtered population.
         """
         label = method.upper()
-        if k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {k}")
-        if offset < 0:
-            raise ConfigurationError(f"offset must be >= 0, got {offset}")
-        span = None
-        if year_range is not None:
-            lo, hi = float(year_range[0]), float(year_range[1])
-            if lo > hi:
-                raise ConfigurationError(
-                    f"empty year range: {lo} > {hi}"
-                )
-            span = (lo, hi)
-
+        span = _normalise_page(k, offset, year_range)
         version = self._fresh_version()
         cache_key = (version, label, k, offset, span)
         cached = self._cache.get(cache_key)
@@ -263,6 +274,106 @@ class RankingService:
         """Scores and (unfiltered) ranks of one paper across all methods."""
         self._fresh_version()
         return self._engine.paper(paper_id)
+
+    # ------------------------------------------------------------------
+    # Batched reads through the result cache
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise_query(query: Query) -> Query:
+        """Validate one query and canonicalise it for caching."""
+        if isinstance(query, TopKQuery):
+            span = _normalise_page(query.k, query.offset, query.year_range)
+            return TopKQuery(
+                method=query.method.upper(), k=query.k,
+                offset=query.offset, year_range=span,
+            )
+        if isinstance(query, CompareQuery):
+            span = _normalise_page(query.k, query.offset, query.year_range)
+            labels = tuple(m.upper() for m in query.methods)
+            if len(set(labels)) != len(labels):
+                raise ConfigurationError(
+                    "duplicate method labels in comparison"
+                )
+            return CompareQuery(
+                methods=labels, k=query.k, offset=query.offset,
+                year_range=span,
+            )
+        if isinstance(query, PaperQuery):
+            return PaperQuery(paper_id=str(query.paper_id))
+        raise ConfigurationError(
+            f"unsupported query type: {type(query).__name__}"
+        )
+
+    @staticmethod
+    def _batch_key(version: int, query: Query) -> tuple:
+        """Cache key of one normalised query at one version.
+
+        :class:`TopKQuery` keys deliberately match the ones
+        :meth:`top_k` writes, so the batched gateway path and the
+        single-query path share cache entries.  The other shapes cannot
+        collide: a compare key carries a *tuple* of labels where a
+        top-k key carries a string, and a paper key has a different
+        arity altogether.
+        """
+        if isinstance(query, TopKQuery):
+            return (
+                version, query.method, query.k, query.offset,
+                query.year_range,
+            )
+        if isinstance(query, CompareQuery):
+            return (
+                version, query.methods, query.k, query.offset,
+                query.year_range,
+            )
+        assert isinstance(query, PaperQuery)
+        return (version, "paper", query.paper_id)
+
+    def execute_batch(
+        self, queries: Sequence[Query]
+    ) -> tuple[int, tuple[Any, ...]]:
+        """Answer a query batch through the result cache and the engine.
+
+        The read path the gateway's request coalescer drives: every
+        query is first looked up in the LRU result cache (under the
+        fresh version), the misses are executed as ONE engine batch
+        (amortising the shard fan-out), and the computed results are
+        cached for the next flood.  Returns ``(version, results)`` in
+        request order; each result is exactly the object the
+        corresponding single-query method would return — bit-identical
+        to :meth:`top_k` / :meth:`compare` / :meth:`paper` calls at the
+        same version.
+        """
+        normalised = [self._normalise_query(query) for query in queries]
+        while True:
+            version = self._fresh_version()
+            keys = [
+                self._batch_key(version, query) for query in normalised
+            ]
+            results: list[Any] = [None] * len(normalised)
+            misses: list[int] = []
+            for position, key in enumerate(keys):
+                cached = self._cache.get(key)
+                if cached is None:
+                    misses.append(position)
+                else:
+                    results[position] = cached
+            if not misses:
+                return version, tuple(results)
+            engine_version, computed = self._engine.execute_versioned(
+                tuple(normalised[position] for position in misses)
+            )
+            if engine_version != version:
+                # The store moved between the cache lookups and the
+                # engine pinning its snapshot (an out-of-band refresh
+                # from another thread).  Mixing version-N cache hits
+                # with version-N+1 computations — or caching the new
+                # results under the old key — would break the method's
+                # single-version promise; retry against the new state.
+                continue
+            for position, value in zip(misses, computed):
+                self._cache.put(keys[position], value)
+                results[position] = value
+            return version, tuple(results)
 
     # ------------------------------------------------------------------
     # Writes

@@ -48,6 +48,7 @@ from repro.serve.score_index import INDEX_FORMAT_VERSION, ScoreIndex
 __all__ = [
     "Shard",
     "ShardedScoreIndex",
+    "StoreSnapshot",
     "PARTITIONERS",
     "SHARD_MANIFEST",
     "SHARD_FORMAT_VERSION",
@@ -322,6 +323,118 @@ class Shard:
         return self._id_index.get(str(paper_id))
 
 
+class StoreSnapshot:
+    """One immutable read view of a sharded store — a *generation*.
+
+    Everything a query execution needs lives here: the version, the
+    labels, the shard column stores, and the pruning bounds.  The
+    owning :class:`ShardedScoreIndex` swaps in a *new* snapshot as a
+    single attribute assignment on :meth:`ShardedScoreIndex.sync` —
+    atomic under the GIL — so a reader that captured a snapshot keeps
+    a self-consistent view for its whole execution, no matter how many
+    syncs land meanwhile.  This is what makes concurrent
+    read-during-update safe: a response is computed entirely against
+    the old generation or entirely against the new one, never a mix
+    (the threaded shard tests and the gateway's live-update path both
+    lean on exactly this).
+
+    The only mutation a snapshot ever sees is the *lazy fill* of a
+    detached store's shard cache — idempotent (two racing loaders
+    produce equal shards) and invisible to correctness.
+    """
+
+    __slots__ = (
+        "version", "labels", "n_papers", "n_shards", "partitioner",
+        "_boundaries", "_shards", "_shard_paths",
+    )
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        labels: tuple[str, ...],
+        n_papers: int,
+        n_shards: int,
+        partitioner: str,
+        boundaries: FloatVector | None,
+        shards: dict[int, Shard],
+        shard_paths: tuple[str, ...] | None,
+    ) -> None:
+        self.version = int(version)
+        self.labels = tuple(labels)
+        self.n_papers = int(n_papers)
+        self.n_shards = int(n_shards)
+        self.partitioner = partitioner
+        self._boundaries = boundaries
+        self._shards = shards
+        self._shard_paths = shard_paths
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreSnapshot(version={self.version}, "
+            f"n_shards={self.n_shards}, n_papers={self.n_papers})"
+        )
+
+    @property
+    def loaded_shard_count(self) -> int:
+        """Shards materialised in memory (lazy loads stay at 0)."""
+        return len(self._shards)
+
+    def loaded_shards(self) -> tuple[Shard, ...]:
+        """The shards already in memory, in id order (no lazy loads)."""
+        return tuple(
+            self._shards[i] for i in sorted(self._shards)
+        )
+
+    def shard(self, shard_id: int) -> Shard:
+        """The shard at ``shard_id``, loading it from disk if lazy."""
+        if shard_id < 0 or shard_id >= self.n_shards:
+            raise ConfigurationError(
+                f"shard id {shard_id} out of range [0, {self.n_shards})"
+            )
+        existing = self._shards.get(shard_id)
+        if existing is not None:
+            return existing
+        assert self._shard_paths is not None
+        shard = _load_shard_file(
+            self._shard_paths[shard_id], shard_id, self.labels,
+            self.version,
+        )
+        self._shards[shard_id] = shard
+        return shard
+
+    def iter_shards(self) -> Iterable[Shard]:
+        """All shards in id order (materialising lazy ones)."""
+        return (self.shard(i) for i in range(self.n_shards))
+
+    def shard_time_bounds(
+        self, shard_id: int
+    ) -> tuple[float, float] | None:
+        """Conservative ``[lo, hi]`` publication-time bounds of a shard.
+
+        Only the year partitioner guarantees bounds (its fixed
+        boundaries): shard ``i`` holds papers with ``boundaries[i-1] <=
+        t < boundaries[i]``, reported here inclusively on both ends to
+        stay conservative.  ``None`` means "no guarantee" (hash
+        partitioning) — callers must not prune.  The query engine uses
+        this to skip shards whose range cannot intersect a year filter,
+        without ever loading them.
+        """
+        if self.partitioner != "year" or self._boundaries is None:
+            return None
+        lo = (
+            float(self._boundaries[shard_id - 1])
+            if shard_id > 0
+            else float("-inf")
+        )
+        hi = (
+            float(self._boundaries[shard_id])
+            if shard_id < self.n_shards - 1
+            else float("inf")
+        )
+        return (lo, hi)
+
+
 class ShardedScoreIndex:
     """Papers of a score index partitioned across N shards.
 
@@ -329,6 +442,10 @@ class ShardedScoreIndex:
     to the backing :class:`ScoreIndex` so :meth:`sync` can follow
     updates), or *detached* with :meth:`load` (query-only, reading a
     directory written by :meth:`save`).
+
+    Internally all serving state lives in one :class:`StoreSnapshot`
+    swapped atomically by :meth:`sync`; readers that need a stable
+    multi-step view capture it once via :meth:`snapshot`.
 
     Examples
     --------
@@ -357,16 +474,18 @@ class ShardedScoreIndex:
         shards: dict[int, Shard] | None = None,
         shard_paths: tuple[str, ...] | None = None,
     ) -> None:
-        self._n_shards = int(n_shards)
-        self._partitioner = partitioner
-        self._version = int(version)
-        self._labels = tuple(labels)
-        self._n_papers = int(n_papers)
-        self._boundaries = boundaries
         self._backing = backing
         self._assignment = assignment
-        self._shards: dict[int, Shard] = dict(shards or {})
-        self._shard_paths = shard_paths
+        self._snapshot = StoreSnapshot(
+            version=version,
+            labels=labels,
+            n_papers=n_papers,
+            n_shards=n_shards,
+            partitioner=partitioner,
+            boundaries=boundaries,
+            shards=dict(shards or {}),
+            shard_paths=shard_paths,
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -408,6 +527,13 @@ class ShardedScoreIndex:
             boundaries = year_boundaries(
                 network.publication_times, n_shards
             )
+        assignment = _assign(
+            network.paper_ids,
+            network.publication_times,
+            n_shards,
+            partitioner,
+            boundaries,
+        )
         store = cls(
             n_shards=n_shards,
             partitioner=partitioner,
@@ -416,41 +542,10 @@ class ShardedScoreIndex:
             n_papers=network.n_papers,
             boundaries=boundaries,
             backing=index,
-            assignment=_assign(
-                network.paper_ids,
-                network.publication_times,
-                n_shards,
-                partitioner,
-                boundaries,
-            ),
+            assignment=assignment,
+            shards=_slice_shards(index, index.labels, assignment, n_shards),
         )
-        store._rebuild_shards()
         return store
-
-    def _rebuild_shards(self) -> None:
-        """Re-slice every shard from the backing index."""
-        assert self._backing is not None and self._assignment is not None
-        network = self._backing.network
-        ids = network.paper_ids
-        times = network.publication_times
-        vectors = {
-            label: self._backing.scores(label) for label in self._labels
-        }
-        self._shards = {}
-        for shard_id in range(self._n_shards):
-            owned = np.nonzero(self._assignment == shard_id)[0].astype(
-                np.int64
-            )
-            self._shards[shard_id] = Shard(
-                shard_id=shard_id,
-                global_indices=owned,
-                paper_ids=[ids[i] for i in owned],
-                times=times[owned],
-                scores={
-                    label: vector[owned]
-                    for label, vector in vectors.items()
-                },
-            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -458,27 +553,27 @@ class ShardedScoreIndex:
     @property
     def n_shards(self) -> int:
         """Number of partitions."""
-        return self._n_shards
+        return self._snapshot.n_shards
 
     @property
     def partitioner(self) -> str:
         """Partitioner name (``"hash"`` or ``"year"``)."""
-        return self._partitioner
+        return self._snapshot.partitioner
 
     @property
     def version(self) -> int:
         """Version of the serving state the shards were sliced from."""
-        return self._version
+        return self._snapshot.version
 
     @property
     def labels(self) -> tuple[str, ...]:
         """Method labels available in every shard."""
-        return self._labels
+        return self._snapshot.labels
 
     @property
     def n_papers(self) -> int:
         """Total papers across all shards."""
-        return self._n_papers
+        return self._snapshot.n_papers
 
     @property
     def attached(self) -> bool:
@@ -488,62 +583,38 @@ class ShardedScoreIndex:
     @property
     def loaded_shard_count(self) -> int:
         """Shards materialised in memory (lazy loads stay at 0)."""
-        return len(self._shards)
+        return self._snapshot.loaded_shard_count
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"ShardedScoreIndex(n_shards={self._n_shards}, "
-            f"partitioner={self._partitioner!r}, "
-            f"version={self._version}, n_papers={self._n_papers})"
+            f"ShardedScoreIndex(n_shards={self.n_shards}, "
+            f"partitioner={self.partitioner!r}, "
+            f"version={self.version}, n_papers={self.n_papers})"
         )
+
+    def snapshot(self) -> StoreSnapshot:
+        """The current generation — a stable view for multi-step reads.
+
+        A capture is one attribute read (atomic under the GIL); the
+        returned view never changes underneath the caller, even if
+        :meth:`sync` swaps in a new generation mid-read.
+        """
+        return self._snapshot
 
     def shard(self, shard_id: int) -> Shard:
         """The shard at ``shard_id``, loading it from disk if lazy."""
-        if shard_id < 0 or shard_id >= self._n_shards:
-            raise ConfigurationError(
-                f"shard id {shard_id} out of range [0, {self._n_shards})"
-            )
-        existing = self._shards.get(shard_id)
-        if existing is not None:
-            return existing
-        assert self._shard_paths is not None
-        shard = _load_shard_file(
-            self._shard_paths[shard_id], shard_id, self._labels,
-            self._version,
-        )
-        self._shards[shard_id] = shard
-        return shard
+        return self._snapshot.shard(shard_id)
 
     def iter_shards(self) -> Iterable[Shard]:
         """All shards in id order (materialising lazy ones)."""
-        return (self.shard(i) for i in range(self._n_shards))
+        return self._snapshot.iter_shards()
 
     def shard_time_bounds(
         self, shard_id: int
     ) -> tuple[float, float] | None:
-        """Conservative ``[lo, hi]`` publication-time bounds of a shard.
-
-        Only the year partitioner guarantees bounds (its fixed
-        boundaries): shard ``i`` holds papers with ``boundaries[i-1] <=
-        t < boundaries[i]``, reported here inclusively on both ends to
-        stay conservative.  ``None`` means "no guarantee" (hash
-        partitioning) — callers must not prune.  The query engine uses
-        this to skip shards whose range cannot intersect a year filter,
-        without ever loading them.
-        """
-        if self._partitioner != "year" or self._boundaries is None:
-            return None
-        lo = (
-            float(self._boundaries[shard_id - 1])
-            if shard_id > 0
-            else float("-inf")
-        )
-        hi = (
-            float(self._boundaries[shard_id])
-            if shard_id < self._n_shards - 1
-            else float("inf")
-        )
-        return (lo, hi)
+        """Conservative time bounds of a shard (see
+        :meth:`StoreSnapshot.shard_time_bounds`)."""
+        return self._snapshot.shard_time_bounds(shard_id)
 
     # ------------------------------------------------------------------
     # Incremental updates
@@ -559,6 +630,12 @@ class ShardedScoreIndex:
         boundaries fixed at build time, so routing never disagrees
         between the building and the updating process.
 
+        The new generation is assembled completely off to the side and
+        published as one :class:`StoreSnapshot` swap — concurrent
+        readers that captured :meth:`snapshot` before the swap keep
+        serving the old generation, readers arriving after it see only
+        the new one, and nobody ever observes a half-rebuilt store.
+
         Raises
         ------
         ConfigurationError
@@ -569,8 +646,10 @@ class ShardedScoreIndex:
                 "cannot sync a detached sharded index (loaded from "
                 "disk without its backing ScoreIndex)"
             )
+        current = self._snapshot
         network = self._backing.network
         known = int(self._assignment.size)
+        assignment = self._assignment
         touched: tuple[int, ...] = ()
         if network.n_papers > known:
             new_ids = network.paper_ids[known:]
@@ -578,20 +657,29 @@ class ShardedScoreIndex:
             new_assignment = _assign(
                 new_ids,
                 new_times,
-                self._n_shards,
-                self._partitioner,
-                self._boundaries,
+                current.n_shards,
+                current.partitioner,
+                current._boundaries,
             )
-            self._assignment = np.concatenate(
-                [self._assignment, new_assignment]
-            )
+            assignment = np.concatenate([assignment, new_assignment])
             touched = tuple(
                 int(s) for s in np.unique(new_assignment)
             )
-        self._labels = self._backing.labels
-        self._n_papers = network.n_papers
-        self._version = self._backing.version
-        self._rebuild_shards()
+        labels = self._backing.labels
+        shards = _slice_shards(
+            self._backing, labels, assignment, current.n_shards
+        )
+        self._assignment = assignment
+        self._snapshot = StoreSnapshot(
+            version=self._backing.version,
+            labels=labels,
+            n_papers=network.n_papers,
+            n_shards=current.n_shards,
+            partitioner=current.partitioner,
+            boundaries=current._boundaries,
+            shards=shards,
+            shard_paths=None,
+        )
         return touched
 
     # ------------------------------------------------------------------
@@ -612,17 +700,18 @@ class ShardedScoreIndex:
                 "the backing ScoreIndex for the shard subnetworks"
             )
         os.makedirs(directory, exist_ok=True)
+        snapshot = self._snapshot
         network = self._backing.network
         files = []
-        for shard_id in range(self._n_shards):
-            shard = self.shard(shard_id)
+        for shard_id in range(snapshot.n_shards):
+            shard = snapshot.shard(shard_id)
             filename = f"shard_{shard_id:04d}.npz"
             files.append(filename)
             subnet = network.subnetwork(shard.global_indices)
             payload = network_payload(subnet)
             meta = {
                 "index_format_version": INDEX_FORMAT_VERSION,
-                "version": self._version,
+                "version": snapshot.version,
                 "methods": [
                     {
                         "label": entry.label,
@@ -633,7 +722,7 @@ class ShardedScoreIndex:
                     }
                     for entry in (
                         self._backing.entry(label)
-                        for label in self._labels
+                        for label in snapshot.labels
                     )
                 ],
             }
@@ -643,28 +732,28 @@ class ShardedScoreIndex:
             shard_meta = {
                 "shard_format_version": SHARD_FORMAT_VERSION,
                 "shard_id": shard_id,
-                "n_shards": self._n_shards,
-                "partitioner": self._partitioner,
+                "n_shards": snapshot.n_shards,
+                "partitioner": snapshot.partitioner,
             }
             payload["shard_meta"] = np.asarray(
                 [json.dumps(shard_meta)], dtype=np.str_
             )
             payload["shard_global_indices"] = shard.global_indices
-            for label in self._labels:
+            for label in snapshot.labels:
                 payload[f"index_scores__{label}"] = shard.scores[label]
             with open(os.path.join(directory, filename), "wb") as handle:
                 np.savez_compressed(handle, **payload)
         manifest = {
             "shard_format_version": SHARD_FORMAT_VERSION,
-            "n_shards": self._n_shards,
-            "partitioner": self._partitioner,
-            "version": self._version,
-            "labels": list(self._labels),
-            "n_papers": self._n_papers,
+            "n_shards": snapshot.n_shards,
+            "partitioner": snapshot.partitioner,
+            "version": snapshot.version,
+            "labels": list(snapshot.labels),
+            "n_papers": snapshot.n_papers,
             "boundaries": (
                 None
-                if self._boundaries is None
-                else [float(b) for b in self._boundaries]
+                if snapshot._boundaries is None
+                else [float(b) for b in snapshot._boundaries]
             ),
             "files": files,
         }
@@ -745,6 +834,33 @@ class ShardedScoreIndex:
                 os.path.join(directory, name) for name in files
             ),
         )
+
+
+def _slice_shards(
+    index: ScoreIndex,
+    labels: tuple[str, ...],
+    assignment: IntVector,
+    n_shards: int,
+) -> dict[int, Shard]:
+    """Slice fresh shard column stores out of a backing index."""
+    network = index.network
+    ids = network.paper_ids
+    times = network.publication_times
+    vectors = {label: index.scores(label) for label in labels}
+    shards: dict[int, Shard] = {}
+    for shard_id in range(n_shards):
+        owned = np.nonzero(assignment == shard_id)[0].astype(np.int64)
+        shards[shard_id] = Shard(
+            shard_id=shard_id,
+            global_indices=owned,
+            paper_ids=[ids[i] for i in owned],
+            times=times[owned],
+            scores={
+                label: vector[owned]
+                for label, vector in vectors.items()
+            },
+        )
+    return shards
 
 
 def _load_shard_file(

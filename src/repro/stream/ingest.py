@@ -189,7 +189,7 @@ class StreamIngestor:
     >>> (report.exhausted, report.n_papers)
     (True, 8)
     >>> ingestor.service.top_k("CC", k=2).paper_ids
-    ('A', 'B')
+    ('A', 'C')
     """
 
     def __init__(

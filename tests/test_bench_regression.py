@@ -185,3 +185,53 @@ class TestConfigEvolution:
             {"split": _doc("split", 1.1, config=new_config)},
         )
         assert report.rows[0].status == "ok"
+
+
+class TestLatencyQuantiles:
+    """The schema extension: payloads may carry latency quantiles, and
+    bench-diff renders them without requiring them."""
+
+    def _doc_with_latency(self, scenario, elapsed, latency):
+        document = _doc(scenario, elapsed, identical=True)
+        document["payload"]["latency"] = latency
+        return document
+
+    def test_head_latency_lands_on_the_row(self):
+        latency = {"p50_ms": 1.25, "p95_ms": 4.5, "p99_ms": 9.875}
+        report = compare_results(
+            {"gateway": _doc("gateway", 1.0)},
+            {"gateway": self._doc_with_latency("gateway", 1.1, latency)},
+        )
+        row = report.rows[0]
+        assert row.latency == latency
+        assert row.latency_cell() == "1.2/4.5/9.9"
+        assert "| 1.2/4.5/9.9 |" in report.to_markdown()
+        assert "p50/p95/p99 (ms)" in report.to_markdown()
+
+    def test_scenarios_without_latency_render_dash(self):
+        report = compare_results(
+            {"split": _doc("split", 1.0)},
+            {"split": _doc("split", 1.1)},
+        )
+        assert report.rows[0].latency is None
+        assert report.rows[0].latency_cell() == "-"
+        assert report.ok
+
+    def test_malformed_latency_is_tolerated(self):
+        report = compare_results(
+            {},
+            {"gateway": self._doc_with_latency(
+                "gateway", 1.0, {"p50_ms": "fast"}
+            )},
+        )
+        assert report.rows[0].latency_cell() == "-"
+        assert report.ok
+
+    def test_new_scenario_keeps_its_latency(self):
+        latency = {"p50_ms": 2.0, "p95_ms": 5.0, "p99_ms": 6.0}
+        report = compare_results(
+            {},
+            {"gateway": self._doc_with_latency("gateway", 1.0, latency)},
+        )
+        assert report.rows[0].status == "new"
+        assert report.rows[0].latency_cell() == "2.0/5.0/6.0"

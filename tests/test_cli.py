@@ -216,6 +216,68 @@ class TestErrors:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_errors_are_typed_one_liners(self, tmp_path, capsys):
+        code = main(
+            ["query", "--index", str(tmp_path / "missing.npz"),
+             "--methods", "AR"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error: [DataFormatError]" in err
+        assert "Traceback" not in err
+
+    def test_missing_index_directory_is_typed(self, tmp_path, capsys):
+        empty = tmp_path / "empty-dir"
+        empty.mkdir()
+        code = main(["query", "--index", str(empty), "--methods", "AR"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: [IndexIntegrityError]" in err
+        assert "manifest.json" in err
+
+    def test_corrupt_index_file_is_typed(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"this is not a zip archive")
+        code = main(["query", "--index", str(bogus), "--methods", "AR"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: [DataFormatError]" in err
+        assert "Traceback" not in err
+
+    def test_batch_emits_json_error_objects_per_query(
+        self, tmp_path, capsys
+    ):
+        from repro.synth import toy_network
+
+        net_path = str(tmp_path / "toy.npz")
+        save_network(toy_network(), net_path)
+        index_path = str(tmp_path / "toy-index.npz")
+        assert main(
+            ["index", "--input", net_path, "--output", index_path,
+             "--methods", "CC"]
+        ) == 0
+        capsys.readouterr()
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps([
+            {"type": "top_k", "method": "CC", "k": 2},
+            {"type": "paper", "id": "NO-SUCH-PAPER"},
+            {"type": "top_k", "method": "NOPE", "k": 2},
+        ]))
+        code = main(["query", "--index", index_path, "--batch", str(batch)])
+        assert code == 1                     # failures happened...
+        documents = json.loads(capsys.readouterr().out)
+        assert len(documents) == 3           # ...but every slot answered
+        assert documents[0]["type"] == "top_k"
+        assert len(documents[0]["entries"]) == 2
+        assert documents[1] == {
+            "type": "error",
+            "error": "GraphError",
+            "message": "unknown paper id: 'NO-SUCH-PAPER'",
+        }
+        assert documents[2]["type"] == "error"
+        assert documents[2]["error"] == "ConfigurationError"
+
 
 class TestCompare:
     def test_compare_prints_series_and_winners(self, hepth_file, capsys):
@@ -389,6 +451,56 @@ class TestShardedServe:
         assert document["payload"]["identical_rankings"] is True
         assert document["payload"]["shards"] == 2
         assert document["payload"]["batched"]["queries_per_second"] > 0
+
+
+class TestGatewayCLI:
+    @pytest.fixture
+    def toy_index(self, tmp_path_factory, capsys):
+        from repro.synth import toy_network
+
+        root = tmp_path_factory.mktemp("gateway")
+        net_path = str(root / "toy.npz")
+        save_network(toy_network(), net_path)
+        index_path = str(root / "index.npz")
+        assert main(
+            ["index", "--input", net_path, "--output", index_path,
+             "--methods", "CC", "PR"]
+        ) == 0
+        capsys.readouterr()
+        return index_path
+
+    def test_serve_http_for_seconds(self, toy_index, capsys):
+        code = main(
+            ["serve-http", "--index", toy_index, "--port", "0",
+             "--for-seconds", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "http://127.0.0.1:" in out
+        assert "drained and stopped" in out
+
+    def test_loadgen_static_mode_passes_gate(self, toy_index, capsys):
+        code = main(
+            ["loadgen", "--index", toy_index, "--clients", "3",
+             "--requests", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical rankings" in out and "yes" in out
+        assert "p99 (ms)" in out
+
+    def test_loadgen_stream_mode_json_report(self, capsys):
+        code = main(
+            ["loadgen", "--dataset", "hep-th", "--size", "tiny",
+             "--seed", "7", "--methods", "CC", "--clients", "4",
+             "--requests", "10", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors_5xx"] == 0
+        assert report["identical_rankings"] is True
+        assert report["updates_applied"] >= 1
+        assert report["latency"]["p95_ms"] > 0
 
 
 class TestStream:

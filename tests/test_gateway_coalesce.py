@@ -1,0 +1,191 @@
+"""Asyncio tests for the request coalescer.
+
+Each test drives a real event loop via ``asyncio.run`` (no plugin
+needed): submits race each other, batches form naturally behind the
+executor, and results must be bit-identical to direct service calls.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError, GatewayError, GraphError
+from repro.gateway import GatewayMetrics, RequestCoalescer
+from repro.serve import (
+    CompareQuery,
+    PaperQuery,
+    QueryEngine,
+    RankingService,
+    ScoreIndex,
+    ShardedScoreIndex,
+    TopKQuery,
+)
+from repro.synth import toy_network
+
+
+def _make_service() -> RankingService:
+    index = ScoreIndex(toy_network())
+    index.add_method("CC")
+    index.add_method("PR")
+    return RankingService(index)
+
+
+class TestCoalescing:
+    def test_single_query_round_trip(self):
+        service = _make_service()
+
+        async def main():
+            coalescer = RequestCoalescer(service)
+            try:
+                return await coalescer.submit(TopKQuery(method="CC", k=3))
+            finally:
+                await coalescer.close()
+
+        version, page = asyncio.run(main())
+        assert version == 0
+        assert page == service.top_k("CC", k=3)
+
+    def test_concurrent_submits_form_batches(self):
+        service = _make_service()
+        metrics = GatewayMetrics()
+        queries = [
+            TopKQuery(method="CC", k=3),
+            TopKQuery(method="PR", k=2),
+            PaperQuery(paper_id="A"),
+            CompareQuery(methods=("CC", "PR"), k=4),
+        ] * 4
+
+        async def main():
+            coalescer = RequestCoalescer(service, metrics=metrics)
+            try:
+                return await asyncio.gather(
+                    *(coalescer.submit(query) for query in queries)
+                )
+            finally:
+                await coalescer.close()
+
+        outcomes = asyncio.run(main())
+        assert len(outcomes) == len(queries)
+        # Everything answered at the single live version...
+        assert {version for version, _ in outcomes} == {0}
+        # ...bit-identical to the direct paths...
+        assert outcomes[0][1] == service.top_k("CC", k=3)
+        assert outcomes[2][1] == service.paper("A")
+        assert outcomes[3][1] == service.compare(("CC", "PR"), k=4)
+        # ...and the 16 concurrent submits coalesced into fewer
+        # engine batches (the first drain takes 1, the rest pile up).
+        assert metrics.batch_sizes.batches < len(queries)
+        assert metrics.batch_sizes.requests == len(queries)
+
+    def test_per_query_error_attribution(self):
+        service = _make_service()
+        queries = [
+            TopKQuery(method="CC", k=2),
+            PaperQuery(paper_id="NO-SUCH-PAPER"),
+            TopKQuery(method="NOPE", k=2),
+            TopKQuery(method="PR", k=2),
+        ]
+
+        async def main():
+            coalescer = RequestCoalescer(service)
+            try:
+                return await asyncio.gather(
+                    *(coalescer.submit(query) for query in queries),
+                    return_exceptions=True,
+                )
+            finally:
+                await coalescer.close()
+
+        good_0, bad_paper, bad_method, good_3 = asyncio.run(main())
+        assert good_0[1] == service.top_k("CC", k=2)
+        assert isinstance(bad_paper, GraphError)
+        assert isinstance(bad_method, ConfigurationError)
+        assert good_3[1] == service.top_k("PR", k=2)
+
+    def test_engine_backend_without_cache(self):
+        index = ScoreIndex(toy_network())
+        index.add_method("CC")
+        engine = QueryEngine(
+            ShardedScoreIndex.from_index(index, n_shards=2)
+        )
+
+        async def main():
+            coalescer = RequestCoalescer(engine)
+            try:
+                return await coalescer.submit(TopKQuery(method="CC", k=3))
+            finally:
+                await coalescer.close()
+
+        version, page = asyncio.run(main())
+        assert version == 0
+        assert page == engine.top_k("CC", k=3)
+
+    def test_submit_after_close_is_gateway_error(self):
+        service = _make_service()
+
+        async def main():
+            coalescer = RequestCoalescer(service)
+            await coalescer.start()
+            await coalescer.close()
+            with pytest.raises(GatewayError, match="draining"):
+                await coalescer.submit(TopKQuery(method="CC", k=1))
+
+        asyncio.run(main())
+
+    def test_close_drains_pending_requests(self):
+        service = _make_service()
+
+        async def main():
+            coalescer = RequestCoalescer(service)
+            await coalescer.start()
+            futures = [
+                asyncio.ensure_future(
+                    coalescer.submit(TopKQuery(method="CC", k=2))
+                )
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0)      # let submits park
+            await coalescer.close()     # must answer them, not drop
+            return await asyncio.gather(*futures)
+
+        outcomes = asyncio.run(main())
+        assert len(outcomes) == 8
+        assert all(
+            page == service.top_k("CC", k=2) for _, page in outcomes
+        )
+
+    def test_exclusively_serialises_with_batches(self):
+        """An update applied via exclusively() is atomic to readers:
+        every response version matches the batch's actual state."""
+        from repro.serve import NetworkDelta
+
+        service = _make_service()
+        delta = NetworkDelta(
+            papers=(("NEW", 2005.0),), citations=(("NEW", "A"),)
+        )
+
+        async def main():
+            coalescer = RequestCoalescer(service)
+            await coalescer.start()
+            reads = [
+                asyncio.ensure_future(
+                    coalescer.submit(TopKQuery(method="CC", k=3))
+                )
+                for _ in range(6)
+            ]
+            await coalescer.exclusively(lambda: service.update(delta))
+            late = await coalescer.submit(TopKQuery(method="CC", k=3))
+            await coalescer.close()
+            return await asyncio.gather(*reads), late
+
+        outcomes, late = asyncio.run(main())
+        for version, page in outcomes:
+            assert page.version == version
+            assert version in (0, 1)
+        late_version, late_page = late
+        assert late_version == 1
+        assert late_page == service.top_k("CC", k=3)
+
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(GatewayError):
+            RequestCoalescer(_make_service(), max_batch=0)

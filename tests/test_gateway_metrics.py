@@ -1,0 +1,175 @@
+"""Unit tests for repro.gateway metrics and admission control."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway import (
+    AdmissionController,
+    BatchSizeHistogram,
+    GatewayMetrics,
+    LatencyHistogram,
+    TokenBucket,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean == 0.0
+
+    def test_quantiles_are_ordered_and_bounded(self):
+        hist = LatencyHistogram()
+        for ms in (1, 1, 1, 2, 2, 5, 10, 10, 50, 400):
+            hist.observe(ms / 1000.0)
+        p50, p95, p99 = (
+            hist.quantile(0.5), hist.quantile(0.95), hist.quantile(0.99)
+        )
+        assert 0 < p50 <= p95 <= p99 <= hist.max_seconds
+        # p50 should land near the 2ms observations (one bucket slack).
+        assert 0.001 < p50 < 0.004
+
+    def test_quantile_never_exceeds_observed_max(self):
+        hist = LatencyHistogram()
+        hist.observe(0.0021)
+        assert hist.quantile(0.99) <= hist.max_seconds
+
+    def test_overflow_bucket_reports_max(self):
+        hist = LatencyHistogram()
+        hist.observe(120.0)  # beyond the last bound
+        assert hist.quantile(0.99) == 120.0
+
+    def test_snapshot_fields_in_milliseconds(self):
+        hist = LatencyHistogram()
+        hist.observe(0.010)
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["mean_ms"] == pytest.approx(10.0)
+        assert snapshot["p50_ms"] >= 10.0 * 0.75   # within one bucket
+
+
+class TestBatchSizeHistogram:
+    def test_distribution_buckets(self):
+        hist = BatchSizeHistogram()
+        for size in (1, 1, 2, 4, 7, 64):
+            hist.observe(size)
+        snapshot = hist.snapshot()
+        assert snapshot["batches"] == 6
+        assert snapshot["requests"] == 79
+        assert snapshot["distribution"]["1"] == 2
+        assert snapshot["distribution"]["2"] == 1
+        assert snapshot["distribution"]["3-4"] == 1
+        assert snapshot["distribution"]["5-8"] == 1
+        assert snapshot["distribution"]["33-64"] == 1
+        assert snapshot["mean_batch_size"] == pytest.approx(79 / 6)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        assert bucket.take(now=0.0)
+        assert bucket.take(now=0.0)
+        assert not bucket.take(now=0.0)
+        assert bucket.take(now=0.11)   # ~1 token refilled
+        assert not bucket.take(now=0.11)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3)
+        for _ in range(3):
+            assert bucket.take(now=0.0)
+        # A long idle period refills to burst, not beyond.
+        for _ in range(3):
+            assert bucket.take(now=100.0)
+        assert not bucket.take(now=100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_sheds_503_beyond_capacity(self):
+        admission = AdmissionController(max_inflight=2, max_queue=1)
+        decisions = [admission.try_admit("top") for _ in range(4)]
+        assert [d.admitted for d in decisions] == [True, True, True, False]
+        assert decisions[3].status == 503
+        assert decisions[3].reason == "queue-full"
+        admission.release()
+        assert admission.try_admit("top").admitted
+
+    def test_rate_limit_sheds_429_before_capacity(self):
+        admission = AdmissionController(
+            max_inflight=100,
+            max_queue=100,
+            rate_limits={"top": TokenBucket(rate=1.0, burst=1)},
+        )
+        assert admission.try_admit("top", now=0.0).admitted
+        shed = admission.try_admit("top", now=0.0)
+        assert not shed.admitted
+        assert shed.status == 429
+        assert shed.reason == "rate-limited"
+        # Other endpoints are unaffected by the bucket.
+        assert admission.try_admit("paper", now=0.0).admitted
+
+    def test_draining_sheds_everything(self):
+        admission = AdmissionController(max_inflight=8, max_queue=8)
+        assert admission.try_admit("top").admitted
+        admission.start_draining()
+        decision = admission.try_admit("top")
+        assert not decision.admitted
+        assert decision.status == 503
+        assert decision.reason == "draining"
+        admission.release()    # admitted-before-drain work still finishes
+        assert admission.active == 0
+
+    def test_snapshot_counters(self):
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        admission.try_admit("top")
+        admission.try_admit("top")
+        admission.try_admit("top")        # shed
+        snapshot = admission.snapshot()
+        assert snapshot["active"] == 2
+        assert snapshot["peak_active"] == 2
+        assert snapshot["admitted_total"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue=-1)
+
+
+class TestGatewayMetrics:
+    def test_render_document(self):
+        metrics = GatewayMetrics()
+        metrics.note_request("top")
+        metrics.note_response("top", 200, 0.002)
+        metrics.note_request("paper")
+        metrics.note_response("paper", 404, 0.001)
+        metrics.note_response("top", 429, 0.0001)
+        metrics.note_response("top", 503, 0.0001)
+        metrics.note_update()
+        metrics.batch_sizes.observe(3)
+        document = metrics.render({"hits": 5, "misses": 2})
+        assert document["requests"]["by_endpoint"] == {
+            "top": 1, "paper": 1,
+        }
+        assert document["responses"]["by_status"]["200"] == 1
+        assert document["responses"]["shed_429"] == 1
+        assert document["responses"]["shed_503"] == 1
+        assert document["responses"]["errors_5xx"] == 1
+        assert document["latency"]["overall"]["count"] == 4
+        assert document["coalescing"]["batches"] == 1
+        assert document["stream_updates"]["applied"] == 1
+        assert document["result_cache"]["hits"] == 5
+
+    def test_combined_latency_pools_endpoints(self):
+        metrics = GatewayMetrics()
+        metrics.latency("top").observe(0.001)
+        metrics.latency("paper").observe(0.100)
+        pooled = metrics.combined_latency()
+        assert pooled.count == 2
+        assert pooled.max_seconds == pytest.approx(0.100)

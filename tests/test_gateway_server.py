@@ -1,0 +1,491 @@
+"""Integration tests for the asyncio HTTP gateway.
+
+Real sockets, real HTTP: each test starts a :class:`GatewayServer` on
+an ephemeral port inside ``asyncio.run`` and drives it with raw
+stream-client requests — concurrent clients during live stream
+updates, load shedding under overload, and drain-on-shutdown.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.gateway import GatewayConfig, GatewayServer, GatewayThread
+from repro.serve import RankingService, ScoreIndex
+from repro.stream import EventLog, StreamIngestor
+from repro.synth import toy_network
+
+
+def _make_service(methods=("CC", "PR")) -> RankingService:
+    index = ScoreIndex(toy_network())
+    for label in methods:
+        index.add_method(label)
+    return RankingService(index)
+
+
+async def _get(host, port, target, *, close=False):
+    """One HTTP GET on a fresh connection; returns (status, document)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        connection = "close" if close else "keep-alive"
+        writer.write(
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: {connection}\r\n\r\n".encode()
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        status = int(lines[0].split()[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length)
+        return status, json.loads(body)
+    finally:
+        writer.close()
+
+
+class TestRoutesAndErrors:
+    def test_endpoints_and_typed_errors(self):
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                out = {}
+                out["health"] = await _get(host, port, "/v1/healthz")
+                out["top"] = await _get(
+                    host, port, "/v1/top?method=CC&k=3"
+                )
+                out["paper"] = await _get(host, port, "/v1/paper/A")
+                out["compare"] = await _get(
+                    host, port, "/v1/compare?methods=CC,PR&k=4"
+                )
+                out["missing"] = await _get(host, port, "/v1/paper/ZZZ")
+                out["bad_method"] = await _get(
+                    host, port, "/v1/top?method=NOPE"
+                )
+                out["bad_param"] = await _get(
+                    host, port, "/v1/top?k=banana"
+                )
+                out["unknown"] = await _get(host, port, "/nope")
+                out["metrics"] = await _get(host, port, "/v1/metrics")
+                return out
+            finally:
+                await server.stop()
+
+        out = asyncio.run(main())
+        status, health = out["health"]
+        assert status == 200 and health["status"] == "ok"
+        assert health["papers"] == 8
+
+        status, top = out["top"]
+        assert status == 200
+        direct = service.top_k("CC", k=3)
+        assert top["version"] == 0
+        assert [e["paper_id"] for e in top["result"]["entries"]] == list(
+            direct.paper_ids
+        )
+        assert top["result"]["entries"][0]["score"] == (
+            direct.entries[0].score
+        )
+
+        status, paper = out["paper"]
+        assert status == 200
+        assert paper["result"]["ranks"] == dict(
+            service.paper("A").ranks
+        )
+
+        status, compare = out["compare"]
+        assert status == 200
+        assert set(compare["result"]["results"]) == {"CC", "PR"}
+
+        assert out["missing"][0] == 404
+        assert out["missing"][1]["error"]["type"] == "GraphError"
+        assert out["bad_method"][0] == 400
+        assert out["bad_method"][1]["error"]["type"] == (
+            "ConfigurationError"
+        )
+        assert out["bad_param"][0] == 400
+        assert out["unknown"][0] == 404
+
+        status, metrics = out["metrics"]
+        assert status == 200
+        assert metrics["requests"]["started"] >= 8
+        assert metrics["latency"]["overall"]["count"] >= 7
+        assert "result_cache" in metrics
+        assert metrics["admission"]["active"] == 0
+
+    def test_malformed_request_gets_400_not_a_crash(self):
+        """A garbage request line is answered with a typed 400 and a
+        closed connection — never an unhandled task exception."""
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.config.host, server.port
+                )
+                writer.write(b"BOGUS\r\n\r\n")
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                status = int(head.split(b" ")[1])
+                length = int(
+                    [
+                        line.split(b":")[1]
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")
+                    ][0]
+                )
+                document = json.loads(await reader.readexactly(length))
+                trailing = await reader.read()   # server closed after
+                writer.close()
+                # The gateway keeps serving normally afterwards.
+                follow_up = await _get(
+                    server.config.host, server.port, "/v1/healthz"
+                )
+                return status, document, trailing, head, follow_up
+            finally:
+                await server.stop()
+
+        status, document, trailing, head, follow_up = asyncio.run(main())
+        assert status == 400
+        assert document["error"]["type"] == "GatewayError"
+        assert b"Connection: close" in head
+        assert trailing == b""
+        assert follow_up[0] == 200
+
+    def test_keep_alive_connection_reuse(self):
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.config.host, server.port
+                )
+                statuses = []
+                for _ in range(3):
+                    writer.write(
+                        b"GET /v1/top?method=CC&k=2 HTTP/1.1\r\n"
+                        b"Host: x\r\n\r\n"
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    statuses.append(int(head.split(b" ")[1]))
+                    length = int(
+                        [
+                            line.split(b":")[1]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    await reader.readexactly(length)
+                writer.close()
+                return statuses
+            finally:
+                await server.stop()
+
+        assert asyncio.run(main()) == [200, 200, 200]
+
+
+class TestLiveUpdates:
+    def test_concurrent_clients_during_stream_updates(self):
+        """Mixed traffic while micro-batches land: every response is
+        stamped with a consistent version and matches a direct call."""
+        log = EventLog.from_network(toy_network())
+        ingestor = StreamIngestor(
+            log, methods=("CC",), batch_size=2, bootstrap_size=8
+        )
+        ingestor.step()  # bootstrap -> version 0
+        service = ingestor.service
+
+        async def client(host, port, n, out):
+            for _ in range(n):
+                status, document = await _get(
+                    host, port, "/v1/top?method=CC&k=3"
+                )
+                assert status == 200
+                out.append(document)
+
+        async def main():
+            server = GatewayServer(
+                service,
+                config=GatewayConfig(port=0, update_interval=0.0),
+                ingestor=ingestor,
+            )
+            await server.start()
+            responses: list = []
+            try:
+                await asyncio.gather(
+                    *(
+                        client(
+                            server.config.host, server.port, 6, responses
+                        )
+                        for _ in range(4)
+                    )
+                )
+            finally:
+                await server.stop()
+            return responses, server
+
+        responses, server = asyncio.run(main())
+        assert len(responses) == 24
+        versions = {doc["version"] for doc in responses}
+        assert len(versions) >= 1
+        # The envelope version always matches the page's own stamp.
+        for doc in responses:
+            assert doc["result"]["version"] == doc["version"]
+        assert server.metrics.updates_applied > 0
+        # The final version's pages match a direct call now.
+        final = max(versions)
+        if service.version == final:
+            direct = service.top_k("CC", k=3)
+            for doc in responses:
+                if doc["version"] == final:
+                    assert [
+                        e["paper_id"]
+                        for e in doc["result"]["entries"]
+                    ] == list(direct.paper_ids)
+
+
+class TestLoadShedding:
+    def test_overload_sheds_503(self, monkeypatch):
+        service = _make_service()
+        real = service.execute_batch
+
+        def slow_execute(queries):
+            time.sleep(0.05)
+            return real(queries)
+
+        monkeypatch.setattr(service, "execute_batch", slow_execute)
+
+        async def main():
+            server = GatewayServer(
+                service,
+                config=GatewayConfig(
+                    port=0, max_inflight=1, max_queue=0
+                ),
+            )
+            await server.start()
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        _get(
+                            server.config.host,
+                            server.port,
+                            "/v1/top?method=CC&k=2",
+                        )
+                        for _ in range(6)
+                    )
+                )
+            finally:
+                await server.stop()
+            return outcomes, server
+
+        outcomes, server = asyncio.run(main())
+        statuses = sorted(status for status, _ in outcomes)
+        assert 200 in statuses            # someone got served
+        assert 503 in statuses            # someone was shed
+        shed = [doc for status, doc in outcomes if status == 503]
+        assert all(
+            doc["error"]["reason"] == "queue-full" for doc in shed
+        )
+        assert server.metrics.shed_503 == len(shed)
+
+    def test_backend_breakage_answers_500_without_leaking_slots(
+        self, monkeypatch
+    ):
+        """A non-ReproError from the backend must surface as a 500 and
+        release its admission slot — not leak until the gateway sheds
+        everything as queue-full."""
+        service = _make_service()
+
+        def broken_execute(queries):
+            raise AttributeError("backend exploded")
+
+        monkeypatch.setattr(service, "execute_batch", broken_execute)
+
+        async def main():
+            server = GatewayServer(
+                service,
+                config=GatewayConfig(port=0, max_inflight=2, max_queue=0),
+            )
+            await server.start()
+            try:
+                broken = [
+                    await _get(
+                        server.config.host, server.port,
+                        "/v1/top?method=CC&k=2",
+                    )
+                    for _ in range(4)  # more failures than capacity
+                ]
+                active_after = server.admission.active
+                monkeypatch.undo()  # heal the backend
+                healed = await _get(
+                    server.config.host, server.port,
+                    "/v1/top?method=CC&k=2",
+                )
+            finally:
+                await server.stop()
+            return broken, active_after, healed
+
+        broken, active_after, healed = asyncio.run(main())
+        assert [status for status, _ in broken] == [500] * 4
+        assert all(
+            doc["error"]["type"] == "AttributeError"
+            for _, doc in broken
+        )
+        assert active_after == 0        # every slot released
+        assert healed[0] == 200         # not stuck shedding queue-full
+
+    def test_rate_limit_sheds_429(self):
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(
+                service,
+                config=GatewayConfig(
+                    port=0, rate_limit=0.001, rate_burst=1
+                ),
+            )
+            await server.start()
+            try:
+                first = await _get(
+                    server.config.host, server.port,
+                    "/v1/top?method=CC&k=2",
+                )
+                second = await _get(
+                    server.config.host, server.port,
+                    "/v1/top?method=CC&k=2",
+                )
+                # healthz is never rate limited.
+                health = await _get(
+                    server.config.host, server.port, "/v1/healthz"
+                )
+            finally:
+                await server.stop()
+            return first, second, health
+
+        first, second, health = asyncio.run(main())
+        assert first[0] == 200
+        assert second[0] == 429
+        assert second[1]["error"]["reason"] == "rate-limited"
+        assert health[0] == 200
+
+
+class TestDrain:
+    def test_stop_finishes_inflight_then_refuses(self, monkeypatch):
+        service = _make_service()
+        real = service.execute_batch
+
+        def slow_execute(queries):
+            time.sleep(0.1)
+            return real(queries)
+
+        monkeypatch.setattr(service, "execute_batch", slow_execute)
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            host, port = server.config.host, server.port
+            inflight = asyncio.ensure_future(
+                _get(host, port, "/v1/top?method=CC&k=2")
+            )
+            await asyncio.sleep(0.03)   # request reaches the executor
+            await server.stop()         # drain must wait for it
+            status, document = await inflight
+            refused = False
+            try:
+                await _get(host, port, "/v1/healthz")
+            except (ConnectionRefusedError, OSError):
+                refused = True
+            return status, document, refused
+
+        status, document, refused = asyncio.run(main())
+        assert status == 200            # the admitted request finished
+        assert document["result"]["entries"]
+        assert refused                  # the listener is gone
+
+    def test_requests_during_drain_get_503(self):
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            host, port = server.config.host, server.port
+            # An open keep-alive connection outlives the listener...
+            reader, writer = await asyncio.open_connection(host, port)
+            server.admission.start_draining()
+            writer.write(
+                b"GET /v1/top?method=CC&k=2 HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            status = int(head.split(b" ")[1])
+            length = int(
+                [
+                    line.split(b":")[1]
+                    for line in head.split(b"\r\n")
+                    if line.lower().startswith(b"content-length")
+                ][0]
+            )
+            document = json.loads(await reader.readexactly(length))
+            writer.close()
+            await server.stop()
+            return status, document, head
+
+        status, document, head = asyncio.run(main())
+        assert status == 503
+        assert document["error"]["reason"] == "draining"
+        assert b"Connection: close" in head
+
+
+class TestGatewayThread:
+    def test_thread_restarts_on_a_fresh_port_binding(self):
+        """stop() re-arms the thread: a second start() must report the
+        NEW live port, not the first run's dead one."""
+        import urllib.request
+
+        service = _make_service()
+        gateway = GatewayThread(service)
+        gateway.start()
+        first_port = gateway.port
+        gateway.stop()
+        gateway.start()
+        try:
+            assert gateway.port is not None
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{gateway.port}/v1/healthz", timeout=10
+            ).read()
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            gateway.stop()
+        assert first_port is not None  # both runs actually bound
+
+    def test_thread_serves_urllib_and_drains(self):
+        import urllib.request
+
+        service = _make_service()
+        with GatewayThread(service) as gateway:
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{gateway.port}/v1/top?method=CC&k=2",
+                timeout=10,
+            ).read()
+            document = json.loads(body)
+        assert document["version"] == 0
+        assert len(document["result"]["entries"]) == 2
+        # After the context exits, the port is closed.
+        with pytest.raises(Exception):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{gateway.port}/v1/healthz", timeout=2
+            )

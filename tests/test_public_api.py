@@ -10,6 +10,7 @@ from repro.errors import (
     ConvergenceError,
     DataFormatError,
     EvaluationError,
+    GatewayError,
     GraphError,
     ReproError,
     StreamError,
@@ -63,6 +64,7 @@ class TestErrorHierarchy:
             ConfigurationError,
             EvaluationError,
             StreamError,
+            GatewayError,
         ],
     )
     def test_derives_from_base(self, subclass):

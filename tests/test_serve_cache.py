@@ -1,0 +1,139 @@
+"""Cache counter correctness (incl. across invalidation) and the
+cache-aware batched read path (`RankingService.execute_batch`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    CompareQuery,
+    LRUCache,
+    PaperQuery,
+    RankingService,
+    ScoreIndex,
+    TopKQuery,
+)
+from repro.synth import toy_network
+
+
+class TestCounterCorrectness:
+    def test_hits_misses_evictions(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("a") is None           # miss
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1              # hit (refreshes a)
+        cache.put("c", 3)                       # evicts b (LRU)
+        assert cache.get("b") is None           # miss
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 2, 1)
+        assert stats.size == 2 and stats.maxsize == 2
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_counters_survive_invalidation(self):
+        """clear() drops entries, counts itself, and keeps history."""
+        cache = LRUCache(maxsize=8)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        before = cache.stats()
+        cache.clear()
+        after = cache.stats()
+        assert len(cache) == 0
+        assert after.hits == before.hits == 1
+        assert after.misses == before.misses == 1
+        assert after.evictions == before.evictions == 0
+        assert before.invalidations == 0
+        assert after.invalidations == 1
+        # Post-invalidation lookups keep accumulating on top.
+        assert cache.get("a") is None
+        cache.clear()
+        final = cache.stats()
+        assert final.misses == 2
+        assert final.invalidations == 2
+
+    def test_as_dict_is_json_ready(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        payload = cache.stats().as_dict()
+        assert payload["hits"] == 1
+        assert payload["invalidations"] == 0
+        assert 0.0 <= payload["hit_rate"] <= 1.0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(maxsize=0)
+
+
+@pytest.fixture
+def service():
+    index = ScoreIndex(toy_network())
+    index.add_method("CC")
+    index.add_method("PR")
+    return RankingService(index)
+
+
+class TestExecuteBatch:
+    def test_results_match_single_query_paths(self, service):
+        queries = [
+            TopKQuery(method="cc", k=3),
+            PaperQuery(paper_id="A"),
+            CompareQuery(methods=("CC", "PR"), k=4),
+        ]
+        version, results = service.execute_batch(queries)
+        assert version == 0
+        assert results[0] == service.top_k("CC", k=3)
+        assert results[1] == service.paper("A")
+        assert results[2] == service.compare(("CC", "PR"), k=4)
+
+    def test_batch_shares_cache_with_top_k(self, service):
+        service.top_k("CC", k=3)                # seeds the page
+        before = service.cache_stats()
+        _, (page,) = service.execute_batch([TopKQuery(method="CC", k=3)])
+        after = service.cache_stats()
+        assert after.hits == before.hits + 1    # served from cache
+        assert page == service.top_k("CC", k=3)
+
+    def test_repeat_batch_hits_cache(self, service):
+        queries = [
+            TopKQuery(method="CC", k=2),
+            PaperQuery(paper_id="B"),
+            CompareQuery(methods=("CC", "PR"), k=3),
+        ]
+        first_version, first = service.execute_batch(queries)
+        misses_after_first = service.cache_stats().misses
+        second_version, second = service.execute_batch(queries)
+        stats = service.cache_stats()
+        assert first == second
+        assert first_version == second_version
+        assert stats.misses == misses_after_first   # all hits
+        assert stats.hits >= len(queries)
+
+    def test_update_invalidates_batch_cache(self, service):
+        from repro.serve import NetworkDelta
+
+        _, (page_v0,) = service.execute_batch([TopKQuery(method="CC", k=3)])
+        service.update(
+            NetworkDelta(
+                papers=(("NEW", 2005.0),), citations=(("NEW", "A"),)
+            )
+        )
+        assert service.cache_stats().invalidations >= 1
+        version, (page_v1,) = service.execute_batch(
+            [TopKQuery(method="CC", k=3)]
+        )
+        assert version == 1
+        assert page_v1.version == 1
+        assert page_v1.entries[0].score != page_v0.entries[0].score or (
+            page_v1 != page_v0
+        )
+
+    def test_invalid_query_raises_typed(self, service):
+        with pytest.raises(ConfigurationError):
+            service.execute_batch([TopKQuery(method="CC", k=0)])
+        with pytest.raises(ConfigurationError):
+            service.execute_batch(
+                [CompareQuery(methods=("CC", "CC"), k=2)]
+            )
+        with pytest.raises(ConfigurationError):
+            service.execute_batch(["not a query"])  # type: ignore[list-item]

@@ -279,3 +279,99 @@ class TestYearPruning:
             lo, hi = store.shard_time_bounds(shard_id)
             assert lo <= float(shard.times.min())
             assert float(shard.times.max()) <= hi
+
+
+class TestReadDuringSync:
+    """Queries racing a sync see one whole generation, never a mix.
+
+    The store publishes each rebuild as a single snapshot swap;
+    a batch captured against the old generation completes against it
+    bit-identically while the new one goes live.  Before the snapshot
+    refactor this test crashed (readers observed the half-rebuilt
+    shard dict) or returned pages mixing two versions.
+    """
+
+    def _reference_results(self, network, base, delta, queries):
+        """Direct single-version results at version 0 and version 1."""
+        from repro.serve import RankingService
+
+        refs = {}
+        index = ScoreIndex(base)
+        index.add_method("PR")
+        index.add_method("CC")
+        service = RankingService(index)
+        refs[0] = service.engine.execute(queries)
+        service.update(delta)
+        refs[1] = service.engine.execute(queries)
+        return refs
+
+    def test_threaded_queries_old_or_new_never_torn(self, hepth_tiny):
+        import threading
+
+        from repro.graph.temporal import chronological_order
+        from repro.serve import (
+            PaperQuery,
+            QueryEngine,
+            TopKQuery,
+            delta_between,
+        )
+        import numpy as np
+
+        order = chronological_order(hepth_tiny)
+        base = hepth_tiny.subnetwork(
+            np.sort(order[: hepth_tiny.n_papers - 25])
+        )
+        delta = delta_between(base, hepth_tiny)
+        queries = (
+            TopKQuery(method="PR", k=20),
+            TopKQuery(method="CC", k=10, offset=5),
+            PaperQuery(paper_id=base.paper_ids[0]),
+        )
+        refs = self._reference_results(hepth_tiny, base, delta, queries)
+
+        live = ScoreIndex(base)
+        live.add_method("PR")
+        live.add_method("CC")
+        store = ShardedScoreIndex.from_index(live, n_shards=4)
+        engine = QueryEngine(store)
+        updater = DeltaUpdater(live, sharded=store)
+
+        observed: list[tuple[int, tuple]] = []
+        failures: list[BaseException] = []
+        done = threading.Event()
+        lock = threading.Lock()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    version, results = engine.execute_versioned(queries)
+                    with lock:
+                        observed.append((version, results))
+            except BaseException as error:  # noqa: BLE001
+                failures.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            # Same-version rebuilds first: the store swaps generations
+            # under the readers without any version change...
+            for _ in range(10):
+                store.sync()
+            # ...then the real thing: a delta lands mid-traffic.
+            updater.apply(delta)
+            for _ in range(10):
+                store.sync()
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=30)
+
+        assert not failures, failures
+        assert observed
+        versions = {version for version, _ in observed}
+        assert versions <= {0, 1}
+        for version, results in observed:
+            assert results == refs[version], (
+                f"torn read at version {version}"
+            )
