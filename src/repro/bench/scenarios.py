@@ -43,6 +43,13 @@ Scenario catalogue
     (p50/p95/p99), the coalesced batch-size distribution, and the
     response-by-response bit-identity verdict against direct service
     calls at each reported index version.
+``obs_overhead``
+    The cost of the observability plane: the same static loadgen run
+    with observability disabled, in the production posture (INFO event
+    logs, metrics, 1-in-20 trace sampling — held to a <5% overhead
+    target the CI regression gate tracks), and in the verbose
+    debugging posture (DEBUG access lines, every request traced —
+    reported, no target).
 
 Smoke mode (``--smoke``) shrinks each scenario to CI scale; the JSON
 records that the cut was applied, so numbers are never compared across
@@ -494,6 +501,141 @@ def _bench_gateway(config: BenchConfig) -> dict[str, Any]:
         "result_cache": best["result_cache"],
         "verified_responses": best["verified_responses"],
         "identical_rankings": identical,
+    }
+
+
+@scenario(
+    "obs_overhead",
+    "Gateway loadgen throughput with observability on vs off",
+    default_repeats=9,
+)
+def _bench_obs_overhead(config: BenchConfig) -> dict[str, Any]:
+    import os
+
+    from repro.gateway import GatewayConfig
+    from repro.gateway.loadgen import run_load_static
+    from repro.obs import (
+        configure_logging,
+        disable_tracing,
+        enable_tracing,
+        reset_logging,
+    )
+    from repro.serve import RankingService, ScoreIndex
+
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    methods = ("AR", "CC") if config.smoke else ("AR", "PR", "CC")
+    index = ScoreIndex(network)
+    for label in methods:
+        index.add_method(label)
+    clients = 4 if config.smoke else 6
+    # Long legs on purpose: a leg must outlast scheduler noise bursts
+    # (hundreds of ms on shared machines) or best-of-N picks whichever
+    # side dodged them.
+    requests_per_client = 25 if config.smoke else 200
+    # Two enabled postures (docs/OBSERVABILITY.md):
+    #   "on"      — production: INFO event logs, every request counted
+    #               by the metrics registry, traces head-sampled 1-in-20
+    #               (how OTel-style stacks deploy).  Held to the <5%
+    #               overhead target.
+    #   "verbose" — debugging: DEBUG per-request access lines plus a
+    #               trace for *every* request.  Reported for
+    #               transparency, no target — one extra stdlib log
+    #               line per ~400us request is inherently >5%.
+    trace_sample = 0.05
+    postures = {
+        "on": ("INFO", trace_sample),
+        "verbose": ("DEBUG", 1.0),
+    }
+
+    def run_leg(posture: str, run_seed: int) -> dict[str, Any]:
+        sink = None
+        if posture in postures:
+            # Logging to /dev/null: the formatting/filter cost is
+            # paid, the terminal is not the thing being measured.
+            level, sample = postures[posture]
+            sink = open(os.devnull, "w")
+            configure_logging(level, json=True, stream=sink)
+            enable_tracing(capacity=256, sample=sample)
+        else:
+            reset_logging()
+            disable_tracing()
+        try:
+            # cache_size=1 defeats the LRU so every request pays the
+            # real query path — otherwise the loadgen's repeating mix
+            # turns requests into cache hits and the fixed per-request
+            # observability cost is measured against an empty workload.
+            return run_load_static(
+                RankingService(index, cache_size=1),
+                methods,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                seed=run_seed,
+                config=GatewayConfig(port=0),
+            )
+        finally:
+            if sink is not None:
+                reset_logging()
+                disable_tracing()
+                sink.close()
+
+    # Legs rotate within each repeat — and the rotation shifts between
+    # repeats — so drift (thermal, page cache, a noisy neighbour) hits
+    # every side equally; each side keeps its best run.
+    run_leg("off", config.seed)  # warmup, discarded
+    order = ("off", "on", "verbose")
+    reports: dict[str, list[dict[str, Any]]] = {key: [] for key in order}
+    for repeat in range(max(1, config.repeats)):
+        for step in range(len(order)):
+            posture = order[(repeat + step) % len(order)]
+            reports[posture].append(run_leg(posture, config.seed + repeat))
+
+    def side(posture: str) -> dict[str, Any]:
+        # The median leg, not the best: scheduler noise on a shared
+        # machine is one-sided (bursts only slow legs down), and the
+        # rotation gives every posture the same distribution of time
+        # slots, so the side medians are comparable while the
+        # occasional burst-hit leg drops out of both.
+        legs = sorted(
+            reports[posture], key=lambda r: r["requests_per_second"]
+        )
+        report = legs[len(legs) // 2]
+        return {
+            "requests_per_second": report["requests_per_second"],
+            "latency": report["latency"],
+            "leg_rps": [
+                round(r["requests_per_second"], 1)
+                for r in reports[posture]
+            ],
+        }
+
+    side_off, side_on = side("off"), side("on")
+    side_verbose = side("verbose")
+    rps_off = side_off["requests_per_second"]
+
+    def overhead(posture_side: dict[str, Any]) -> float:
+        return (
+            (rps_off - posture_side["requests_per_second"])
+            / rps_off
+            * 100.0
+        )
+
+    all_reports = [r for legs in reports.values() for r in legs]
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "methods": list(methods),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "trace_sample": trace_sample,
+        "obs_on": side_on,
+        "obs_off": side_off,
+        "obs_verbose": side_verbose,
+        "overhead_pct": overhead(side_on),
+        "target_overhead_pct": 5.0,
+        "overhead_pct_verbose": overhead(side_verbose),
+        "errors_5xx": max(r["errors_5xx"] for r in all_reports),
+        "identical_rankings": all(
+            r["identical_rankings"] for r in all_reports
+        ),
     }
 
 

@@ -20,8 +20,12 @@ Subcommands
                updates (with optional checkpoints), ``resume`` a
                killed replay, ``checkpoint`` inspects a saved one.
 ``serve-http`` Serve an index over HTTP: the asyncio gateway with
-               request coalescing, admission control, live metrics,
-               and graceful drain.
+               request coalescing, admission control, live metrics
+               (JSON and Prometheus text), structured JSON logs,
+               request tracing, and graceful drain.
+``trace``      Fetch recent span trees from a running gateway's
+               ``/v1/trace`` (or convert a saved dump) into
+               Chrome-trace-format JSON for chrome://tracing.
 ``loadgen``    Drive an in-process gateway with concurrent clients and
                mixed traffic (optionally with live stream updates),
                verify every response against a direct service call,
@@ -478,6 +482,77 @@ def build_parser() -> argparse.ArgumentParser:
             "serve for N seconds, then drain and exit (default: run "
             "until interrupted)"
         ),
+    )
+    serve_http.add_argument(
+        "--log-level",
+        default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "off"],
+        help=(
+            "structured-log threshold on stderr ('off' disables "
+            "logging entirely; default INFO)"
+        ),
+    )
+    serve_http.add_argument(
+        "--log-format",
+        default="json",
+        choices=["json", "text"],
+        help="log rendering: JSON lines (default) or human-readable",
+    )
+    serve_http.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing (/v1/trace serves empty)",
+    )
+    serve_http.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=256,
+        help="traces kept in the /v1/trace ring buffer (default 256)",
+    )
+    serve_http.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help=(
+            "fraction of requests traced, 0..1 (default 1.0; "
+            "high-QPS deployments run sampled, e.g. 0.05)"
+        ),
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help=(
+            "fetch /v1/trace from a running gateway (or read a saved "
+            "dump) and write Chrome trace-event JSON"
+        ),
+    )
+    trace_source = trace.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument(
+        "--url",
+        help="gateway base URL, e.g. http://127.0.0.1:8080",
+    )
+    trace_source.add_argument(
+        "--input",
+        help="a saved /v1/trace JSON document to convert offline",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="most recent traces to fetch (default 50)",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "write the Chrome trace JSON here (default: stdout); load "
+            "the file in chrome://tracing or https://ui.perfetto.dev"
+        ),
+    )
+    trace.add_argument(
+        "--raw",
+        action="store_true",
+        help="emit the span trees as fetched instead of Chrome format",
     )
 
     loadgen = commands.add_parser(
@@ -1116,7 +1191,14 @@ def _command_serve_http(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.gateway import GatewayConfig, GatewayServer
+    from repro.obs import configure_logging, enable_tracing
 
+    if args.log_level != "off":
+        configure_logging(
+            args.log_level, json=args.log_format == "json"
+        )
+    if not args.no_trace:
+        enable_tracing(args.trace_capacity, sample=args.trace_sample)
     backend = _serving_backend(args.index, args.jobs)
     config = GatewayConfig(
         host=args.host,
@@ -1151,6 +1233,54 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         # asyncio.run already cancelled serve(); the finally block's
         # drain ran inside the loop before it closed.
         pass
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import chrome_trace
+
+    if args.input:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise ReproError(
+                f"cannot read trace dump: {error}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"{args.input}: invalid JSON ({error})"
+            ) from None
+    else:
+        import urllib.error
+        import urllib.request
+
+        url = (
+            f"{args.url.rstrip('/')}/v1/trace?limit={args.limit}"
+        )
+        try:
+            with urllib.request.urlopen(url, timeout=30) as response:
+                document = json.load(response)
+        except (urllib.error.URLError, OSError) as error:
+            raise ReproError(
+                f"cannot fetch {url}: {error}"
+            ) from None
+    traces = document.get("traces", [])
+    if not document.get("enabled", True) and not traces:
+        print(
+            "note: tracing is disabled on the gateway "
+            "(start serve-http without --no-trace)",
+            file=sys.stderr,
+        )
+    rendered = json.dumps(
+        document if args.raw else chrome_trace(traces), indent=2
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {len(traces)} trace(s) to {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -1437,6 +1567,7 @@ _COMMANDS = {
     "query": _command_query,
     "stream": _command_stream,
     "serve-http": _command_serve_http,
+    "trace": _command_trace,
     "loadgen": _command_loadgen,
     "compare": _command_compare,
     "bench": _command_bench,

@@ -32,10 +32,13 @@ Correctness guarantees:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 from typing import Any, Callable, Sequence, Union
 
 from repro.errors import GatewayError, ReproError
 from repro.gateway.metrics import GatewayMetrics
+from repro.obs.logging import current_request_id
+from repro.obs.trace import span
 from repro.serve.batch import Query, QueryEngine, execute_with_attribution
 from repro.serve.service import RankingService
 
@@ -95,7 +98,14 @@ class RequestCoalescer:
         self._backend = backend
         self._max_batch = int(max_batch)
         self._metrics = metrics
-        self._pending: list[tuple[Query, asyncio.Future]] = []
+        # (query, future, submitter context, submitter request id):
+        # run_in_executor does NOT propagate contextvars, so the batch
+        # is executed under the first submitter's copied context — the
+        # engine's spans and log lines join that leader request's
+        # trace, with the whole batch's request ids attached as attrs.
+        self._pending: list[
+            tuple[Query, asyncio.Future, contextvars.Context, str | None]
+        ] = []
         self._wakeup = asyncio.Event()
         self._lock = asyncio.Lock()
         self._worker: asyncio.Task | None = None
@@ -154,7 +164,14 @@ class RequestCoalescer:
         future: asyncio.Future = (
             asyncio.get_running_loop().create_future()
         )
-        self._pending.append((query, future))
+        self._pending.append(
+            (
+                query,
+                future,
+                contextvars.copy_context(),
+                current_request_id(),
+            )
+        )
         self._wakeup.set()
         return await future
 
@@ -163,11 +180,15 @@ class RequestCoalescer:
 
         The stream updater applies index micro-batches through here:
         holding the batch lock across the update makes the version
-        swap atomic with respect to every coalesced read.
+        swap atomic with respect to every coalesced read.  The caller's
+        context rides along explicitly (``run_in_executor`` would not
+        carry it), so the updater's trace and request id survive the
+        thread hop.
         """
+        ctx = contextvars.copy_context()
         async with self._lock:
             return await asyncio.get_running_loop().run_in_executor(
-                None, fn
+                None, ctx.run, fn
             )
 
     # ------------------------------------------------------------------
@@ -187,20 +208,29 @@ class RequestCoalescer:
                 continue
             batch = self._pending[: self._max_batch]
             del self._pending[: len(batch)]
-            queries = [query for query, _ in batch]
+            queries = [query for query, _, _, _ in batch]
+            # The first submitter leads the batch: its copied context
+            # carries its request id and open trace into the executor,
+            # so the engine's spans nest under that request's tree.
+            leader_ctx = batch[0][2]
+            request_ids = [rid for _, _, _, rid in batch if rid]
             try:
                 async with self._lock:
                     version, outcomes = await loop.run_in_executor(
-                        None, self._execute, queries
+                        None,
+                        leader_ctx.run,
+                        self._execute_traced,
+                        queries,
+                        request_ids,
                     )
             except Exception as error:  # executor / backend breakage
-                for _, future in batch:
+                for _, future, _, _ in batch:
                     if not future.done():
                         future.set_exception(error)
                 continue
             if self._metrics is not None:
                 self._metrics.batch_sizes.observe(len(batch))
-            for (_, future), outcome in zip(batch, outcomes):
+            for (_, future, _, _), outcome in zip(batch, outcomes):
                 if future.done():  # client went away mid-batch
                     continue
                 if isinstance(outcome, ReproError):
@@ -214,6 +244,25 @@ class RequestCoalescer:
         if isinstance(self._backend, RankingService):
             return self._backend.execute_batch(queries)
         return self._backend.execute_versioned(queries)
+
+    def _execute_traced(
+        self, queries: Sequence[Query], request_ids: Sequence[str]
+    ) -> tuple[int, list[Any]]:
+        """The executor entry point: one traced engine batch.
+
+        Runs under the leader's copied context, so the ``engine.batch``
+        span (annotated with every coalesced request id) lands in the
+        leading request's trace.
+        """
+        with span(
+            "engine.batch",
+            batch_size=len(queries),
+            request_ids=list(request_ids),
+        ) as sp:
+            version, outcomes = self._execute(queries)
+            if sp is not None:
+                sp.set(version=version)
+        return version, outcomes
 
     def _execute(
         self, queries: Sequence[Query]

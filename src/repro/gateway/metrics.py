@@ -18,7 +18,10 @@ sit on the request hot path:
 
 ``/v1/metrics`` renders one JSON document from a snapshot of all of
 this plus the serve-layer LRU counters
-(:meth:`~repro.serve.RankingService.cache_stats`).
+(:meth:`~repro.serve.RankingService.cache_stats`); the same snapshot
+also exports as Prometheus metric families
+(:meth:`GatewayMetrics.collect`) for ``?format=prometheus``, with the
+bucket math shared with :mod:`repro.obs.registry`.
 """
 
 from __future__ import annotations
@@ -26,31 +29,27 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Mapping
 
+from repro.obs.registry import (
+    MetricFamily,
+    Sample,
+    counter_family,
+    cumulative_buckets,
+    geometric_bounds,
+    histogram_samples,
+    quantile_from_buckets,
+)
+
 __all__ = ["LatencyHistogram", "BatchSizeHistogram", "GatewayMetrics"]
-
-
-def _geometric_bounds(
-    lo: float, hi: float, per_decade: int
-) -> tuple[float, ...]:
-    """Geometric bucket upper bounds from ``lo`` to ``hi`` seconds."""
-    bounds = []
-    factor = 10.0 ** (1.0 / per_decade)
-    value = lo
-    while value < hi:
-        bounds.append(value)
-        value *= factor
-    bounds.append(hi)
-    return tuple(bounds)
 
 
 class LatencyHistogram:
     """Fixed-bucket latency histogram with quantile recovery.
 
     Buckets are geometric from 50 microseconds to 30 seconds (ten per
-    decade, ~59 buckets), which bounds the quantile estimation error at
-    one bucket width (~26% relative) — coarse for billing, plenty for
-    "did p99 triple".  Everything above the last bound lands in a
-    +inf overflow bucket.
+    decade, ~59 buckets); quantiles interpolate linearly *within* the
+    bucket the rank falls into, which keeps the typical estimation
+    error to a few percent of the ~26%-wide bucket.  Everything above
+    the last bound lands in a +inf overflow bucket.
 
     >>> hist = LatencyHistogram()
     >>> for ms in (1, 1, 2, 50):
@@ -63,7 +62,7 @@ class LatencyHistogram:
 
     __slots__ = ("_bounds", "_counts", "count", "total_seconds", "max_seconds")
 
-    BOUNDS = _geometric_bounds(50e-6, 30.0, per_decade=10)
+    BOUNDS = geometric_bounds(50e-6, 30.0, per_decade=10)
 
     def __init__(self) -> None:
         self._bounds = self.BOUNDS
@@ -81,30 +80,29 @@ class LatencyHistogram:
             self.max_seconds = seconds
 
     def quantile(self, q: float) -> float:
-        """The ``q``-quantile in seconds (upper bucket bound; 0 if empty).
+        """The interpolated ``q``-quantile in seconds (0 if empty).
 
-        Reported as the *upper* bound of the bucket the quantile rank
-        falls into — a conservative estimate that never understates the
-        tail.  The overflow bucket reports the observed maximum.
+        Linear interpolation within the bucket the quantile rank falls
+        into (uniform-within-bucket assumption), capped at the observed
+        maximum; the overflow bucket reports the observed maximum.
         """
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for position, bucket in enumerate(self._counts):
-            seen += bucket
-            if seen >= rank and bucket:
-                if position >= len(self._bounds):
-                    return self.max_seconds
-                # The true maximum caps the top bucket's upper bound —
-                # p99 must never report above the slowest observation.
-                return min(self._bounds[position], self.max_seconds)
-        return self.max_seconds
+        return quantile_from_buckets(
+            self._bounds, self._counts, self.count, self.max_seconds, q
+        )
 
     @property
     def mean(self) -> float:
         """Mean latency in seconds (0 when empty)."""
         return self.total_seconds / self.count if self.count else 0.0
+
+    @property
+    def sum(self) -> float:
+        """Total observed seconds (the Prometheus ``_sum`` series)."""
+        return self.total_seconds
+
+    def bucket_pairs(self) -> tuple[tuple[str, int], ...]:
+        """Cumulative ``(le, count)`` pairs for ``_bucket`` export."""
+        return cumulative_buckets(self._bounds, self._counts)
 
     def snapshot(self) -> dict[str, float]:
         """Quantiles and totals, in milliseconds, JSON-ready."""
@@ -148,6 +146,13 @@ class BatchSizeHistogram:
     def mean(self) -> float:
         """Mean requests per executed batch (0 when idle)."""
         return self.requests / self.batches if self.batches else 0.0
+
+    def bucket_pairs(self) -> tuple[tuple[str, int], ...]:
+        """Cumulative ``(le, count)`` pairs (le = 1, 2, 4, ..., 1024)."""
+        bounds = tuple(
+            float(1 << b) for b in range(self.N_BUCKETS - 1)
+        )
+        return cumulative_buckets(bounds, self._counts)
 
     def snapshot(self) -> dict[str, Any]:
         """Bucket labels -> counts, plus totals."""
@@ -268,3 +273,78 @@ class GatewayMetrics:
         if cache_stats is not None:
             document["result_cache"] = dict(cache_stats)
         return document
+
+    def collect(self) -> list[MetricFamily]:
+        """The gateway's request metrics as Prometheus families.
+
+        ``/v1/metrics?format=prometheus`` renders these next to the
+        process-global :data:`repro.obs.registry.REGISTRY` families
+        (solver, engine, updater) and the admission snapshot.
+        """
+        families = [
+            counter_family(
+                "repro_gateway_requests_total",
+                "Requests started, by endpoint.",
+                {
+                    (("endpoint", endpoint),): float(count)
+                    for endpoint, count in sorted(
+                        self.requests_by_endpoint.items()
+                    )
+                },
+            ),
+            counter_family(
+                "repro_gateway_responses_total",
+                "Responses sent, by HTTP status.",
+                {
+                    (("status", str(status)),): float(count)
+                    for status, count in sorted(
+                        self.responses_by_status.items()
+                    )
+                },
+            ),
+            counter_family(
+                "repro_gateway_requests_shed_total",
+                "Requests shed by admission control, by status.",
+                {
+                    (("status", "429"),): float(self.shed_429),
+                    (("status", "503"),): float(self.shed_503),
+                },
+            ),
+            counter_family(
+                "repro_gateway_stream_updates_total",
+                "Live stream micro-batches applied.",
+                {(): float(self.updates_applied)},
+            ),
+        ]
+        latency_samples: list[Sample] = []
+        for endpoint, hist in sorted(self._latency_by_endpoint.items()):
+            latency_samples.extend(
+                histogram_samples(
+                    (("endpoint", endpoint),),
+                    hist.bucket_pairs(),
+                    hist.sum,
+                    hist.count,
+                )
+            )
+        families.append(
+            MetricFamily(
+                name="repro_gateway_request_latency_seconds",
+                kind="histogram",
+                help="Request latency in seconds, by endpoint.",
+                samples=tuple(latency_samples),
+            )
+        )
+        families.append(
+            MetricFamily(
+                name="repro_gateway_coalesced_batch_size",
+                kind="histogram",
+                help="Requests per coalesced engine batch.",
+                samples=histogram_samples(
+                    (),
+                    self.batch_sizes.bucket_pairs(),
+                    float(self.batch_sizes.requests),
+                    self.batch_sizes.batches,
+                ),
+            )
+        )
+        return families

@@ -18,7 +18,17 @@ Endpoints
     Liveness: status, index version, paper count.
 ``GET /v1/metrics``
     The full observability document (latency quantiles, shed counts,
-    coalesced batch sizes, serve-layer cache counters).
+    coalesced batch sizes, serve-layer cache counters) as JSON, or the
+    Prometheus text exposition with ``?format=prometheus``.
+``GET /v1/trace``
+    Recent request/update span trees from the trace ring buffer
+    (``?limit=N``); empty until tracing is enabled.
+
+Every request carries a correlation id: generated per connection and
+numbered per request (``{conn}-{seq}``), overridable by a client
+``X-Request-Id`` header, bound in a contextvar for the request's
+duration (so every log record and error payload it causes carries the
+id), and echoed in an ``X-Request-Id`` response header.
 
 Query responses are ``{"version": V, "result": {...}}`` where the
 result object is byte-for-byte the CLI's
@@ -52,6 +62,21 @@ from repro.gateway.admission import AdmissionController, TokenBucket
 from repro.gateway.coalesce import Backend, RequestCoalescer
 from repro.gateway.metrics import GatewayMetrics
 from repro.gateway.updates import StreamUpdater
+from repro.obs.logging import (
+    bind_request_id,
+    current_request_id,
+    get_logger,
+    new_request_id,
+    request_id_var,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    MetricFamily,
+    counter_family,
+    gauge_family,
+    render_families,
+)
+from repro.obs.trace import get_collector, span, start_trace
 from repro.serve.batch import (
     CompareQuery,
     PaperQuery,
@@ -77,6 +102,8 @@ _REASONS = {
 #: Parser limits: a request line or header longer than this is a 400.
 _MAX_LINE = 8192
 _MAX_HEADERS = 64
+
+_LOG = get_logger("gateway")
 
 
 @dataclass(frozen=True)
@@ -235,24 +262,35 @@ class GatewayServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         self._connections.add(writer)
+        # One id per connection, one sequence number per request on it:
+        # the id exists *before* parsing, so even a 400 on a malformed
+        # request correlates with a log line and an X-Request-Id.
+        connection_id = new_request_id()
+        sequence = 0
         try:
             while True:
-                try:
-                    request = await self._read_request(reader)
-                except GatewayError as error:
-                    # A malformed request is answered, not crashed on:
-                    # the parser cannot trust the connection state
-                    # afterwards, so close after the 400.
-                    await self._write_response(
-                        writer,
-                        400,
-                        _error_payload("GatewayError", str(error)),
-                        False,
-                    )
-                    break
-                if request is None:
-                    break
-                keep_alive = await self._respond(writer, *request)
+                sequence += 1
+                with bind_request_id(f"{connection_id}-{sequence}"):
+                    try:
+                        request = await self._read_request(reader)
+                    except GatewayError as error:
+                        # A malformed request is answered, not crashed
+                        # on: the parser cannot trust the connection
+                        # state afterwards, so close after the 400.
+                        _LOG.info(
+                            "bad request",
+                            extra={"status": 400, "detail": str(error)},
+                        )
+                        await self._write_response(
+                            writer,
+                            400,
+                            _error_payload("GatewayError", str(error)),
+                            False,
+                        )
+                        break
+                    if request is None:
+                        break
+                    keep_alive = await self._respond(writer, *request)
                 if not keep_alive:
                     break
         except (
@@ -317,63 +355,118 @@ class GatewayServer:
         keep_alive = headers.get("connection", "").lower() != "close"
         split = urlsplit(target)
         path = split.path
+        params = parse_qs(split.query)
         endpoint = self._endpoint_of(path)
         self.metrics.note_request(endpoint)
+        # A client-supplied X-Request-Id replaces the generated one for
+        # this request only (the token restores the connection id).
+        client_id = headers.get("x-request-id", "").strip()
+        id_token = (
+            request_id_var.set(client_id[:64]) if client_id else None
+        )
 
         status: int
-        payload: dict[str, Any]
+        payload: dict[str, Any] | str
+        content_type = "application/json"
         admitted = False
-        if method != "GET":
-            status, payload = 405, _error_payload(
-                "GatewayError", f"method {method} not allowed (GET only)"
-            )
-        elif endpoint == "healthz":
-            status, payload = 200, self._healthz_payload()
-        elif endpoint == "metrics":
-            status, payload = 200, self._metrics_payload()
-        elif endpoint in ("top", "paper", "compare"):
-            decision = self.admission.try_admit(endpoint)
-            if not decision.admitted:
-                status, payload = decision.status, _error_payload(
-                    "GatewayError",
-                    f"request shed: {decision.reason}",
-                    reason=decision.reason,
-                )
-            else:
-                admitted = True
-                try:
-                    status, payload = await self._answer_query(
-                        endpoint, path, parse_qs(split.query)
-                    )
-                except Exception as error:
-                    # Non-ReproError breakage (the coalescer forwards
-                    # arbitrary executor failures): answer 500 rather
-                    # than dropping the connection — and fall through
-                    # to the finally below, so the admitted slot is
-                    # released instead of leaking until the gateway
-                    # sheds everything as queue-full.
-                    status, payload = 500, _error_payload(
-                        type(error).__name__,
-                        str(error) or "internal error",
-                    )
-        else:
-            status, payload = 404, _error_payload(
-                "GatewayError", f"no such endpoint: {path}"
-            )
-        if self.admission.draining:
-            keep_alive = False
         try:
-            await self._write_response(writer, status, payload, keep_alive)
+            if method != "GET":
+                status, payload = 405, _error_payload(
+                    "GatewayError",
+                    f"method {method} not allowed (GET only)",
+                )
+            elif endpoint == "healthz":
+                status, payload = 200, self._healthz_payload()
+            elif endpoint == "metrics":
+                wants = params.get("format", ["json"])[-1].lower()
+                if wants == "prometheus":
+                    status, payload = 200, self._prometheus_text()
+                    content_type = (
+                        "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                else:
+                    status, payload = 200, self._metrics_payload()
+            elif endpoint == "trace":
+                status, payload = 200, self._trace_payload(params)
+            elif endpoint in ("top", "paper", "compare"):
+                with start_trace(
+                    "gateway.request",
+                    request_id=current_request_id(),
+                    endpoint=endpoint,
+                ) as root:
+                    with span("gateway.admission"):
+                        decision = self.admission.try_admit(endpoint)
+                    if not decision.admitted:
+                        status, payload = (
+                            decision.status,
+                            _error_payload(
+                                "GatewayError",
+                                f"request shed: {decision.reason}",
+                                reason=decision.reason,
+                            ),
+                        )
+                    else:
+                        admitted = True
+                        try:
+                            status, payload = await self._answer_query(
+                                endpoint, path, params
+                            )
+                        except Exception as error:
+                            # Non-ReproError breakage (the coalescer
+                            # forwards arbitrary executor failures):
+                            # answer 500 rather than dropping the
+                            # connection — and fall through to the
+                            # finally below, so the admitted slot is
+                            # released instead of leaking until the
+                            # gateway sheds everything as queue-full.
+                            status, payload = 500, _error_payload(
+                                type(error).__name__,
+                                str(error) or "internal error",
+                            )
+                    if root is not None:
+                        root.set(status=status)
+            else:
+                status, payload = 404, _error_payload(
+                    "GatewayError", f"no such endpoint: {path}"
+                )
+            if self.admission.draining:
+                keep_alive = False
+            try:
+                await self._write_response(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive,
+                    content_type=content_type,
+                )
+            finally:
+                # Release only after the body is flushed: stop()'s
+                # active==0 drain wait must cover response *writing*,
+                # or the connection-close sweep could truncate a slow
+                # client's body mid-flush.
+                if admitted:
+                    self.admission.release()
+                elapsed = time.perf_counter() - started
+                self.metrics.note_response(endpoint, status, elapsed)
+                # The access line is DEBUG on purpose: metrics are the
+                # per-request accounting of record (counted and timed
+                # above), traces are the sampled deep-dive, and at
+                # INFO the log stays an *event* stream — errors,
+                # lifecycle — instead of paying ~a log line per
+                # request at high QPS (measured by the obs_overhead
+                # bench scenario).
+                _LOG.debug(
+                    "request",
+                    extra={
+                        "endpoint": endpoint,
+                        "path": path,
+                        "status": status,
+                        "ms": round(elapsed * 1e3, 3),
+                    },
+                )
         finally:
-            # Release only after the body is flushed: stop()'s
-            # active==0 drain wait must cover response *writing*, or
-            # the connection-close sweep could truncate a slow
-            # client's body mid-flush.
-            if admitted:
-                self.admission.release()
-            self.metrics.note_response(
-                endpoint, status, time.perf_counter() - started
-            )
+            if id_token is not None:
+                request_id_var.reset(id_token)
         return keep_alive
 
     @staticmethod
@@ -382,6 +475,8 @@ class GatewayServer:
             return "healthz"
         if path == "/v1/metrics":
             return "metrics"
+        if path == "/v1/trace":
+            return "trace"
         if path == "/v1/top":
             return "top"
         if path == "/v1/compare":
@@ -403,7 +498,8 @@ class GatewayServer:
         """
         try:
             query = _parse_query(endpoint, path, params)
-            version, result = await self.coalescer.submit(query)
+            with span("gateway.coalesce"):
+                version, result = await self.coalescer.submit(query)
             return 200, {
                 "version": version,
                 "result": result_payload(result),
@@ -442,19 +538,108 @@ class GatewayServer:
         document["admission"] = self.admission.snapshot()
         return document
 
+    def _prometheus_text(self) -> str:
+        """``/v1/metrics?format=prometheus``: the text exposition.
+
+        Gateway request families plus the admission snapshot, the
+        serve-layer cache counters, and everything the process-global
+        registry has accumulated (solver, engine, updater, stream).
+        """
+        families: list[MetricFamily] = self.metrics.collect()
+        adm = self.admission.snapshot()
+        families.append(
+            gauge_family(
+                "repro_gateway_admission_active",
+                "Requests currently admitted (in flight).",
+                adm["active"],
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_gateway_admission_peak_active",
+                "High-water mark of concurrently admitted requests.",
+                adm["peak_active"],
+            )
+        )
+        families.append(
+            counter_family(
+                "repro_gateway_admitted_total",
+                "Requests admitted past admission control.",
+                {(): float(adm["admitted_total"])},
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_gateway_draining",
+                "1 while the gateway is draining, else 0.",
+                1.0 if adm["draining"] else 0.0,
+            )
+        )
+        if isinstance(self.backend, RankingService):
+            stats = self.backend.cache_stats().as_dict()
+            families.append(
+                counter_family(
+                    "repro_cache_events_total",
+                    "Result-cache lookup outcomes, by event.",
+                    {
+                        (("event", event),): float(stats[event])
+                        for event in (
+                            "hits", "misses", "evictions", "invalidations"
+                        )
+                    },
+                )
+            )
+            families.append(
+                gauge_family(
+                    "repro_cache_size",
+                    "Entries currently in the result cache.",
+                    stats["size"],
+                )
+            )
+        families.extend(REGISTRY.collect())
+        return render_families(families)
+
+    def _trace_payload(
+        self, params: Mapping[str, list[str]]
+    ) -> dict[str, Any]:
+        """``/v1/trace``: recent span trees, newest first."""
+        collector = get_collector()
+        limit_raw = params.get("limit", ["50"])[-1]
+        try:
+            limit = max(0, int(limit_raw))
+        except ValueError:
+            limit = 50
+        if collector is None:
+            return {"enabled": False, "recorded_total": 0, "traces": []}
+        return {
+            "enabled": True,
+            "recorded_total": collector.recorded_total,
+            "traces": collector.recent(limit),
+        }
+
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Mapping[str, Any],
+        payload: Mapping[str, Any] | str,
         keep_alive: bool,
+        *,
+        content_type: str = "application/json",
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload).encode("utf-8")
         connection = "keep-alive" if keep_alive else "close"
+        request_id = current_request_id()
+        request_id_header = (
+            f"X-Request-Id: {request_id}\r\n" if request_id else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{request_id_header}"
             f"Connection: {connection}\r\n"
             "\r\n"
         )
@@ -465,9 +650,13 @@ class GatewayServer:
 def _error_payload(
     error_type: str, message: str, *, reason: str | None = None
 ) -> dict[str, Any]:
+    """A typed error body; carries the bound request id when one exists."""
     error: dict[str, Any] = {"type": error_type, "message": message}
     if reason is not None:
         error["reason"] = reason
+    request_id = current_request_id()
+    if request_id is not None:
+        error["request_id"] = request_id
     return {"error": error}
 
 

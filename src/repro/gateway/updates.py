@@ -35,10 +35,14 @@ import asyncio
 from repro.errors import GatewayError
 from repro.gateway.coalesce import RequestCoalescer
 from repro.gateway.metrics import GatewayMetrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import start_trace
 from repro.serve.service import RankingService
 from repro.stream.ingest import StreamIngestor
 
 __all__ = ["StreamUpdater"]
+
+_LOG = get_logger("gateway.updates")
 
 
 class StreamUpdater:
@@ -120,13 +124,35 @@ class StreamUpdater:
                 and applied >= self._max_batches
             ):
                 break
-            report = await self._coalescer.exclusively(
-                self._ingestor.step
-            )
+            # The trace opens *before* the executor handoff so the
+            # ingest/delta/solver spans (run under this context's copy)
+            # nest beneath one stream.update root per micro-batch.
+            with start_trace("stream.update") as root:
+                report = await self._coalescer.exclusively(
+                    self._ingestor.step
+                )
+                if root is not None:
+                    root.set(
+                        version=report.version,
+                        events=report.n_events,
+                        batch=report.batch,
+                    )
             applied += 1
             self.batches_applied += 1
             self.versions_published.append(report.version)
             if self._metrics is not None:
                 self._metrics.note_update()
+            _LOG.info(
+                "stream update",
+                extra={
+                    "version": report.version,
+                    "batch": report.batch,
+                    "events": report.n_events,
+                    "papers": report.n_papers,
+                    "citations": report.n_citations,
+                    "touched_shards": len(report.touched_shards),
+                    "ms": round(report.elapsed_seconds * 1e3, 3),
+                },
+            )
             await asyncio.sleep(self._interval)
         return applied

@@ -1,0 +1,97 @@
+"""Cross-cutting observability: logs, traces, metrics.
+
+``repro.obs`` is the one subsystem every serving layer writes into and
+no serving layer depends on for correctness:
+
+* :mod:`repro.obs.logging` — JSON-lines structured logging with a
+  ``contextvars``-based request id that follows a request across the
+  event loop, executor threads, and the coalescer's batch handoff;
+* :mod:`repro.obs.trace` — lightweight span trees per request (and per
+  stream update), kept in a ring buffer, served at ``/v1/trace`` and
+  exportable as Chrome trace-event JSON (``repro trace``);
+* :mod:`repro.obs.registry` — named counters/gauges/histograms with a
+  Prometheus text-exposition renderer, backing
+  ``/v1/metrics?format=prometheus``.
+
+Everything is stdlib-only and cheap when disabled: an unconfigured
+logger drops records on the level check, ``span()`` is a shared no-op
+until a trace is active in the calling context, and metric updates are
+a dict lookup and an increment under a lock.
+"""
+
+from repro.obs.logging import (
+    JsonLinesFormatter,
+    bind_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+    request_id_var,
+    reset_logging,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    counter_family,
+    cumulative_buckets,
+    gauge_family,
+    geometric_bounds,
+    get_registry,
+    histogram_samples,
+    quantile_from_buckets,
+    render_families,
+)
+from repro.obs.trace import (
+    Span,
+    TraceCollector,
+    chrome_trace,
+    disable_tracing,
+    enable_tracing,
+    get_collector,
+    span,
+    start_trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    # logging
+    "JsonLinesFormatter",
+    "bind_request_id",
+    "configure_logging",
+    "current_request_id",
+    "get_logger",
+    "new_request_id",
+    "request_id_var",
+    "reset_logging",
+    # registry
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Sample",
+    "counter_family",
+    "cumulative_buckets",
+    "gauge_family",
+    "geometric_bounds",
+    "get_registry",
+    "histogram_samples",
+    "quantile_from_buckets",
+    "render_families",
+    # trace
+    "Span",
+    "TraceCollector",
+    "chrome_trace",
+    "disable_tracing",
+    "enable_tracing",
+    "get_collector",
+    "span",
+    "start_trace",
+    "tracing_enabled",
+]

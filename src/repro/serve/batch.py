@@ -27,7 +27,9 @@ shard-count {1, 2, 7} tests pin down.
 
 from __future__ import annotations
 
+import contextvars
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence, Union
@@ -40,6 +42,8 @@ from repro.errors import (
     GraphError,
     ReproError,
 )
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import span as trace_span
 from repro.serve.results import (
     MethodComparison,
     PaperDetails,
@@ -60,6 +64,20 @@ __all__ = [
     "queries_from_payload",
     "result_payload",
 ]
+
+_BATCHES_TOTAL = REGISTRY.counter(
+    "repro_engine_batches_total",
+    "Query batches executed by the engine.",
+)
+_QUERIES_TOTAL = REGISTRY.counter(
+    "repro_engine_queries_total",
+    "Queries answered by the engine (across all batches).",
+)
+_SHARD_SECONDS = REGISTRY.histogram(
+    "repro_engine_shard_candidate_seconds",
+    "Candidate-phase wall-clock seconds, by shard.",
+    ["shard"],
+)
 
 
 def execute_with_attribution(
@@ -248,16 +266,24 @@ class QueryEngine:
         version.  The gateway stamps its HTTP responses with exactly
         this number.
         """
-        snap = self._sharded.snapshot()
-        plan = self._plan(queries, snap)
-        shard_results = self._run_shard_phase(plan, snap)
-        # Merged global orders are shared across the batch: twelve
-        # pages over the same (method, span) trigger one merge.
-        merge_cache: dict[_RankingNeed, tuple[Any, ...]] = {}
-        return snap.version, tuple(
-            self._merge_query(query, snap, shard_results, merge_cache)
-            for query in queries
-        )
+        with trace_span(
+            "engine.execute", queries=len(queries)
+        ) as sp:
+            snap = self._sharded.snapshot()
+            plan = self._plan(queries, snap)
+            shard_results = self._run_shard_phase(plan, snap)
+            # Merged global orders are shared across the batch: twelve
+            # pages over the same (method, span) trigger one merge.
+            merge_cache: dict[_RankingNeed, tuple[Any, ...]] = {}
+            results = tuple(
+                self._merge_query(query, snap, shard_results, merge_cache)
+                for query in queries
+            )
+            if sp is not None:
+                sp.set(version=snap.version, shards=snap.n_shards)
+        _BATCHES_TOTAL.inc()
+        _QUERIES_TOTAL.inc(len(queries))
+        return snap.version, results
 
     # -- planning -------------------------------------------------------
     def _plan(
@@ -331,35 +357,51 @@ class QueryEngine:
         empty = np.zeros(0, dtype=np.int64)
 
         def run_shard(shard_id: int) -> dict[_RankingNeed, tuple[int, Any]]:
-            bounds = snap.shard_time_bounds(shard_id)
-            results: dict[_RankingNeed, tuple[int, Any]] = {}
-            live: list[tuple[_RankingNeed, int]] = []
-            for need, depth in plan.items():
-                if (
-                    bounds is not None
-                    and need.span is not None
-                    and (
-                        need.span[1] < bounds[0]
-                        or need.span[0] > bounds[1]
-                    )
-                ):
-                    results[need] = (0, empty)
-                else:
-                    live.append((need, depth))
-            if live:
-                shard = snap.shard(shard_id)
-                for need, depth in live:
-                    results[need] = shard.candidates(
-                        need.label, need.span, depth
-                    )
+            started = time.perf_counter()
+            with trace_span("engine.shard", shard=shard_id) as sp:
+                bounds = snap.shard_time_bounds(shard_id)
+                results: dict[_RankingNeed, tuple[int, Any]] = {}
+                live: list[tuple[_RankingNeed, int]] = []
+                for need, depth in plan.items():
+                    if (
+                        bounds is not None
+                        and need.span is not None
+                        and (
+                            need.span[1] < bounds[0]
+                            or need.span[0] > bounds[1]
+                        )
+                    ):
+                        results[need] = (0, empty)
+                    else:
+                        live.append((need, depth))
+                if live:
+                    shard = snap.shard(shard_id)
+                    for need, depth in live:
+                        results[need] = shard.candidates(
+                            need.label, need.span, depth
+                        )
+                if sp is not None:
+                    sp.set(needs=len(live), pruned=len(plan) - len(live))
+            _SHARD_SECONDS.observe(
+                time.perf_counter() - started, shard=str(shard_id)
+            )
             return results
 
         shard_ids = range(snap.n_shards)
         if self.jobs == 1 or snap.n_shards == 1:
             return {sid: run_shard(sid) for sid in shard_ids}
         workers = min(self.jobs, snap.n_shards)
+        # Pool threads do not inherit the caller's context, and one
+        # Context object cannot be entered concurrently — so every
+        # shard task gets its own copy, made here in the caller's
+        # thread, which keeps the per-shard spans (and the request id
+        # on any log line below) attached to the calling request.
+        contexts = [contextvars.copy_context() for _ in shard_ids]
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            produced = pool.map(run_shard, shard_ids)
+            produced = pool.map(
+                lambda pair: pair[0].run(run_shard, pair[1]),
+                zip(contexts, shard_ids),
+            )
             return dict(zip(shard_ids, produced))
 
     # -- merge phase ----------------------------------------------------

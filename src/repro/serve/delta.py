@@ -30,12 +30,34 @@ from typing import TYPE_CHECKING, Mapping
 from repro.errors import ConfigurationError, DataFormatError
 from repro.graph.builder import MissingRefPolicy, NetworkBuilder
 from repro.graph.citation_network import CitationNetwork
+from repro.obs.logging import get_logger
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import span
 from repro.serve.score_index import MethodEntry, ScoreIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from repro.serve.shard import ShardedScoreIndex
 
 __all__ = ["NetworkDelta", "DeltaUpdater", "UpdateReport", "delta_between"]
+
+_LOG = get_logger("serve.delta")
+
+_APPLY_SECONDS = REGISTRY.histogram(
+    "repro_update_apply_seconds",
+    "Wall-clock seconds per applied delta (extend + re-solve + sync).",
+)
+_PAPERS_TOTAL = REGISTRY.counter(
+    "repro_update_papers_total",
+    "New papers applied through delta updates.",
+)
+_CITATIONS_TOTAL = REGISTRY.counter(
+    "repro_update_citations_total",
+    "New citation edges applied through delta updates.",
+)
+_TOUCHED_SHARDS = REGISTRY.gauge(
+    "repro_update_last_touched_shards",
+    "Shards that gained papers in the most recent delta.",
+)
 
 
 @dataclass(frozen=True)
@@ -257,17 +279,47 @@ class DeltaUpdater:
         """
         started = time.perf_counter()
         before = self._index.network
-        extended = self.extend_network(delta)
-        entries = self._index.refresh(extended, warm=self._warm)
-        touched: tuple[int, ...] = ()
-        if self._sharded is not None:
-            touched = self._sharded.sync()
-        return UpdateReport(
+        with span(
+            "delta.apply",
+            papers=delta.n_papers,
+            citations=delta.n_citations,
+        ) as sp:
+            with span("delta.extend"):
+                extended = self.extend_network(delta)
+            with span("delta.refresh", warm=self._warm):
+                entries = self._index.refresh(extended, warm=self._warm)
+            touched: tuple[int, ...] = ()
+            if self._sharded is not None:
+                with span("delta.sync"):
+                    touched = self._sharded.sync()
+            if sp is not None:
+                sp.set(
+                    version=self._index.version,
+                    touched_shards=list(touched),
+                )
+        elapsed = time.perf_counter() - started
+        report = UpdateReport(
             version=self._index.version,
             n_new_papers=extended.n_papers - before.n_papers,
             n_new_citations=extended.n_citations - before.n_citations,
             n_papers=extended.n_papers,
             entries=entries,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             touched_shards=touched,
         )
+        _APPLY_SECONDS.observe(elapsed)
+        _PAPERS_TOTAL.inc(report.n_new_papers)
+        _CITATIONS_TOTAL.inc(report.n_new_citations)
+        _TOUCHED_SHARDS.set(len(touched))
+        _LOG.info(
+            "delta applied",
+            extra={
+                "version": report.version,
+                "new_papers": report.n_new_papers,
+                "new_citations": report.n_new_citations,
+                "n_papers": report.n_papers,
+                "touched_shards": len(touched),
+                "ms": round(elapsed * 1e3, 3),
+            },
+        )
+        return report

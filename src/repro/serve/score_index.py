@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zipfile
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -37,10 +38,36 @@ from repro.errors import (
 )
 from repro.graph.citation_network import CitationNetwork
 from repro.io.serialize import network_from_payload, network_payload
+from repro.obs.logging import get_logger
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import span
 
 __all__ = ["ScoreIndex", "MethodEntry", "INDEX_FORMAT_VERSION"]
 
 INDEX_FORMAT_VERSION = 1
+
+_LOG = get_logger("serve.solver")
+
+_SOLVES_TOTAL = REGISTRY.counter(
+    "repro_solver_solves_total",
+    "Method solves, by method label and convergence outcome.",
+    ["method", "converged"],
+)
+_SOLVE_SECONDS = REGISTRY.histogram(
+    "repro_solver_solve_seconds",
+    "Wall-clock seconds per method solve.",
+    ["method"],
+)
+_LAST_ITERATIONS = REGISTRY.gauge(
+    "repro_solver_last_iterations",
+    "Iterations of the most recent solve, by method.",
+    ["method"],
+)
+_LAST_RESIDUAL = REGISTRY.gauge(
+    "repro_solver_last_residual",
+    "Final L1 residual of the most recent solve, by method.",
+    ["method"],
+)
 
 
 @dataclass(frozen=True)
@@ -236,18 +263,46 @@ class ScoreIndex:
             method.start_vector = grow_start_vector(
                 previous, network.n_papers
             )
-        scores = method.scores(network)
+        started = time.perf_counter()
+        with span("solver.solve", method=key, warm=warm) as sp:
+            scores = method.scores(network)
+            info = method.last_convergence
+            if sp is not None and info is not None:
+                sp.set(
+                    iterations=info.iterations,
+                    converged=info.converged,
+                )
+        elapsed = time.perf_counter() - started
         # Shared arrays are read-only throughout this codebase (see
         # CitationNetwork); the score vector doubles as the next warm
         # start and the ranking basis, so caller mutation must fail loud.
         scores.setflags(write=False)
-        info = method.last_convergence
+        iterations = info.iterations if info is not None else 0
+        converged = info.converged if info is not None else True
+        _SOLVES_TOTAL.inc(
+            method=key, converged="true" if converged else "false"
+        )
+        _SOLVE_SECONDS.observe(elapsed, method=key)
+        _LAST_ITERATIONS.set(iterations, method=key)
+        if info is not None:
+            _LAST_RESIDUAL.set(info.residual, method=key)
+        _LOG.info(
+            "solve",
+            extra={
+                "method": key,
+                "papers": network.n_papers,
+                "iterations": iterations,
+                "converged": converged,
+                "warm": warm,
+                "ms": round(elapsed * 1e3, 3),
+            },
+        )
         return MethodEntry(
             label=key,
             params=params,
             scores=scores,
-            iterations=info.iterations if info is not None else 0,
-            converged=info.converged if info is not None else True,
+            iterations=iterations,
+            converged=converged,
             warm_started=warm,
         )
 

@@ -30,6 +30,7 @@ import numpy as np
 from repro._typing import IntVector
 from repro.errors import ConfigurationError
 from repro.graph.builder import MissingRefPolicy
+from repro.obs.trace import span as trace_span
 from repro.ranking import ranking_from_scores
 from repro.serve.batch import (
     CompareQuery,
@@ -351,12 +352,20 @@ class RankingService:
             ]
             results: list[Any] = [None] * len(normalised)
             misses: list[int] = []
-            for position, key in enumerate(keys):
-                cached = self._cache.get(key)
-                if cached is None:
-                    misses.append(position)
-                else:
-                    results[position] = cached
+            with trace_span(
+                "service.cache_lookup", queries=len(normalised)
+            ) as sp:
+                for position, key in enumerate(keys):
+                    cached = self._cache.get(key)
+                    if cached is None:
+                        misses.append(position)
+                    else:
+                        results[position] = cached
+                if sp is not None:
+                    sp.set(
+                        hits=len(normalised) - len(misses),
+                        misses=len(misses),
+                    )
             if not misses:
                 return version, tuple(results)
             engine_version, computed = self._engine.execute_versioned(

@@ -39,6 +39,9 @@ from typing import Any, Mapping, Sequence
 from repro.errors import ConfigurationError, StreamError
 from repro.graph.builder import MissingRefPolicy, NetworkBuilder
 from repro.graph.citation_network import CitationNetwork
+from repro.obs.logging import get_logger
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import span
 from repro.serve.delta import NetworkDelta
 from repro.serve.score_index import MethodEntry, ScoreIndex
 from repro.serve.service import RankingService
@@ -59,6 +62,22 @@ __all__ = [
 
 #: Default methods a stream deployment keeps live.
 DEFAULT_METHODS = ("AR", "PR", "CC")
+
+_LOG = get_logger("stream")
+
+_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_stream_batch_seconds",
+    "Wall-clock seconds per applied stream micro-batch.",
+)
+_EVENTS_TOTAL = REGISTRY.counter(
+    "repro_stream_events_total",
+    "Events consumed from the stream, by kind.",
+    ["kind"],
+)
+_EVENT_LAG = REGISTRY.gauge(
+    "repro_stream_event_lag",
+    "Events still unconsumed in the attached log.",
+)
 
 
 @dataclass(frozen=True)
@@ -356,15 +375,37 @@ class StreamIngestor:
         started = time.perf_counter()
         cut = self._next_cut()
         events = self._log.events[self._offset:cut]
-        if self._index is None:
-            report = self._bootstrap(events, cut, started)
-        else:
-            report = self._apply_delta(events, cut, started)
+        with span(
+            "stream.step", batch=self._batches, events=len(events)
+        ) as sp:
+            if self._index is None:
+                report = self._bootstrap(events, cut, started)
+            else:
+                report = self._apply_delta(events, cut, started)
+            if sp is not None:
+                sp.set(version=report.version)
         for event in events:
             self._hasher.update(_event_line(event).encode("utf-8"))
             self._hasher.update(b"\n")
         self._offset = cut
         self._batches += 1
+        _BATCH_SECONDS.observe(report.elapsed_seconds)
+        papers = sum(
+            1 for event in events if isinstance(event, PaperEvent)
+        )
+        _EVENTS_TOTAL.inc(papers, kind="paper")
+        _EVENTS_TOTAL.inc(len(events) - papers, kind="citation")
+        _EVENT_LAG.set(len(self._log) - cut)
+        _LOG.debug(
+            "stream batch",
+            extra={
+                "batch": report.batch,
+                "events": report.n_events,
+                "version": report.version,
+                "lag": len(self._log) - cut,
+                "ms": round(report.elapsed_seconds * 1e3, 3),
+            },
+        )
         return report
 
     def prefix_digest(self) -> str:

@@ -1,0 +1,206 @@
+"""A minimal, strict Prometheus text-exposition (0.0.4) parser.
+
+Test helper, not a product module: the gateway tests and the CI
+load-smoke job feed ``/v1/metrics?format=prometheus`` output through
+this to prove the rendering is something a real scraper would accept.
+Strictness is the point — every line must be a well-formed ``# HELP``,
+``# TYPE``, or sample line, every sample must belong to the family
+most recently declared by name, histograms must expose cumulative
+``le`` buckets ending at ``+Inf`` with consistent ``_sum``/``_count``
+series, and any violation raises :class:`ExpositionError` with the
+offending line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_PAIR = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+class ExpositionError(ValueError):
+    """The text is not valid exposition format."""
+
+
+@dataclass
+class Family:
+    """One parsed metric family."""
+
+    name: str
+    kind: str
+    help: str
+    samples: list[tuple[str, dict[str, str], float]] = field(
+        default_factory=list
+    )
+
+    def values(
+        self, suffix: str = ""
+    ) -> dict[tuple[tuple[str, str], ...], float]:
+        """``labels -> value`` for the series named ``name + suffix``."""
+        wanted = self.name + suffix
+        return {
+            tuple(sorted(labels.items())): value
+            for sample_name, labels, value in self.samples
+            if sample_name == wanted
+        }
+
+
+def _parse_value(raw: str, line: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(f"bad sample value in: {line!r}") from None
+
+
+def _parse_labels(raw: str | None, line: str) -> dict[str, str]:
+    if not raw:
+        return {}
+    labels: dict[str, str] = {}
+    for part in raw.split(","):
+        match = LABEL_PAIR.match(part.strip())
+        if match is None:
+            raise ExpositionError(f"bad label pair in: {line!r}")
+        name = match.group("name")
+        if name in labels:
+            raise ExpositionError(f"duplicate label {name!r} in: {line!r}")
+        value = match.group("value")
+        labels[name] = (
+            value.replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\\\\", "\\")
+        )
+    return labels
+
+
+def _base_name(sample_name: str, family: Family) -> bool:
+    """Whether ``sample_name`` may appear inside ``family``."""
+    if family.kind == "histogram":
+        return sample_name in (
+            family.name + "_bucket",
+            family.name + "_sum",
+            family.name + "_count",
+        )
+    if family.kind == "summary":
+        return sample_name in (
+            family.name,
+            family.name + "_sum",
+            family.name + "_count",
+        )
+    return sample_name == family.name
+
+
+def _check_histogram(family: Family) -> None:
+    """Cumulative buckets ending at +Inf, consistent with _count."""
+    by_series: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]]
+    by_series = {}
+    for sample_name, labels, value in family.samples:
+        if sample_name != family.name + "_bucket":
+            continue
+        if "le" not in labels:
+            raise ExpositionError(
+                f"{family.name}: _bucket sample without an le label"
+            )
+        rest = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        bound = _parse_value(labels["le"], f'le="{labels["le"]}"')
+        by_series.setdefault(rest, []).append((bound, value))
+    counts = family.values("_count")
+    sums = family.values("_sum")
+    if not by_series and (counts or sums):
+        raise ExpositionError(
+            f"{family.name}: _sum/_count without _bucket samples"
+        )
+    for rest, buckets in by_series.items():
+        bounds = [bound for bound, _ in buckets]
+        if bounds != sorted(bounds):
+            raise ExpositionError(
+                f"{family.name}: le bounds out of order"
+            )
+        if not math.isinf(bounds[-1]):
+            raise ExpositionError(
+                f"{family.name}: bucket series does not end at +Inf"
+            )
+        cumulative = [count for _, count in buckets]
+        if cumulative != sorted(cumulative):
+            raise ExpositionError(
+                f"{family.name}: bucket counts are not cumulative"
+            )
+        if rest not in counts or rest not in sums:
+            raise ExpositionError(
+                f"{family.name}: missing _sum/_count for {dict(rest)}"
+            )
+        if counts[rest] != cumulative[-1]:
+            raise ExpositionError(
+                f"{family.name}: +Inf bucket {cumulative[-1]} != "
+                f"_count {counts[rest]}"
+            )
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse strictly; raise :class:`ExpositionError` on any violation."""
+    families: dict[str, Family] = {}
+    current: Family | None = None
+    pending_help: dict[str, str] = {}
+    for line in text.split("\n"):
+        if line == "":
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not METRIC_NAME.match(name):
+                raise ExpositionError(f"bad metric name in: {line!r}")
+            pending_help[name] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                raise ExpositionError(f"bad TYPE line: {line!r}")
+            name, kind = parts
+            if not METRIC_NAME.match(name):
+                raise ExpositionError(f"bad metric name in: {line!r}")
+            if kind not in KINDS:
+                raise ExpositionError(f"unknown kind {kind!r}: {line!r}")
+            if name in families:
+                raise ExpositionError(f"duplicate TYPE for {name!r}")
+            current = Family(
+                name=name, kind=kind, help=pending_help.get(name, "")
+            )
+            families[name] = current
+            continue
+        if line.startswith("#"):
+            raise ExpositionError(f"unrecognised comment line: {line!r}")
+        match = SAMPLE_LINE.match(line)
+        if match is None:
+            raise ExpositionError(f"malformed sample line: {line!r}")
+        sample_name = match.group("name")
+        if current is None or not _base_name(sample_name, current):
+            raise ExpositionError(
+                f"sample {sample_name!r} outside its family: {line!r}"
+            )
+        labels = _parse_labels(match.group("labels"), line)
+        value = _parse_value(match.group("value"), line)
+        current.samples.append((sample_name, labels, value))
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return families

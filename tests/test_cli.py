@@ -210,6 +210,119 @@ class TestServe:
         assert "not a repro score index" in capsys.readouterr().err
 
 
+class TestTrace:
+    @pytest.fixture
+    def trace_dump(self, tmp_path):
+        document = {
+            "enabled": True,
+            "recorded_total": 1,
+            "traces": [
+                {
+                    "name": "gateway.request",
+                    "start_ms": 0.0,
+                    "duration_ms": 4.0,
+                    "attrs": {"endpoint": "top", "status": 200},
+                    "spans": [
+                        {
+                            "name": "engine.execute",
+                            "start_ms": 1.0,
+                            "duration_ms": 2.0,
+                            "attrs": {"queries": 1},
+                            "spans": [],
+                        }
+                    ],
+                    "trace_id": "abc123",
+                    "request_id": "rid-9",
+                    "start_unix": 1000.0,
+                }
+            ],
+        }
+        path = str(tmp_path / "dump.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return path
+
+    def test_trace_converts_dump_to_chrome_events(
+        self, trace_dump, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "chrome.json")
+        assert main(
+            ["trace", "--input", trace_dump, "--output", out_path]
+        ) == 0
+        assert "wrote 1 trace(s)" in capsys.readouterr().out
+        with open(out_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert [event["name"] for event in events] == [
+            "gateway.request", "engine.execute",
+        ]
+        root = events[0]
+        assert root["ph"] == "X"
+        assert root["ts"] == 1000.0 * 1e6
+        assert root["dur"] == 4000.0
+        assert root["args"]["request_id"] == "rid-9"
+
+    def test_trace_raw_prints_the_document_verbatim(
+        self, trace_dump, capsys
+    ):
+        assert main(["trace", "--input", trace_dump, "--raw"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["recorded_total"] == 1
+        assert document["traces"][0]["name"] == "gateway.request"
+
+    def test_trace_notes_disabled_gateway(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"enabled": False, "recorded_total": 0, "traces": []},
+                handle,
+            )
+        assert main(["trace", "--input", path]) == 0
+        captured = capsys.readouterr()
+        assert "tracing is disabled" in captured.err
+        assert json.loads(captured.out)["traceEvents"] == []
+
+    def test_trace_fetches_from_a_live_gateway(self, tmp_path, capsys):
+        import urllib.request
+
+        from repro.gateway import GatewayThread
+        from repro.obs.trace import disable_tracing, enable_tracing
+        from repro.serve import RankingService, ScoreIndex
+        from repro.synth import toy_network
+
+        index = ScoreIndex(toy_network())
+        index.add_method("CC")
+        enable_tracing(capacity=16)
+        try:
+            with GatewayThread(RankingService(index)) as gateway:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{gateway.port}"
+                    "/v1/top?method=CC&k=2",
+                    timeout=10,
+                ).read()
+                out_path = str(tmp_path / "live.json")
+                assert main(
+                    ["trace", "--url",
+                     f"http://127.0.0.1:{gateway.port}",
+                     "--output", out_path]
+                ) == 0
+        finally:
+            disable_tracing()
+        with open(out_path, encoding="utf-8") as handle:
+            events = json.load(handle)["traceEvents"]
+        names = {event["name"] for event in events}
+        assert "gateway.request" in names
+        assert "engine.execute" in names
+
+    def test_trace_missing_input_is_typed_error(self, tmp_path, capsys):
+        code = main(
+            ["trace", "--input", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "cannot read trace dump" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_error_exit_code(self, tmp_path, capsys):
         code = main(["summarize", "--input", str(tmp_path / "nope.npz")])

@@ -24,6 +24,7 @@ DOCUMENTED_FILES = (
     "README.md",
     os.path.join("docs", "API.md"),
     os.path.join("docs", "ARCHITECTURE.md"),
+    os.path.join("docs", "OBSERVABILITY.md"),
 )
 
 NO_RUN_MARKER = "<!-- docs: no-run -->"

@@ -48,8 +48,44 @@ class TestLatencyHistogram:
         assert snapshot["mean_ms"] == pytest.approx(10.0)
         assert snapshot["p50_ms"] >= 10.0 * 0.75   # within one bucket
 
+    def test_interpolated_p50_error_regression(self):
+        # Regression pin for the upper-bound bias fix: on a uniform
+        # 1..937 ms distribution the true median is ~469 ms.  The old
+        # bucket-upper-bound rule reported 500 ms (+6.6%); within-bucket
+        # interpolation must stay inside 2%.
+        hist = LatencyHistogram()
+        for ms in range(1, 938):
+            hist.observe(ms / 1000.0)
+        true_median = 0.469
+        p50 = hist.quantile(0.5)
+        assert abs(p50 - true_median) / true_median < 0.02
+        # And the bias really is gone: strictly below the bucket's
+        # upper bound the old rule would have returned.
+        assert p50 < 0.5
+
+    def test_bucket_pairs_cumulative_export(self):
+        hist = LatencyHistogram()
+        hist.observe(0.002)
+        hist.observe(0.004)
+        hist.observe(120.0)  # overflow bucket
+        pairs = hist.bucket_pairs()
+        assert pairs[-1] == ("+Inf", 3)
+        cumulative = [count for _, count in pairs]
+        assert cumulative == sorted(cumulative)
+        assert hist.sum == pytest.approx(120.006)
+
 
 class TestBatchSizeHistogram:
+    def test_bucket_pairs_power_of_two_bounds(self):
+        hist = BatchSizeHistogram()
+        for size in (1, 2, 3, 2000):
+            hist.observe(size)
+        pairs = dict(hist.bucket_pairs())
+        assert pairs["1"] == 1
+        assert pairs["2"] == 2
+        assert pairs["4"] == 3
+        assert pairs["+Inf"] == 4
+
     def test_distribution_buckets(self):
         hist = BatchSizeHistogram()
         for size in (1, 1, 2, 4, 7, 64):

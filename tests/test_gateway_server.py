@@ -7,12 +7,16 @@ updates, load shedding under overload, and drain-on-shutdown.
 """
 
 import asyncio
+import io
 import json
 import time
 
 import pytest
 
+from expfmt import parse_exposition
 from repro.gateway import GatewayConfig, GatewayServer, GatewayThread
+from repro.obs.logging import configure_logging, reset_logging
+from repro.obs.trace import disable_tracing, enable_tracing
 from repro.serve import RankingService, ScoreIndex
 from repro.stream import EventLog, StreamIngestor
 from repro.synth import toy_network
@@ -25,28 +29,35 @@ def _make_service(methods=("CC", "PR")) -> RankingService:
     return RankingService(index)
 
 
-async def _get(host, port, target, *, close=False):
-    """One HTTP GET on a fresh connection; returns (status, document)."""
+async def _get_raw(host, port, target, *, extra_headers=()):
+    """One HTTP GET; returns (status, header dict, raw body bytes)."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
-        connection = "close" if close else "keep-alive"
-        writer.write(
-            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
-            f"Connection: {connection}\r\n\r\n".encode()
-        )
+        request = f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+        for name, value in extra_headers:
+            request += f"{name}: {value}\r\n"
+        request += "Connection: keep-alive\r\n\r\n"
+        writer.write(request.encode())
         await writer.drain()
         head = await reader.readuntil(b"\r\n\r\n")
         lines = head.decode().split("\r\n")
         status = int(lines[0].split()[1])
-        length = 0
+        headers = {}
         for line in lines[1:]:
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            if value:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
         body = await reader.readexactly(length)
-        return status, json.loads(body)
+        return status, headers, body
     finally:
         writer.close()
+
+
+async def _get(host, port, target, *, close=False):
+    """One HTTP GET on a fresh connection; returns (status, document)."""
+    status, _, body = await _get_raw(host, port, target)
+    return status, json.loads(body)
 
 
 class TestRoutesAndErrors:
@@ -489,3 +500,272 @@ class TestGatewayThread:
             urllib.request.urlopen(
                 f"http://127.0.0.1:{gateway.port}/v1/healthz", timeout=2
             )
+
+
+class TestObservability:
+    def test_every_error_body_carries_the_response_request_id(
+        self, monkeypatch
+    ):
+        """404/400/429/503/500 JSON bodies all include a ``request_id``
+        matching the ``X-Request-Id`` response header."""
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(
+                service,
+                config=GatewayConfig(
+                    port=0, rate_limit=0.001, rate_burst=2
+                ),
+            )
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                out = {}
+                out["404"] = await _get_raw(host, port, "/v1/paper/ZZZ")
+                out["400"] = await _get_raw(
+                    host, port, "/v1/top?method=NOPE"
+                )
+                await _get_raw(host, port, "/v1/top?method=CC&k=2")
+                out["429"] = await _get_raw(  # top bucket exhausted
+                    host, port, "/v1/top?method=CC&k=2"
+                )
+
+                def broken(queries):
+                    raise AttributeError("backend exploded")
+
+                monkeypatch.setattr(service, "execute_batch", broken)
+                out["500"] = await _get_raw(host, port, "/v1/paper/A")
+                monkeypatch.undo()
+                server.admission.start_draining()
+                out["503"] = await _get_raw(
+                    host, port, "/v1/compare?methods=CC,PR&k=2"
+                )
+            finally:
+                await server.stop()
+            return out
+
+        out = asyncio.run(main())
+        seen_ids = set()
+        for expected, (status, headers, body) in out.items():
+            assert status == int(expected)
+            document = json.loads(body)
+            rid = headers.get("x-request-id")
+            assert rid, f"no X-Request-Id header on the {expected}"
+            assert document["error"]["request_id"] == rid
+            seen_ids.add(rid)
+        # Five requests, five distinct correlation ids.
+        assert len(seen_ids) == len(out)
+
+    def test_client_supplied_request_id_is_echoed(self):
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                ok = await _get_raw(
+                    host, port, "/v1/top?method=CC&k=2",
+                    extra_headers=[("X-Request-Id", "my-id-42")],
+                )
+                error = await _get_raw(
+                    host, port, "/v1/paper/ZZZ",
+                    extra_headers=[("X-Request-Id", "err-id-7")],
+                )
+                generated = await _get_raw(
+                    host, port, "/v1/top?method=CC&k=2"
+                )
+            finally:
+                await server.stop()
+            return ok, error, generated
+
+        ok, error, generated = asyncio.run(main())
+        assert ok[1]["x-request-id"] == "my-id-42"
+        assert error[1]["x-request-id"] == "err-id-7"
+        assert json.loads(error[2])["error"]["request_id"] == "err-id-7"
+        # Without a client id the gateway mints conn-seq ids itself.
+        conn, _, seq = generated[1]["x-request-id"].partition("-")
+        assert len(conn) == 16 and seq.isdigit()
+
+    def test_metrics_prometheus_exposition_parses_strictly(self):
+        """``/v1/metrics?format=prometheus`` must satisfy the strict
+        exposition parser and carry the serving stack's families."""
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                await _get(host, port, "/v1/top?method=CC&k=3")
+                await _get(host, port, "/v1/paper/ZZZ")
+                return await _get_raw(
+                    host, port, "/v1/metrics?format=prometheus"
+                )
+            finally:
+                await server.stop()
+
+        status, headers, body = asyncio.run(main())
+        assert status == 200
+        assert headers["content-type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        families = parse_exposition(body.decode())
+        requests = families["repro_gateway_requests_total"]
+        assert requests.kind == "counter"
+        assert requests.values()[(("endpoint", "top"),)] == 1.0
+        responses = families["repro_gateway_responses_total"].values()
+        assert responses[(("status", "200"),)] >= 1.0
+        assert responses[(("status", "404"),)] == 1.0
+        latency = families["repro_gateway_request_latency_seconds"]
+        assert latency.kind == "histogram"
+        assert latency.values("_count")[(("endpoint", "top"),)] == 1.0
+        assert families["repro_gateway_admission_active"].values()[()] == 0
+        # Global-registry families ride along: the solver recorded the
+        # index builds, the cache its lookups.
+        solves = families["repro_solver_solves_total"].values()
+        assert sum(solves.values()) >= 1.0
+        assert "repro_cache_events_total" in families
+        assert families["repro_gateway_draining"].values()[()] == 0
+
+    def test_metrics_default_format_is_still_json(self):
+        service = _make_service()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            try:
+                return await _get_raw(
+                    server.config.host, server.port, "/v1/metrics"
+                )
+            finally:
+                await server.stop()
+
+        status, headers, body = asyncio.run(main())
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert "requests" in json.loads(body)
+
+    def test_trace_endpoint_serves_the_span_tree(self):
+        service = _make_service()
+        enable_tracing(capacity=64)
+        try:
+
+            async def main():
+                server = GatewayServer(
+                    service, config=GatewayConfig(port=0)
+                )
+                await server.start()
+                host, port = server.config.host, server.port
+                try:
+                    ok = await _get_raw(
+                        host, port, "/v1/top?method=CC&k=3",
+                        extra_headers=[("X-Request-Id", "traced-1")],
+                    )
+                    return ok, await _get(
+                        host, port, "/v1/trace?limit=10"
+                    )
+                finally:
+                    await server.stop()
+
+            ok, (status, document) = asyncio.run(main())
+        finally:
+            disable_tracing()
+        assert ok[0] == 200
+        assert status == 200
+        assert document["enabled"] is True
+        assert document["recorded_total"] >= 1
+        traced = [
+            trace for trace in document["traces"]
+            if trace.get("request_id") == "traced-1"
+        ]
+        assert len(traced) == 1
+        trace = traced[0]
+        assert trace["name"] == "gateway.request"
+        assert trace["attrs"]["endpoint"] == "top"
+        assert trace["attrs"]["status"] == 200
+
+        def names(node):
+            yield node["name"]
+            for child in node["spans"]:
+                yield from names(child)
+
+        seen = set(names(trace))
+        # The request's tree spans the whole stack: admission →
+        # coalescer → engine batch → shard fan-out.
+        for expected in (
+            "gateway.admission", "gateway.coalesce", "engine.batch",
+            "engine.execute", "engine.shard",
+        ):
+            assert expected in seen, f"{expected} missing from {seen}"
+
+    def test_trace_endpoint_reports_disabled_state(self):
+        service = _make_service()
+        disable_tracing()
+
+        async def main():
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            try:
+                return await _get(
+                    server.config.host, server.port, "/v1/trace"
+                )
+            finally:
+                await server.stop()
+
+        status, document = asyncio.run(main())
+        assert status == 200
+        assert document == {
+            "enabled": False, "recorded_total": 0, "traces": [],
+        }
+
+    def test_access_log_is_debug_and_carries_the_request_id(self):
+        """Per-request access lines are DEBUG telemetry (metrics do the
+        per-request accounting at INFO), and each line correlates with
+        the ``X-Request-Id`` the client saw."""
+        service = _make_service()
+
+        async def run_one(header_id):
+            server = GatewayServer(service, config=GatewayConfig(port=0))
+            await server.start()
+            try:
+                _, headers, _ = await _get_raw(
+                    server.config.host,
+                    server.port,
+                    "/v1/top?method=CC&k=2",
+                    extra_headers=(("X-Request-Id", header_id),),
+                )
+                return headers["x-request-id"]
+            finally:
+                await server.stop()
+
+        sink = io.StringIO()
+        configure_logging("DEBUG", json=True, stream=sink)
+        try:
+            returned = asyncio.run(run_one("acc-dbg-1"))
+            lines = [
+                json.loads(line)
+                for line in sink.getvalue().splitlines()
+            ]
+            access = [
+                entry for entry in lines if entry["message"] == "request"
+            ]
+            assert len(access) == 1
+            assert access[0]["level"] == "DEBUG"
+            assert access[0]["request_id"] == returned == "acc-dbg-1"
+            assert access[0]["endpoint"] == "top"
+            assert access[0]["status"] == 200
+            assert access[0]["ms"] >= 0
+
+            # At INFO the access line is silent: the log is an event
+            # stream, not a per-request ledger.
+            sink.truncate(0)
+            sink.seek(0)
+            configure_logging("INFO", json=True, stream=sink)
+            asyncio.run(run_one("acc-info-1"))
+            assert "request" not in [
+                json.loads(line).get("message")
+                for line in sink.getvalue().splitlines()
+            ]
+        finally:
+            reset_logging()
