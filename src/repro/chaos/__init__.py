@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the serving stack.
+
+The chaos plane proves the recovery machinery the stream, serve, and
+gateway layers claim: checkpoint/resume is bit-identical through a
+crash at *any* commit boundary, snapshot swaps are atomic under
+concurrent reads, and a draining gateway never emits a 5xx or a torn
+response.  Three pieces:
+
+:mod:`repro.chaos.points`
+    The static catalog of named fault points threaded into the real
+    code paths, and the :func:`~repro.chaos.points.chaos_point`
+    trampoline each site calls — one module-global ``None`` check
+    when disarmed.
+:mod:`repro.chaos.faults`
+    :class:`FaultPlan` (seeded or pinned choice of point, fault kind,
+    and firing invocation, JSON round-trippable) and
+    :class:`FaultInjector` (arms a plan process-wide, counts
+    invocations, manifests each fault exactly once).
+:mod:`repro.chaos.harness`
+    Scenario drivers that run the full stack under a plan and check
+    the per-fault-point invariants; ``repro chaos plan|run|sweep`` is
+    the CLI over them.  (Imported explicitly — not re-exported here —
+    so that production modules importing the trampoline never pull
+    the harness, loadgen, or the gateway in.)
+"""
+
+from repro.chaos.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    InjectedCrash,
+    InjectedDisconnect,
+)
+from repro.chaos.points import FAULT_POINTS, FaultPoint, chaos_point, fault_point
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultPoint",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "InjectedCrash",
+    "InjectedDisconnect",
+    "chaos_point",
+    "fault_point",
+]

@@ -35,6 +35,11 @@ Subcommands
 ``bench``      Run a benchmark scenario and write ``BENCH_<name>.json``.
 ``bench-diff`` Compare two directories of ``BENCH_*.json`` artifacts and
                fail on regressions (the CI benchmark gate).
+``chaos``      Deterministic fault injection: ``plan`` prints the seeded
+               fault draw, ``run`` executes one scenario (crash/resume
+               or gateway drain) with the fault armed, ``sweep`` runs
+               every fault point across N seeds and gates on the
+               invariant report (the CI chaos job).
 
 Batch commands accept either ``--dataset <name>`` (synthetic profile) or
 ``--input <file.npz>`` (a saved network); the serving commands
@@ -54,6 +59,7 @@ from repro.analysis.horizons import horizon_table
 from repro.analysis.popularity import recently_popular_overlap
 from repro.analysis.reporting import format_kv_block, format_series, format_table
 from repro.baselines import METHOD_REGISTRY, make_method
+from repro.chaos.points import KINDS
 from repro.errors import ReproError
 from repro.eval.experiment import COMPARISON_METHODS
 from repro.eval.metrics import NDCG, SpearmanRho
@@ -743,6 +749,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown",
         action="store_true",
         help="emit a GitHub-flavoured markdown table (for job summaries)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help=(
+            "deterministic fault injection: plan a seeded fault, run "
+            "one scenario, or sweep the whole fault-point catalog"
+        ),
+    )
+    chaos_commands = chaos.add_subparsers(
+        dest="chaos_command", required=True
+    )
+
+    chaos_plan = chaos_commands.add_parser(
+        "plan",
+        help="print the fault a seed would inject, without running it",
+    )
+    chaos_plan.add_argument(
+        "--seed", type=int, default=0, help="plan seed (default 0)"
+    )
+    chaos_plan.add_argument(
+        "--point",
+        default=None,
+        help=(
+            "pin the fault point; the seed then only draws the kind "
+            "and firing invocation (default: draw the point too)"
+        ),
+    )
+
+    chaos_run = chaos_commands.add_parser(
+        "run",
+        help=(
+            "arm one fault, run the owning scenario (checkpoint "
+            "crash/resume or gateway drain), print the invariant report"
+        ),
+    )
+    chaos_run.add_argument(
+        "--point",
+        required=True,
+        help="fault point to arm (catalog: docs/RELIABILITY.md)",
+    )
+    chaos_run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "workload seed; also draws the fault kind and invocation "
+            "unless --kind pins them (default 0)"
+        ),
+    )
+    chaos_run.add_argument(
+        "--kind",
+        choices=sorted(KINDS),
+        default=None,
+        help="pin the fault kind instead of drawing it from the seed",
+    )
+    chaos_run.add_argument(
+        "--invocation",
+        type=int,
+        default=None,
+        help=(
+            "with --kind: fire at the Nth visit of the point "
+            "(default 0)"
+        ),
+    )
+    chaos_run.add_argument(
+        "--report", default=None, help="also write the report JSON here"
+    )
+
+    chaos_sweep = chaos_commands.add_parser(
+        "sweep",
+        help=(
+            "every fault point x N seeds; exit non-zero if any "
+            "invariant fails (the CI chaos gate)"
+        ),
+    )
+    chaos_sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        help="run seeds 0..N-1 against every point (default 5)",
+    )
+    chaos_sweep.add_argument(
+        "--points",
+        nargs="+",
+        default=None,
+        help="restrict to these fault points (default: full catalog)",
+    )
+    chaos_sweep.add_argument(
+        "--report", default=None, help="write the full report JSON here"
     )
 
     return parser
@@ -1555,6 +1651,48 @@ def _command_bench_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    # The harness pulls in the gateway load bench; importing it here
+    # keeps every other subcommand's startup unaffected.
+    from repro.chaos import harness
+    from repro.chaos.faults import FaultPlan
+    from repro.errors import ChaosError
+
+    if args.chaos_command == "plan":
+        plan = FaultPlan.seeded(args.seed, point=args.point)
+        print(json.dumps(plan.to_payload(), indent=2))
+        return 0
+
+    if args.chaos_command == "run":
+        if args.invocation is not None and args.kind is None:
+            raise ChaosError(
+                "--invocation only makes sense with --kind (a seeded "
+                "draw picks its own invocation)"
+            )
+        if args.kind is not None:
+            plan = FaultPlan.single(
+                args.point,
+                kind=args.kind,
+                invocation=args.invocation or 0,
+                seed=args.seed,
+            )
+        else:
+            plan = FaultPlan.seeded(args.seed, point=args.point)
+        report = harness.run_plan(plan, seed=args.seed)
+        payload = report.to_payload()
+        if args.report is not None:
+            harness.save_report(payload, args.report)
+        print(json.dumps(payload, indent=2))
+        return 0 if report.ok else 1
+
+    assert args.chaos_command == "sweep"
+    document = harness.sweep(range(args.seeds), points=args.points)
+    if args.report is not None:
+        harness.save_report(document, args.report)
+    print(harness.render_summary(document))
+    return 0 if document["ok"] else 1
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "summarize": _command_summarize,
@@ -1572,6 +1710,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "bench": _command_bench,
     "bench-diff": _command_bench_diff,
+    "chaos": _command_chaos,
 }
 
 

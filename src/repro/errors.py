@@ -71,6 +71,20 @@ class GatewayError(ReproError):
     """
 
 
+class ChaosError(ReproError):
+    """The fault-injection harness was misused or misconfigured.
+
+    Raised for chaos-plane mistakes — naming an unregistered fault
+    point, planning a fault kind a point does not declare, arming two
+    injectors at once — never for the *injected* faults themselves:
+    those surface as :class:`repro.chaos.InjectedCrash` (a
+    ``BaseException``, so nothing can accidentally handle a simulated
+    kill) or :class:`repro.chaos.InjectedDisconnect` (a
+    ``ConnectionResetError``, so the gateway treats it like a real
+    peer reset).
+    """
+
+
 class StreamError(ReproError):
     """An event log or stream replay violates the streaming contract.
 

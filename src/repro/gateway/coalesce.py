@@ -35,6 +35,7 @@ import asyncio
 import contextvars
 from typing import Any, Callable, Sequence, Union
 
+from repro.chaos.points import chaos_point
 from repro.errors import GatewayError, ReproError
 from repro.gateway.metrics import GatewayMetrics
 from repro.obs.logging import current_request_id
@@ -274,6 +275,7 @@ class RequestCoalescer:
         serving state at a time, and the fallback's one-element batches
         all see the same version as each other.
         """
+        chaos_point("gateway.batch.execute")
         version, outcomes = execute_with_attribution(
             self._backend_execute, queries
         )

@@ -51,6 +51,8 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from repro.chaos.faults import InjectedDisconnect
+from repro.chaos.points import chaos_point
 from repro.errors import (
     ConfigurationError,
     DataFormatError,
@@ -201,6 +203,10 @@ class GatewayServer:
                 metrics=self.metrics,
             )
         self.port: int | None = None
+        #: A crash that killed the live updater task, surfaced by
+        #: :meth:`stop` instead of re-raised into the drain — the
+        #: gateway keeps serving reads after its write path dies.
+        self.updater_error: BaseException | None = None
         self._server: asyncio.AbstractServer | None = None
         self._updater_task: asyncio.Task | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -243,7 +249,20 @@ class GatewayServer:
         if self._updater_task is not None:
             assert self.updater is not None
             self.updater.stop()
-            await self._updater_task
+            try:
+                await self._updater_task
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:
+                # A dead updater (including an injected kill mid-batch)
+                # must not abort the drain: reads still need their
+                # graceful finish.  BaseException on purpose — the
+                # chaos harness's simulated crash is one.
+                self.updater_error = error
+                _LOG.error(
+                    "updater crashed",
+                    extra={"error": type(error).__name__},
+                )
             self._updater_task = None
         deadline = time.monotonic() + self.config.drain_seconds
         while self.admission.active > 0 and time.monotonic() < deadline:
@@ -316,6 +335,7 @@ class GatewayServer:
         parser refuses (oversized lines, malformed request line, too
         many headers) — the caller answers 400 and closes.
         """
+        chaos_point("gateway.request.read")
         try:
             line = await reader.readuntil(b"\r\n")
         except asyncio.IncompleteReadError as error:
@@ -643,6 +663,18 @@ class GatewayServer:
             f"Connection: {connection}\r\n"
             "\r\n"
         )
+        fault = chaos_point("gateway.response.write")
+        if fault is not None and fault.kind == "torn":
+            # Injected torn response: flush the head and half the body,
+            # then hard-drop the connection.  The declared
+            # Content-Length makes the tear detectable — a client must
+            # see a short read, never a parseable partial document.
+            writer.write(head.encode("latin-1") + body[: len(body) // 2])
+            await writer.drain()
+            writer.transport.abort()
+            raise InjectedDisconnect(
+                "gateway.response.write", fault.invocation
+            )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 

@@ -32,13 +32,14 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.chaos.points import chaos_point
 from repro.errors import GatewayError
 from repro.gateway.coalesce import RequestCoalescer
 from repro.gateway.metrics import GatewayMetrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import start_trace
 from repro.serve.service import RankingService
-from repro.stream.ingest import StreamIngestor
+from repro.stream.ingest import BatchReport, StreamIngestor
 
 __all__ = ["StreamUpdater"]
 
@@ -109,6 +110,16 @@ class StreamUpdater:
         """Finish the in-flight batch, then return from :meth:`run`."""
         self._stopping = True
 
+    def _step(self) -> BatchReport:
+        """One micro-batch, already inside the coalescer lock.
+
+        The fault point fires *here* — in the executor thread, lock
+        held — because that is where a killed updater is most hostile:
+        the next coalesced read must still see one untorn version.
+        """
+        chaos_point("gateway.update.step")
+        return self._ingestor.step()
+
     async def run(self) -> int:
         """Apply micro-batches until the log (or the budget) runs out.
 
@@ -128,9 +139,7 @@ class StreamUpdater:
             # ingest/delta/solver spans (run under this context's copy)
             # nest beneath one stream.update root per micro-batch.
             with start_trace("stream.update") as root:
-                report = await self._coalescer.exclusively(
-                    self._ingestor.step
-                )
+                report = await self._coalescer.exclusively(self._step)
                 if root is not None:
                     root.set(
                         version=report.version,

@@ -19,10 +19,12 @@ on the version, which makes invalidation after updates automatic.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import time
 import zipfile
+import zlib
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -30,6 +32,7 @@ import numpy as np
 
 from repro._typing import FloatVector
 from repro.baselines import METHOD_REGISTRY, make_method, warm_startable
+from repro.chaos.points import chaos_point
 from repro.core.power_iteration import grow_start_vector
 from repro.errors import (
     ConfigurationError,
@@ -242,6 +245,7 @@ class ScoreIndex:
             )
             for key, entry in self._entries.items()
         }
+        chaos_point("index.refresh.swap")
         self._network = target
         self._entries = refreshed
         self._version += 1
@@ -334,6 +338,12 @@ class ScoreIndex:
         payload["index_meta"] = np.asarray([json.dumps(meta)], dtype=np.str_)
         for entry in self._entries.values():
             payload[f"index_scores__{entry.label}"] = entry.scores
+        # Temp debris from a *crashed* earlier save (the cleanup below
+        # only runs on live exceptions, not on a kill) is swept here,
+        # on the next commit attempt — the same recovery moment the
+        # checkpoint protocol uses.
+        for stale in glob.glob(f"{glob.escape(path)}.tmp-*"):
+            os.remove(stale)
         temp_path = f"{path}.tmp-{os.getpid()}"
         try:
             # A file handle keeps savez from appending ".npz" to the
@@ -341,11 +351,18 @@ class ScoreIndex:
             with open(temp_path, "wb") as handle:
                 np.savez_compressed(handle, **payload)
                 handle.flush()
+                chaos_point("index.save.write")
                 os.fsync(handle.fileno())
+            chaos_point("index.save.fsync")
             os.replace(temp_path, path)
-        finally:
+            chaos_point("index.save.replace")
+        except Exception:
+            # Deliberately narrower than a finally: an injected crash
+            # (BaseException) must leave the same orphaned temp file a
+            # real kill would, so the sweep above stays honest.
             if os.path.exists(temp_path):
                 os.remove(temp_path)
+            raise
 
     @classmethod
     def load(cls, path: str) -> "ScoreIndex":
@@ -365,15 +382,17 @@ class ScoreIndex:
         """
         if not os.path.exists(path):
             raise DataFormatError(f"file not found: {path}")
+        chaos_point("index.load")
         try:
             with np.load(path, allow_pickle=False) as archive:
                 arrays = {name: archive[name] for name in archive.files}
         except DataFormatError:
             raise
-        except (OSError, ValueError, zipfile.BadZipFile) as error:
+        except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as error:
             # np.load raises zipfile/OS errors on truncated archives
-            # and directories; a CLI caller must get a typed one-liner,
-            # not a traceback.
+            # and directories, and zlib errors on bit-flipped deflate
+            # data; a CLI caller must get a typed one-liner, not a
+            # traceback.
             raise DataFormatError(
                 f"{path}: not a readable .npz index ({error})"
             ) from None

@@ -36,11 +36,14 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
+import zlib
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro._typing import FloatVector, IntVector
+from repro.chaos.points import chaos_point
 from repro.errors import ConfigurationError, IndexIntegrityError
 from repro.io.serialize import network_payload
 from repro.serve.score_index import INDEX_FORMAT_VERSION, ScoreIndex
@@ -669,6 +672,7 @@ class ShardedScoreIndex:
         shards = _slice_shards(
             self._backing, labels, assignment, current.n_shards
         )
+        chaos_point("shard.sync.swap")
         self._assignment = assignment
         self._snapshot = StoreSnapshot(
             version=self._backing.version,
@@ -872,48 +876,58 @@ def _load_shard_file(
     """Read one shard ``.npz`` and cross-check it against the manifest."""
     if not os.path.exists(path):
         raise IndexIntegrityError(f"shard file not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        members = set(archive.files)
-        required = {"paper_ids", "pub_time", "shard_meta",
-                    "shard_global_indices"}
-        missing = required - members
-        if missing:
-            raise IndexIntegrityError(
-                f"{path}: not a shard file (missing {sorted(missing)})"
-            )
-        shard_meta = json.loads(str(archive["shard_meta"][0]))
-        index_meta = json.loads(str(archive["index_meta"][0]))
-        if int(shard_meta.get("shard_id", -1)) != shard_id:
-            raise IndexIntegrityError(
-                f"{path}: shard file claims id "
-                f"{shard_meta.get('shard_id')}, manifest expects "
-                f"{shard_id}"
-            )
-        if int(index_meta.get("version", -1)) != version:
-            raise IndexIntegrityError(
-                f"{path}: shard is at index version "
-                f"{index_meta.get('version')}, manifest expects "
-                f"{version} — the store was partially overwritten"
-            )
-        paper_ids = [str(p) for p in archive["paper_ids"]]
-        times = np.asarray(archive["pub_time"], dtype=np.float64)
-        global_indices = np.asarray(
-            archive["shard_global_indices"], dtype=np.int64
+    try:
+        # Materialised eagerly: truncation fails the zip open, but a
+        # bit-flipped member only fails when its deflate stream is
+        # read — both must surface as a typed integrity failure, never
+        # a bare zipfile/zlib traceback.
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as error:
+        raise IndexIntegrityError(
+            f"{path}: not a readable shard .npz ({error})"
+        ) from None
+    members = set(arrays)
+    required = {"paper_ids", "pub_time", "shard_meta", "index_meta",
+                "shard_global_indices"}
+    missing = required - members
+    if missing:
+        raise IndexIntegrityError(
+            f"{path}: not a shard file (missing {sorted(missing)})"
         )
-        scores: dict[str, FloatVector] = {}
-        for label in labels:
-            key = f"index_scores__{label}"
-            if key not in members:
-                raise IndexIntegrityError(
-                    f"{path}: score vector for {label!r} is missing"
-                )
-            vector = np.asarray(archive[key], dtype=np.float64)
-            if vector.shape != (len(paper_ids),):
-                raise IndexIntegrityError(
-                    f"{path}: score vector for {label!r} has length "
-                    f"{vector.size}, expected {len(paper_ids)}"
-                )
-            scores[label] = vector
+    shard_meta = json.loads(str(arrays["shard_meta"][0]))
+    index_meta = json.loads(str(arrays["index_meta"][0]))
+    if int(shard_meta.get("shard_id", -1)) != shard_id:
+        raise IndexIntegrityError(
+            f"{path}: shard file claims id "
+            f"{shard_meta.get('shard_id')}, manifest expects "
+            f"{shard_id}"
+        )
+    if int(index_meta.get("version", -1)) != version:
+        raise IndexIntegrityError(
+            f"{path}: shard is at index version "
+            f"{index_meta.get('version')}, manifest expects "
+            f"{version} — the store was partially overwritten"
+        )
+    paper_ids = [str(p) for p in arrays["paper_ids"]]
+    times = np.asarray(arrays["pub_time"], dtype=np.float64)
+    global_indices = np.asarray(
+        arrays["shard_global_indices"], dtype=np.int64
+    )
+    scores: dict[str, FloatVector] = {}
+    for label in labels:
+        key = f"index_scores__{label}"
+        if key not in members:
+            raise IndexIntegrityError(
+                f"{path}: score vector for {label!r} is missing"
+            )
+        vector = np.asarray(arrays[key], dtype=np.float64)
+        if vector.shape != (len(paper_ids),):
+            raise IndexIntegrityError(
+                f"{path}: score vector for {label!r} has length "
+                f"{vector.size}, expected {len(paper_ids)}"
+            )
+        scores[label] = vector
     if global_indices.shape != (len(paper_ids),):
         raise IndexIntegrityError(
             f"{path}: shard_global_indices has length "

@@ -32,12 +32,14 @@ pointing a resume at the wrong (or regenerated) event file.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.chaos.points import chaos_point
 from repro.errors import DataFormatError, StreamError
 from repro.graph.builder import MissingRefPolicy
 from repro.serve.score_index import ScoreIndex
@@ -271,16 +273,27 @@ class _BoundCheckpoint:
         """
         os.makedirs(directory, exist_ok=True)
         self.index.save(os.path.join(directory, self.state.index_file))
+        chaos_point("checkpoint.index_written")
         manifest_path = os.path.join(directory, CHECKPOINT_FILE)
+        # Manifest temp files orphaned by a *crashed* commit (the
+        # cleanup below never runs on a kill) are swept on this, the
+        # next commit attempt.
+        for stale in glob.glob(f"{glob.escape(manifest_path)}.tmp-*"):
+            os.remove(stale)
         temp_path = f"{manifest_path}.tmp-{os.getpid()}"
         try:
             with open(temp_path, "w", encoding="utf-8") as handle:
                 json.dump(self.state.to_payload(), handle, indent=2)
                 handle.write("\n")
+            chaos_point("checkpoint.manifest_tmp")
             os.replace(temp_path, manifest_path)
-        finally:
+        except Exception:
+            # Narrower than a finally on purpose: an injected crash
+            # (BaseException) must leave the orphan a real kill would.
             if os.path.exists(temp_path):
                 os.remove(temp_path)
+            raise
+        chaos_point("checkpoint.commit")
         for name in os.listdir(directory):
             if (
                 name.startswith("index-v")

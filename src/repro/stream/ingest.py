@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.chaos.points import chaos_point
 from repro.errors import ConfigurationError, StreamError
 from repro.graph.builder import MissingRefPolicy, NetworkBuilder
 from repro.graph.citation_network import CitationNetwork
@@ -375,6 +376,7 @@ class StreamIngestor:
         started = time.perf_counter()
         cut = self._next_cut()
         events = self._log.events[self._offset:cut]
+        chaos_point("stream.step.apply")
         with span(
             "stream.step", batch=self._batches, events=len(events)
         ) as sp:
@@ -384,6 +386,7 @@ class StreamIngestor:
                 report = self._apply_delta(events, cut, started)
             if sp is not None:
                 sp.set(version=report.version)
+        chaos_point("stream.step.advance")
         for event in events:
             self._hasher.update(_event_line(event).encode("utf-8"))
             self._hasher.update(b"\n")

@@ -25,6 +25,7 @@ DOCUMENTED_FILES = (
     os.path.join("docs", "API.md"),
     os.path.join("docs", "ARCHITECTURE.md"),
     os.path.join("docs", "OBSERVABILITY.md"),
+    os.path.join("docs", "RELIABILITY.md"),
 )
 
 NO_RUN_MARKER = "<!-- docs: no-run -->"

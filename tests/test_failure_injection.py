@@ -2,6 +2,9 @@
 adversarial configurations must fail loudly (or degrade gracefully where
 the API documents it) — never return silently wrong rankings."""
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -11,6 +14,7 @@ from repro.errors import (
     DataFormatError,
     EvaluationError,
     GraphError,
+    IndexIntegrityError,
     ReproError,
 )
 from repro.graph.builder import NetworkBuilder
@@ -95,6 +99,115 @@ class TestCorruptFiles:
         citations.write_text("a,b\n")
         with pytest.raises(DataFormatError):
             load_csv_dataset(str(metadata), str(citations))
+
+
+def _flip_byte(path: str, offset: int) -> None:
+    raw = bytearray(open(path, "rb").read())
+    raw[offset] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+
+
+class TestCorruptServingFiles:
+    """The serving stack's on-disk formats must fail with *typed*
+    errors on corruption — never a bare zipfile/zlib/KeyError."""
+
+    @pytest.fixture
+    def shard_dir(self, toy, tmp_path) -> str:
+        from repro.serve import ScoreIndex, ShardedScoreIndex
+
+        index = ScoreIndex(toy)
+        index.add_method("CC")
+        directory = str(tmp_path / "store")
+        ShardedScoreIndex.from_index(index, n_shards=2).save(directory)
+        return directory
+
+    def test_truncated_shard_npz(self, shard_dir):
+        from repro.serve import ShardedScoreIndex
+
+        path = os.path.join(shard_dir, "shard_0000.npz")
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 2])
+        store = ShardedScoreIndex.load(shard_dir)  # manifest-only, lazy
+        with pytest.raises(IndexIntegrityError, match="not a readable"):
+            store.shard(0)
+
+    def test_bit_flipped_shard_npz(self, shard_dir):
+        from repro.serve import ShardedScoreIndex
+
+        path = os.path.join(shard_dir, "shard_0000.npz")
+        _flip_byte(path, os.path.getsize(path) // 2)
+        store = ShardedScoreIndex.load(shard_dir)
+        with pytest.raises(IndexIntegrityError):
+            store.shard(0)
+
+    def test_bit_flipped_index_npz(self, toy, tmp_path):
+        from repro.serve import ScoreIndex
+
+        index = ScoreIndex(toy)
+        index.add_method("CC")
+        path = str(tmp_path / "idx.npz")
+        index.save(path)
+        _flip_byte(path, os.path.getsize(path) // 2)
+        with pytest.raises(DataFormatError):
+            ScoreIndex.load(path)
+
+
+class TestCorruptCheckpoints:
+    """`repro stream resume` against a damaged checkpoint must exit 1
+    with a typed one-line error, not a traceback."""
+
+    @pytest.fixture
+    def replayed(self, toy, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.serialize import save_network
+
+        network_file = str(tmp_path / "net.npz")
+        save_network(toy, network_file)
+        log_file = str(tmp_path / "events.jsonl")
+        assert main(
+            ["stream", "extract", "--input", network_file,
+             "--output", log_file]
+        ) == 0
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["stream", "replay", "--log", log_file, "--methods", "CC",
+             "--batch-size", "2", "--bootstrap-size", "4",
+             "--max-batches", "2", "--checkpoint-dir", ckpt,
+             "--checkpoint-every", "1"]
+        ) == 0
+        capsys.readouterr()
+        return log_file, ckpt
+
+    def test_corrupted_digest_is_a_stream_error(self, replayed, capsys):
+        from repro.cli import main
+
+        log_file, ckpt = replayed
+        manifest = os.path.join(ckpt, "checkpoint.json")
+        payload = json.load(open(manifest))
+        payload["log_digest"] = "0" * len(payload["log_digest"])
+        json.dump(payload, open(manifest, "w"))
+        code = main(
+            ["stream", "resume", "--checkpoint", ckpt, "--log", log_file]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error: [StreamError]" in err and "digest" in err
+
+    def test_corrupted_checkpoint_index_is_typed(self, replayed, capsys):
+        from repro.cli import main
+
+        log_file, ckpt = replayed
+        (index_file,) = [
+            name for name in os.listdir(ckpt) if name.endswith(".npz")
+        ]
+        path = os.path.join(ckpt, index_file)
+        _flip_byte(path, os.path.getsize(path) // 2)
+        code = main(
+            ["stream", "resume", "--checkpoint", ckpt, "--log", log_file]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error: [DataFormatError]" in err
 
 
 class TestAdversarialConfiguration:
