@@ -109,3 +109,25 @@ class CiteRank(RankingMethod):
         )
         self.last_convergence = info
         return result
+
+    def fused_column(self, network: CitationNetwork):
+        """CiteRank as one column of a fused solve.
+
+        Dangling mass is *not* recycled (the original model), so the
+        column iterates on the sparse part alone — no dangling mask.
+        """
+        if network.n_papers == 0:
+            return None
+        from repro.core.fused import FusedColumn
+
+        rho = self.entry_distribution(network)
+        return FusedColumn(
+            label=self.name,
+            matrix=shared_operator(network).sparse_part,
+            alpha=self.alpha,
+            jump=rho,
+            start=rho if self.start_vector is None else self.start_vector,
+            normalize=False,
+            tol=self.tol,
+            max_iterations=self.max_iterations,
+        )

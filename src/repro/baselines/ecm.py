@@ -120,3 +120,32 @@ class EffectiveContagion(RankingMethod):
         )
         self.last_convergence = info
         return result
+
+    def fused_column(self, network: CitationNetwork):
+        """ECM as one column of a fused solve.
+
+        Uses its own retained matrix rather than the shared stochastic
+        operator; the fused solver groups columns by matrix, so ECM costs
+        one extra SpMV per iteration but still shares the convergence
+        loop.  ``scores`` always starts from ``base`` (warm starts are
+        pointless for a finitely-terminating Katz series), so the column
+        does too.
+        """
+        if network.n_papers == 0:
+            return None
+        from repro.core.fused import FusedColumn
+
+        retained = self.retained_matrix(network)
+        ones = np.ones(network.n_papers, dtype=np.float64)
+        base = retained @ ones
+        return FusedColumn(
+            label=self.name,
+            matrix=retained,
+            alpha=self.alpha,
+            jump=base,
+            start=base,
+            normalize=False,
+            tol=self.tol,
+            max_iterations=self.max_iterations,
+            raise_on_failure=False,
+        )

@@ -155,3 +155,50 @@ class FutureRank(RankingMethod):
         )
         self.last_convergence = info
         return result
+
+    def fused_column(self, network: CitationNetwork):
+        """FutureRank as one column of a fused solve.
+
+        The citation flow shares the stacked SpMV; the author
+        reinforcement and recency terms cannot be folded into a single
+        jump vector without changing float addition order, so they run
+        in a ``combine`` callback that mirrors :meth:`scores`'s step
+        expression term by term.
+        """
+        if network.n_papers == 0 or (
+            self.beta > 0 and not network.has_authors
+        ):
+            return None
+        from repro.core.fused import FusedColumn
+
+        n = network.n_papers
+        operator = shared_operator(network)
+        time_vector = self.recency_weights(network)
+        uniform_mass = max(1.0 - self.alpha - self.beta - self.gamma, 0.0) / n
+        incidence = network.author_matrix if self.beta > 0 else None
+
+        def combine(applied: np.ndarray, current: np.ndarray) -> np.ndarray:
+            updated = (
+                self.alpha * applied
+                + self.gamma * time_vector
+                + uniform_mass
+            )
+            if incidence is not None:
+                author_scores = _normalized(incidence @ current)
+                updated = updated + self.beta * _normalized(
+                    incidence.T @ author_scores
+                )
+            return updated
+
+        return FusedColumn(
+            label=self.name,
+            matrix=operator.sparse_part,
+            dangling=(
+                operator.dangling_mask if operator.n_dangling else None
+            ),
+            combine=combine,
+            normalize=True,
+            tol=self.tol,
+            max_iterations=self.max_iterations,
+            raise_on_failure=False,
+        )

@@ -77,3 +77,25 @@ class PageRank(RankingMethod):
         )
         self.last_convergence = info
         return result
+
+    def fused_column(self, network: CitationNetwork):
+        """PageRank as one column of a fused solve."""
+        if network.n_papers == 0:
+            return None
+        from repro.core.fused import FusedColumn
+
+        operator = shared_operator(network)
+        teleport = (1.0 - self.alpha) * uniform_vector(network.n_papers)
+        return FusedColumn(
+            label=self.name,
+            matrix=operator.sparse_part,
+            alpha=self.alpha,
+            jump=teleport,
+            dangling=(
+                operator.dangling_mask if operator.n_dangling else None
+            ),
+            start=self.start_vector,
+            normalize=True,
+            tol=self.tol,
+            max_iterations=self.max_iterations,
+        )

@@ -43,6 +43,12 @@ Scenario catalogue
     (p50/p95/p99), the coalesced batch-size distribution, and the
     response-by-response bit-identity verdict against direct service
     calls at each reported index version.
+``solver_fused``
+    The fused multi-method solver core: tuning grids and a serving
+    panel solved per-method vs stacked
+    (:func:`repro.core.fused.solve_methods`), with a bit-identity
+    check on every float64 leg and a float32 accuracy leg
+    (rank agreement + relative error vs float64).
 ``obs_overhead``
     The cost of the observability plane: the same static loadgen run
     with observability disabled, in the production posture (INFO event
@@ -742,4 +748,140 @@ def _bench_serve_batch(config: BenchConfig) -> dict[str, Any]:
         },
         "speedup_vs_serial": serial_stats.best / batched_stats.best,
         "identical_rankings": serial_results == batched_results,
+    }
+
+
+@scenario(
+    "solver_fused",
+    "Fused multi-method solver vs per-method scalar solves",
+    default_repeats=7,
+)
+def _bench_solver_fused(config: BenchConfig) -> dict[str, Any]:
+    """Fused-stack vs serial solves at several stack shapes.
+
+    Each leg solves the same method set twice — once per method through
+    the scalar ``scores()`` path, once stacked through
+    :func:`repro.core.fused.solve_methods` — with the two timings
+    interleaved round by round (robust against background-load drift;
+    the reported wall time is the best round).  Score vectors from the
+    two runs must be bit-identical; ``identical_rankings`` is the AND
+    across every float64 leg.
+
+    Legs: tuning grids of 16 and 64 settings on one operator (where
+    stacking pays — the headline ``speedup_vs_serial`` is the 64-wide
+    grid), a heterogeneous 5-method serving panel (narrow operator
+    groups, which ``FUSE_MIN_COLUMNS`` routes to the scalar path — the
+    leg documents that the dispatch costs nothing), and a float32 leg
+    reporting rank agreement and relative error against float64.
+
+    Smoke mode drops the 64-wide grids and runs 3 rounds.
+    """
+    from repro.baselines import make_method
+    from repro.core.fused import FLOAT32_TOLERANCE, FusedSolver, solve_methods
+    from repro.eval.grids import attrank_grid
+    from repro.eval.metrics import spearman_rho
+
+    network = generate_dataset("hep-th", size=config.size, seed=config.seed)
+    rounds = max(3 if config.smoke else config.repeats, 1)
+
+    def ar_settings(m: int) -> list[dict[str, Any]]:
+        # alpha=0 settings solve in closed form on both paths; keep the
+        # leg about the iterative stack.
+        iterative = (
+            params
+            for params in attrank_grid(windows=(2, 3))
+            if params["alpha"] > 0
+        )
+        return [params for _, params in zip(range(m), iterative)]
+
+    def pr_settings(m: int) -> list[dict[str, Any]]:
+        return [
+            {"alpha": float(a)} for a in np.linspace(0.05, 0.95, m)
+        ]
+
+    panel: list[tuple[str, dict[str, Any]]] = [
+        ("AR", {"alpha": 0.2, "beta": 0.5, "gamma": 0.3}),
+        ("PR", {"alpha": 0.5}),
+        ("CR", {"tau_dir": 2.0}),
+        ("FR", {"alpha": 0.4, "beta": 0.1, "rho": -0.3}),
+        ("ECM", {"alpha": 0.3, "gamma": 0.4}),
+    ]
+
+    def run_leg(specs: list[tuple[str, dict[str, Any]]]) -> dict[str, Any]:
+        def serial() -> list[np.ndarray]:
+            return [
+                np.asarray(make_method(label, **params).scores(network))
+                for label, params in specs
+            ]
+
+        def fused() -> list[np.ndarray]:
+            solved = solve_methods(
+                network,
+                [make_method(label, **params) for label, params in specs],
+            )
+            return [np.asarray(scores) for scores, _info in solved]
+
+        serial_walls: list[float] = []
+        fused_walls: list[float] = []
+        serial_scores = fused_scores = None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            serial_scores = serial()
+            serial_walls.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            fused_scores = fused()
+            fused_walls.append(time.perf_counter() - started)
+        identical = all(
+            np.array_equal(a, b)
+            for a, b in zip(serial_scores, fused_scores)
+        )
+        return {
+            "n_methods": len(specs),
+            "serial_best_seconds": min(serial_walls),
+            "fused_best_seconds": min(fused_walls),
+            "speedup_vs_serial": min(serial_walls) / min(fused_walls),
+            "identical_rankings": identical,
+        }
+
+    legs: dict[str, dict[str, Any]] = {}
+    legs["grid_ar_m16"] = run_leg([("AR", p) for p in ar_settings(16)])
+    if not config.smoke:
+        legs["grid_ar_m64"] = run_leg([("AR", p) for p in ar_settings(64)])
+        legs["grid_pr_m64"] = run_leg([("PR", p) for p in pr_settings(64)])
+    legs["panel5"] = run_leg(panel)
+
+    # float32 leg: accuracy, not wall time (the mode trades tolerance
+    # for memory traffic; docs/SOLVER.md tabulates the bound).
+    f64_scores = [
+        np.asarray(make_method(label, **params).scores(network))
+        for label, params in panel
+    ]
+    columns = [
+        make_method(label, **params).fused_column(network)
+        for label, params in panel
+    ]
+    f32_solved = FusedSolver(
+        columns, network.n_papers, dtype=np.float32
+    ).solve()
+    agreements, rel_errors = [], []
+    for (scores32, _info), scores64 in zip(f32_solved, f64_scores):
+        wide = scores32.astype(np.float64)
+        agreements.append(spearman_rho(wide, scores64))
+        scale = float(np.abs(scores64).max()) or 1.0
+        rel_errors.append(float(np.abs(wide - scores64).max()) / scale)
+
+    grid_key = "grid_ar_m16" if config.smoke else "grid_ar_m64"
+    return {
+        "dataset": _dataset_info(network, "hep-th", config.size),
+        "rounds": rounds,
+        "legs": legs,
+        "speedup_vs_serial": legs[grid_key]["speedup_vs_serial"],
+        "identical_rankings": all(
+            leg["identical_rankings"] for leg in legs.values()
+        ),
+        "float32": {
+            "tolerance_floor": FLOAT32_TOLERANCE,
+            "min_spearman_vs_float64": min(agreements),
+            "max_relative_error_vs_float64": max(rel_errors),
+        },
     }

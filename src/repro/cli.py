@@ -223,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
             "publication-year ranges (default: hash)"
         ),
     )
+    index.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "threads for the fused solver's row-chunked SpMV "
+            "(default 1; scores are bit-identical for any value)"
+        ),
+    )
 
     update = commands.add_parser(
         "update",
@@ -249,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "policy for citations whose cited id is unknown (default: "
             "skip); citing papers must always be papers of the delta"
+        ),
+    )
+    update.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "threads for the fused solver's row-chunked SpMV "
+            "(default 1; scores are bit-identical for any value)"
         ),
     )
 
@@ -638,8 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare = commands.add_parser(
         "compare",
         help=(
-            "reproduce a figure panel: tune every method per test ratio, "
-            "in parallel with --jobs"
+            "reproduce a figure panel: tune every method per test "
+            "ratio (each method's grid solved in one fused pass); "
+            "--jobs fans ratios over worker processes, --json adds "
+            "per-method best params and fused iteration counts"
         ),
     )
     _add_source_arguments(compare)
@@ -671,6 +691,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes (0 = all cores; default 1 = serial)",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help=(
+            "print the panel as JSON: per ratio and method, the best "
+            "parameters, metric score, and the iteration count of a "
+            "fused re-solve of that winning configuration"
+        ),
     )
 
     bench = commands.add_parser(
@@ -954,7 +984,7 @@ def _command_popular(args: argparse.Namespace) -> int:
 
 def _command_index(args: argparse.Namespace) -> int:
     network = _load_source(args)
-    index = ScoreIndex(network)
+    index = ScoreIndex(network, solver_jobs=args.jobs)
     for label in args.methods:
         entry = index.add_method(label)
         note = f"{entry.iterations} iterations" if entry.iterations else "closed form"
@@ -992,6 +1022,7 @@ def _command_update(args: argparse.Namespace) -> int:
         )
         return 2
     index = ScoreIndex.load(args.index)
+    index.solver_jobs = args.jobs
     updater = DeltaUpdater(
         index,
         missing_references=args.missing_references,
@@ -1474,6 +1505,56 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_json_payload(panel, network, *, jobs: int) -> dict:
+    """The ``repro compare --json`` document.
+
+    The tuning sweep keeps only metric scores per grid point, so the
+    per-method iteration counts come from re-solving each ratio's
+    winning configurations through the fused solver — one stacked pass
+    per ratio.  Closed forms report 0 iterations, matching the score
+    index's convention.
+    """
+    from repro.core.fused import solve_methods
+
+    lineup = list(panel.cells)
+    results = []
+    for position, ratio in enumerate(panel.x_values):
+        split = split_by_ratio(network, ratio)
+        best_params = {
+            name: dict(panel.cells[name][position].result.best.params)
+            for name in lineup
+        }
+        methods = [
+            make_method(name, **best_params[name]) for name in lineup
+        ]
+        solved = solve_methods(split.current, methods)
+        entries = {}
+        for name, (_scores, info) in zip(lineup, solved):
+            entries[name] = {
+                "params": best_params[name],
+                "score": panel.cells[name][position].score,
+                "iterations": info.iterations if info is not None else 0,
+                "converged": info.converged if info is not None else True,
+            }
+        results.append(
+            {
+                "ratio": float(ratio),
+                "winner": panel.winner_at(ratio),
+                "methods": entries,
+            }
+        )
+    return {
+        "type": "compare",
+        "dataset": panel.dataset,
+        "metric": panel.metric,
+        "x_label": panel.x_label,
+        "ratios": [float(r) for r in panel.x_values],
+        "methods": lineup,
+        "jobs": jobs,
+        "results": results,
+    }
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     from repro.parallel import ExperimentEngine
 
@@ -1488,6 +1569,15 @@ def _command_compare(args: argparse.Namespace) -> int:
         test_ratios=tuple(args.ratios),
         methods=args.methods,
     )
+    if args.as_json:
+        print(
+            json.dumps(
+                _compare_json_payload(panel, network, jobs=engine.jobs),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         format_series(
             "ratio",

@@ -190,6 +190,33 @@ class AttRank(RankingMethod):
         self.last_convergence = info
         return result
 
+    def fused_column(self, network: CitationNetwork):
+        """AttRank as one column of a fused solve (see Equation 4).
+
+        The ``alpha = 0`` closed form needs no iteration and is left to
+        :meth:`scores` (fused stacking would only waste a column).
+        """
+        if self.alpha == 0.0 or network.n_papers == 0:
+            return None
+        from repro.core.fused import FusedColumn
+
+        attention, recency = self.jump_vectors(network)
+        jump = self.beta * attention + self.gamma * recency
+        operator = shared_operator(network)
+        return FusedColumn(
+            label=self.name,
+            matrix=operator.sparse_part,
+            alpha=self.alpha,
+            jump=jump,
+            dangling=(
+                operator.dangling_mask if operator.n_dangling else None
+            ),
+            start=self.start_vector,
+            normalize=True,
+            tol=self.tol,
+            max_iterations=self.max_iterations,
+        )
+
 
 def attrank_matrix(
     network: CitationNetwork,

@@ -2,14 +2,22 @@
 
 Every iterative method in this library (AttRank, PageRank, CiteRank,
 FutureRank, ECM) is a fixed-point iteration ``x <- F(x)`` on a probability
-vector.  This module centralises the loop: start vector handling, L1
-residual tracking, tolerance/budget control, and the strict convergence
-check that the paper's experiments use (epsilon <= 1e-12, Section 4.3).
+vector.  This module centralises the loop semantics: start vector
+handling, L1 residual tracking, tolerance/budget control, and the strict
+convergence check that the paper's experiments use (epsilon <= 1e-12,
+Section 4.3).
+
+Since the fused-solver rework, the loop itself lives in
+:class:`repro.core.fused.FusedSolver`; :func:`power_iterate` is the
+degenerate one-column form.  Delegating (rather than keeping two loops)
+makes "a single column behaves exactly like the legacy solver" a
+structural property instead of a test-only promise — every scalar solve
+in the suite exercises the same code the stacked multi-method path runs.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -21,6 +29,7 @@ __all__ = [
     "power_iterate",
     "uniform_vector",
     "grow_start_vector",
+    "grow_start_stack",
     "DEFAULT_TOLERANCE",
 ]
 
@@ -80,6 +89,38 @@ def grow_start_vector(previous: FloatVector, n: int) -> FloatVector:
     return grown
 
 
+def grow_start_stack(
+    previous: Sequence[FloatVector | None], n: int
+) -> np.ndarray:
+    """Stacked form of :func:`grow_start_vector` for fused solves.
+
+    Builds the C-order ``(n, m)`` warm-start matrix whose column ``j``
+    is ``grow_start_vector(previous[j], n)`` — or the uniform vector
+    when ``previous[j]`` is ``None`` (a method being solved cold inside
+    an otherwise warm fused pass).  The same rules apply per column:
+    a previous solution *longer* than ``n`` (the network shrank) is a
+    :class:`~repro.errors.ConfigurationError`, old coordinates are kept
+    verbatim, and new papers get the column's previous mean entry.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``previous`` is empty, or any column fails the
+        :func:`grow_start_vector` validation.
+    """
+    if not previous:
+        raise ConfigurationError(
+            "grow_start_stack needs at least one previous solution"
+        )
+    stack = np.empty((n, len(previous)), dtype=np.float64, order="C")
+    for position, vector in enumerate(previous):
+        if vector is None:
+            stack[:, position] = uniform_vector(n)
+        else:
+            stack[:, position] = grow_start_vector(vector, n)
+    return stack
+
+
 def power_iterate(
     step: Callable[[FloatVector], FloatVector],
     n: int,
@@ -123,55 +164,17 @@ def power_iterate(
         The fixed point (or last iterate) and its
         :class:`~repro.ranking.ConvergenceInfo`.
     """
-    if tol <= 0:
-        raise ConfigurationError(f"tol must be positive, got {tol}")
-    if max_iterations < 1:
-        raise ConfigurationError(
-            f"max_iterations must be >= 1, got {max_iterations}"
-        )
-    if start is None:
-        current = uniform_vector(n)
-    else:
-        current = np.asarray(start, dtype=np.float64).copy()
-        if current.shape != (n,):
-            raise ConfigurationError(
-                f"start vector has shape {current.shape}, expected ({n},)"
-            )
-        total = current.sum()
-        if normalize and total > 0:
-            current /= total
+    from repro.core.fused import FusedColumn, FusedSolver
 
-    history: list[float] = []
-    residual = np.inf
-    for iteration in range(1, max_iterations + 1):
-        updated = step(current)
-        if normalize:
-            total = updated.sum()
-            if total > 0:
-                updated = updated / total
-        residual = float(np.abs(updated - current).sum())
-        history.append(residual)
-        current = updated
-        if residual <= tol:
-            info = ConvergenceInfo(
-                iterations=iteration,
-                residual=residual,
-                converged=True,
-                residual_history=tuple(history),
-            )
-            return current, info
-
-    info = ConvergenceInfo(
-        iterations=max_iterations,
-        residual=residual,
-        converged=False,
-        residual_history=tuple(history),
+    column = FusedColumn(
+        label="power_iterate",
+        step=step,
+        start=start,
+        normalize=normalize,
+        tol=tol,
+        max_iterations=max_iterations,
+        raise_on_failure=raise_on_failure,
     )
-    if raise_on_failure:
-        raise ConvergenceError(
-            f"power iteration did not reach tol={tol} within "
-            f"{max_iterations} iterations (last residual {residual:.3e})",
-            iterations=max_iterations,
-            residual=residual,
-        )
-    return current, info
+    solver = FusedSolver([column], n, emit_metrics=False)
+    ((vector, info),) = solver.solve()
+    return vector, info

@@ -8,12 +8,16 @@ method over a parameter grid on one temporal split and return the
 best-scoring setting along with the full sweep (the sweep is what the
 heatmap figures visualise).
 
-Grid points share their expensive structure: the stochastic operator,
-attention/recency vectors and retained-weight matrices are memoised per
-network (:mod:`repro.graph.cache`), so a serial sweep builds each once.
-For multi-core machines, :class:`repro.parallel.ExperimentEngine` fans
-the same grid points over worker processes with results bit-identical
-to this module's serial loop.
+Grid points share their expensive structure twice over: the stochastic
+operator, attention/recency vectors and retained-weight matrices are
+memoised per network (:mod:`repro.graph.cache`), and the grid's solves
+are stacked into one fused pass (:func:`repro.core.fused.solve_methods`)
+— every iteration advances all still-unconverged grid points with a
+single SpMV per distinct operator.  For multi-core machines,
+:class:`repro.parallel.ExperimentEngine` fans the same grid points over
+worker processes with results bit-identical to this module's serial
+loop (the fused pass is itself bit-identical to point-by-point solves,
+so both routes agree).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from typing import Any, Iterable, Mapping
 
 from repro._typing import FloatVector
 from repro.baselines import make_method
+from repro.core.fused import solve_methods
 from repro.errors import EvaluationError
 from repro.eval.metrics import Metric
 from repro.eval.split import TemporalSplit
@@ -91,24 +96,32 @@ def tune_method(
     Ties on the metric keep the earlier grid point, making the selection
     deterministic.
 
+    All grid points are solved in one fused pass — one column per
+    point — which amortises the sparse multiplies the sweep would
+    otherwise repeat per point.  Scores, metric values and the selected
+    setting are bit-identical to a point-by-point loop.
+
     Raises
     ------
     EvaluationError
         If the grid is empty.
     """
-    sweep: list[SettingScore] = []
-    best: SettingScore | None = None
-    for params in grid:
-        frozen = dict(params)
-        score = evaluate_setting(method_name, frozen, split, metric)
-        entry = SettingScore(params=frozen, score=score)
-        sweep.append(entry)
-        if best is None or entry.score > best.score:
-            best = entry
-    if best is None:
+    points = [dict(params) for params in grid]
+    if not points:
         raise EvaluationError(
             f"empty parameter grid for method {method_name!r}"
         )
+    methods = [make_method(method_name, **params) for params in points]
+    solved = solve_methods(split.current, methods)
+    sweep: list[SettingScore] = []
+    best: SettingScore | None = None
+    for frozen, (scores, _info) in zip(points, solved):
+        entry = SettingScore(
+            params=frozen, score=float(metric(scores, split.sti))
+        )
+        sweep.append(entry)
+        if best is None or entry.score > best.score:
+            best = entry
     return TuningResult(
         method=method_name,
         metric=metric.name,

@@ -12,13 +12,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
 from repro._typing import FloatVector, IntVector
 from repro.errors import ConfigurationError
 from repro.graph.citation_network import CitationNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.fused import FusedColumn
 
 __all__ = [
     "RankingMethod",
@@ -82,6 +85,23 @@ class RankingMethod(ABC):
     @abstractmethod
     def scores(self, network: CitationNetwork) -> FloatVector:
         """Compute one non-negative score per paper of ``network``."""
+
+    def fused_column(
+        self, network: CitationNetwork
+    ) -> "FusedColumn | None":
+        """The method's column spec for the fused multi-method solver.
+
+        Iterative methods whose update is an affine map over a sparse
+        operator return a :class:`~repro.core.fused.FusedColumn` so
+        :func:`~repro.core.fused.solve_methods` can stack them into one
+        SpMV pass per iteration.  The default ``None`` means "not
+        fusable" — closed forms (citation count, RAM, ATT-ONLY) and
+        structurally different iterations (WSDM) fall back to
+        :meth:`scores`.  A returned column must reproduce ``scores()``
+        **bit-for-bit** in float64; the golden fixtures and hypothesis
+        properties enforce this.
+        """
+        return None
 
     def params(self) -> Mapping[str, Any]:
         """The method's configuration, for experiment reports."""

@@ -114,6 +114,10 @@ class ScoreIndex:
     version:
         Starting version number (0 for a fresh index; :meth:`load`
         restores the persisted value).
+    solver_jobs:
+        Thread count passed to the fused solver's row-chunked SpMV
+        (``repro index --jobs`` / ``repro update --jobs``).  Scores are
+        bit-identical for any value.
 
     Examples
     --------
@@ -126,12 +130,25 @@ class ScoreIndex:
     0
     """
 
-    def __init__(self, network: CitationNetwork, *, version: int = 0) -> None:
+    def __init__(
+        self,
+        network: CitationNetwork,
+        *,
+        version: int = 0,
+        solver_jobs: int = 1,
+    ) -> None:
         if network.n_papers == 0:
             raise ConfigurationError("cannot index an empty network")
+        if solver_jobs < 1:
+            raise ConfigurationError(
+                f"solver_jobs must be >= 1, got {solver_jobs}"
+            )
         self._network = network
         self._version = int(version)
         self._entries: dict[str, MethodEntry] = {}
+        #: Thread count for the fused solver's row-chunked SpMV; results
+        #: are bit-identical for any value (see repro.core.fused).
+        self.solver_jobs = int(solver_jobs)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -193,7 +210,9 @@ class ScoreIndex:
         key = label.upper()
         if key in self._entries:
             raise ConfigurationError(f"method {label!r} is already indexed")
-        entry = self._solve(key, dict(params), previous=None)
+        entry = self._solve_fused(
+            {key: (dict(params), None)}, self._network
+        )[key]
         self._entries[key] = entry
         return entry
 
@@ -202,6 +221,7 @@ class ScoreIndex:
         network: CitationNetwork | None = None,
         *,
         warm: bool = True,
+        fused: bool = True,
     ) -> dict[str, MethodEntry]:
         """Re-solve every indexed method and bump the version.
 
@@ -217,6 +237,12 @@ class ScoreIndex:
             Seed each method that supports it from its previous
             solution, grown to the new size.  ``False`` forces cold
             solves (the benchmark's comparison baseline).
+        fused:
+            Solve all fusable methods in one stacked pass
+            (:func:`repro.core.fused.solve_methods`) instead of one at a
+            time.  The scores are bit-identical either way; ``False``
+            keeps the serial per-method loop as the benchmark's
+            comparison baseline.
 
         Notes
         -----
@@ -236,20 +262,107 @@ class ScoreIndex:
                     f"{self._network.n_papers}); the index only grows"
                 )
             target = network
-        refreshed = {
-            key: self._solve(
-                key,
-                dict(entry.params),
-                previous=entry.scores if warm else None,
-                network=target,
+        if fused:
+            refreshed = self._solve_fused(
+                {
+                    key: (
+                        dict(entry.params),
+                        entry.scores if warm else None,
+                    )
+                    for key, entry in self._entries.items()
+                },
+                target,
             )
-            for key, entry in self._entries.items()
-        }
+        else:
+            refreshed = {
+                key: self._solve(
+                    key,
+                    dict(entry.params),
+                    previous=entry.scores if warm else None,
+                    network=target,
+                )
+                for key, entry in self._entries.items()
+            }
         chaos_point("index.refresh.swap")
         self._network = target
         self._entries = refreshed
         self._version += 1
         return dict(self._entries)
+
+    def _solve_fused(
+        self,
+        specs: Mapping[str, tuple[dict[str, Any], FloatVector | None]],
+        network: CitationNetwork,
+    ) -> dict[str, MethodEntry]:
+        """Solve ``{key: (params, previous)}`` in one fused pass.
+
+        The per-method instruments (``repro_solver_solves_total``,
+        ``repro_solver_last_*``) fire exactly as the serial path's do;
+        ``repro_solver_solve_seconds`` does not — wall-clock is shared
+        across the stack, so the fused pass reports its own
+        ``repro_fused_pass_seconds`` instead.
+        """
+        from repro.core.fused import solve_methods
+
+        keys = list(specs)
+        methods = []
+        warm_flags = []
+        for key in keys:
+            params, previous = specs[key]
+            method = make_method(key, **params)
+            is_warm = previous is not None and warm_startable(key)
+            if is_warm:
+                method.start_vector = grow_start_vector(
+                    previous, network.n_papers
+                )
+            methods.append(method)
+            warm_flags.append(is_warm)
+        started = time.perf_counter()
+        with span(
+            "solver.solve_fused", methods=",".join(keys)
+        ) as sp:
+            solved = solve_methods(
+                network, methods, jobs=self.solver_jobs
+            )
+            if sp is not None:
+                sp.set(papers=network.n_papers)
+        elapsed = time.perf_counter() - started
+        entries: dict[str, MethodEntry] = {}
+        for key, is_warm, (scores, info) in zip(keys, warm_flags, solved):
+            # Shared arrays are read-only throughout this codebase (see
+            # CitationNetwork); the score vector doubles as the next
+            # warm start and the ranking basis, so caller mutation must
+            # fail loud.
+            scores.setflags(write=False)
+            iterations = info.iterations if info is not None else 0
+            converged = info.converged if info is not None else True
+            _SOLVES_TOTAL.inc(
+                method=key, converged="true" if converged else "false"
+            )
+            _LAST_ITERATIONS.set(iterations, method=key)
+            if info is not None:
+                _LAST_RESIDUAL.set(info.residual, method=key)
+            entries[key] = MethodEntry(
+                label=key,
+                params=specs[key][0],
+                scores=scores,
+                iterations=iterations,
+                converged=converged,
+                warm_started=is_warm,
+            )
+        _LOG.info(
+            "solve_fused",
+            extra={
+                "methods": keys,
+                "papers": network.n_papers,
+                "iterations": {
+                    key: entries[key].iterations for key in keys
+                },
+                "warm": [key for key, w in zip(keys, warm_flags) if w],
+                "ms": round(elapsed * 1e3, 3),
+            },
+        )
+        return entries
 
     def _solve(
         self,

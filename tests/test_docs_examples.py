@@ -26,6 +26,7 @@ DOCUMENTED_FILES = (
     os.path.join("docs", "ARCHITECTURE.md"),
     os.path.join("docs", "OBSERVABILITY.md"),
     os.path.join("docs", "RELIABILITY.md"),
+    os.path.join("docs", "SOLVER.md"),
 )
 
 NO_RUN_MARKER = "<!-- docs: no-run -->"

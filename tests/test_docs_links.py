@@ -1,0 +1,167 @@
+"""Validate internal markdown links and anchors in the documentation.
+
+Docs drift shows up first as broken cross-references: a renamed file,
+a reworded heading, a moved section.  This module resolves every
+``[text](target)`` link in the documentation set:
+
+- relative file targets must exist on disk (resolved against the
+  linking file's directory);
+- ``#anchor`` fragments — bare or attached to a file target — must
+  match a heading in the target document, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+  numbered);
+- absolute URLs (``http://``, ``https://``, ``mailto:``) are out of
+  scope — CI must not depend on the network.
+
+CI runs this in the "docs" job next to the executable-example check.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Every markdown file whose links must resolve.
+DOCUMENTATION_FILES = (
+    "README.md",
+    os.path.join("docs", "API.md"),
+    os.path.join("docs", "ARCHITECTURE.md"),
+    os.path.join("docs", "OBSERVABILITY.md"),
+    os.path.join("docs", "RELIABILITY.md"),
+    os.path.join("docs", "SOLVER.md"),
+)
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_FENCE = re.compile(r"^[ ]*```")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def _strip_fenced_code(text: str) -> str:
+    """Drop fenced code blocks; links inside them are examples."""
+    kept: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def extract_links(text: str) -> list[str]:
+    """All link targets outside fenced code blocks, in order."""
+    return _LINK.findall(_strip_fenced_code(text))
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading, numbering duplicates."""
+    # Inline code and emphasis markers do not survive into the slug.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(text: str) -> set[str]:
+    """The set of anchor slugs a markdown document exposes."""
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    for line in _strip_fenced_code(text).splitlines():
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(2), seen))
+    return slugs
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.mark.parametrize(
+    "relative_path",
+    DOCUMENTATION_FILES,
+    ids=[path.replace(os.sep, "/") for path in DOCUMENTATION_FILES],
+)
+def test_internal_links_resolve(relative_path):
+    source_path = os.path.join(REPO_ROOT, relative_path)
+    source_dir = os.path.dirname(source_path)
+    text = _read(source_path)
+    problems: list[str] = []
+    for target in extract_links(text):
+        if target.startswith(_EXTERNAL_SCHEMES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(
+                os.path.join(source_dir, file_part)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{target}: no such file {file_part}")
+                continue
+            anchor_host = resolved
+        else:
+            anchor_host = source_path
+        if anchor:
+            if not anchor_host.endswith(".md"):
+                problems.append(
+                    f"{target}: anchor into non-markdown target"
+                )
+                continue
+            if anchor not in heading_slugs(_read(anchor_host)):
+                problems.append(f"{target}: no heading for #{anchor}")
+    assert not problems, (
+        f"{relative_path} has broken internal links:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+def test_docs_cross_reference_each_other():
+    """The doc set must stay connected: SOLVER.md is reachable from
+    README and API.md, and every doc file is linked from somewhere."""
+    incoming: dict[str, int] = {
+        path: 0 for path in DOCUMENTATION_FILES
+    }
+    for relative_path in DOCUMENTATION_FILES:
+        source_path = os.path.join(REPO_ROOT, relative_path)
+        source_dir = os.path.dirname(source_path)
+        for target in extract_links(_read(source_path)):
+            if target.startswith(_EXTERNAL_SCHEMES):
+                continue
+            file_part = target.partition("#")[0]
+            if not file_part:
+                continue
+            resolved = os.path.relpath(
+                os.path.normpath(os.path.join(source_dir, file_part)),
+                REPO_ROOT,
+            )
+            if resolved in incoming and resolved != relative_path:
+                incoming[resolved] += 1
+    orphans = [path for path, count in incoming.items()
+               if count == 0 and path != "README.md"]
+    assert not orphans, f"documentation files never linked: {orphans}"
+
+
+class TestSlugRules:
+    def test_basic_lowercase_hyphenation(self):
+        assert github_slug("Request ids", {}) == "request-ids"
+
+    def test_punctuation_stripped(self):
+        seen: dict[str, int] = {}
+        assert (
+            github_slug("`repro.eval` — the paper's protocol", seen)
+            == "reproeval--the-papers-protocol"
+        )
+
+    def test_duplicates_numbered(self):
+        seen: dict[str, int] = {}
+        assert github_slug("Metrics", seen) == "metrics"
+        assert github_slug("Metrics", seen) == "metrics-1"

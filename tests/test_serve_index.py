@@ -105,7 +105,10 @@ class TestScoreIndex:
                     raise ConvergenceError(
                         "synthetic failure", iterations=1, residual=1.0
                     )
+                # Opt the method out of the fused stack so the refresh
+                # falls back to the (exploding) scalar solve.
                 method.scores = explode
+                method.fused_column = lambda network: None
             return method
 
         monkeypatch.setattr(
