@@ -1,6 +1,6 @@
 """Scenario drivers: run the full stack under a fault plan.
 
-Two scenarios cover the catalog:
+Three scenarios cover the catalog:
 
 ``checkpoint``
     Replay a synthetic citation stream through
@@ -31,7 +31,19 @@ Two scenarios cover the catalog:
     contained by the drain, and a drained port refuses new
     connections.
 
-Both scenarios are deterministic given ``(plan, seed)``; the sweep
+``worker``
+    Serve the same workload through a pre-forked
+    :class:`~repro.gateway.MultiWorkerGateway` fleet (two
+    ``SO_REUSEPORT`` workers over one shared-memory store) with the
+    plan armed *before* the fork, so the ``gateway.worker`` crash
+    fires inside the children and kills real processes mid-serve.
+    Invariants: the supervisor restarts every crashed worker, every
+    planned request is eventually answered (clients reconnect through
+    the zero-listener window), every response parses cleanly and is
+    bit-identical at its reported version, and after the drain no
+    ``repro_shm_*`` segment remains in ``/dev/shm``.
+
+The scenarios are deterministic given ``(plan, seed)``; the sweep
 pins the fault point and lets the seed choose fault kind, firing
 invocation, and workload, so ``repro chaos sweep --seeds 5`` exercises
 every registered point under five independent schedules.
@@ -72,6 +84,7 @@ __all__ = [
     "run_plan",
     "run_checkpoint_scenario",
     "run_gateway_scenario",
+    "run_worker_scenario",
     "sweep",
 ]
 
@@ -275,6 +288,9 @@ async def _chaos_client(
     records: list[dict[str, Any]],
     drops: list[str],
     parse_failures: list[str],
+    *,
+    attempts: int = 6,
+    retry_delay: float = 0.0,
 ) -> None:
     """A reconnect-tolerant keep-alive client.
 
@@ -282,11 +298,16 @@ async def _chaos_client(
     do is accept a torn body as an answer.  Short reads and resets
     reconnect and retry the same request; a body that reads complete
     but fails to parse is recorded as a violation, not retried.
+
+    The worker scenario passes a nonzero ``retry_delay`` (and a larger
+    ``attempts`` budget): when every worker of a fleet crashes at once
+    there is a window with *zero* listeners, and an instant-retry
+    client would burn its whole budget inside it.
     """
     reader = writer = None
     try:
         for request in requests:
-            for _attempt in range(6):
+            for _attempt in range(attempts):
                 try:
                     if writer is None:
                         reader, writer = await asyncio.open_connection(
@@ -302,7 +323,9 @@ async def _chaos_client(
                     )
                     await writer.drain()
                     assert reader is not None
-                    status, document = await _read_response(reader)
+                    status, _headers, document = await _read_response(
+                        reader
+                    )
                 except (
                     ConnectionResetError,
                     BrokenPipeError,
@@ -313,6 +336,8 @@ async def _chaos_client(
                     if writer is not None:
                         writer.close()
                     reader = writer = None
+                    if retry_delay:
+                        await asyncio.sleep(retry_delay)
                     continue
                 except ValueError as error:
                     # Complete by content-length but not parseable:
@@ -464,6 +489,132 @@ def run_gateway_scenario(
 
 
 # ----------------------------------------------------------------------
+# The worker-fleet scenario
+# ----------------------------------------------------------------------
+def run_worker_scenario(
+    plan: FaultPlan, *, seed: int = 0
+) -> ScenarioReport:
+    """Kill pre-forked gateway workers under load; see the docstring.
+
+    The armed plan forks into every worker (the fleet uses the fork
+    start method), so the ``gateway.worker`` crash fires inside the
+    children — the parent's injector never sees it, and "the fault
+    fired" is read back as *the supervisor counted restarts*.  Both
+    initial workers inherit the same schedule and die near-together;
+    replacements are forked disarmed, so the fault fires exactly once
+    per original worker instead of looping forever.
+    """
+    spec = _single_spec(plan)
+    from repro.gateway.workers import MultiWorkerGateway
+    from repro.serve.shm import iter_repro_segments
+
+    log, _ = _seed_fixtures(seed)
+    bootstrap = max(1, len(log) // 2)
+
+    def make_ingestor() -> StreamIngestor:
+        return StreamIngestor(
+            log,
+            CHAOS_METHODS,
+            batch_size=24,
+            bootstrap_size=bootstrap,
+        )
+
+    ingestor = make_ingestor()
+    ingestor.step()  # bootstrap: version 0
+    service = ingestor.service
+    network = service.index.network
+    times = network.publication_times
+    year_span = (float(times.min()), float(times.max()))
+    sample = list(network.paper_ids[:: max(1, network.n_papers // 32)])
+    client_plans = _client_plans(
+        CHAOS_METHODS,
+        sample,
+        year_span,
+        clients=3,
+        requests_per_client=12,
+        seed=seed,
+    )
+    segments_before = list(iter_repro_segments())
+    gateway = MultiWorkerGateway(
+        service,
+        workers=2,
+        config=GatewayConfig(
+            port=0, update_interval=0.0, drain_seconds=10.0
+        ),
+        ingestor=ingestor,
+    )
+
+    report = ScenarioReport(
+        scenario="worker",
+        point=spec.point,
+        kind=spec.kind,
+        invocation=spec.invocation,
+        seed=plan.seed if plan.seed is not None else seed,
+        fired=False,
+    )
+    records: list[dict[str, Any]] = []
+    drops: list[str] = []
+    parse_failures: list[str] = []
+
+    with FaultInjector(plan):
+        gateway.start()  # workers fork with the plan armed
+        try:
+            gateway.start_supervision_thread(interval=0.005)
+            assert gateway.port is not None
+
+            async def drive() -> None:
+                await asyncio.gather(
+                    *(
+                        _chaos_client(
+                            gateway.config.host, gateway.port, plan_,
+                            records, drops, parse_failures,
+                            attempts=60, retry_delay=0.05,
+                        )
+                        for plan_ in client_plans
+                    )
+                )
+
+            asyncio.run(drive())
+        finally:
+            fleet = gateway.stop()
+    report.fired = gateway.restarts >= 1
+
+    segments_after = [
+        name
+        for name in iter_repro_segments()
+        if name not in segments_before
+    ]
+    verified, mismatches = _verify_records(
+        records, _ReplicaAtVersion(make_ingestor())
+    )
+    report.invariants = {
+        "supervisor_restarted": gateway.restarts >= 1,
+        "all_requests_answered": len(records)
+        == sum(len(p) for p in client_plans),
+        "responses_parse_cleanly": not parse_failures,
+        "responses_bit_identical": mismatches == 0 and verified > 0,
+        "no_shm_leak": not segments_after,
+    }
+    report.details.update(
+        {
+            "responses": len(records),
+            "drops": drops,
+            "worker_restarts": gateway.restarts,
+            "verified_responses": verified,
+            "mismatched_responses": mismatches,
+            "updates_applied": gateway.updates_applied,
+            "shm_leftovers": segments_after,
+            "fleet_5xx": (
+                fleet["responses"]["errors_5xx"]
+                if fleet is not None
+                else None
+            ),
+        }
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
 # Dispatch and the sweep
 # ----------------------------------------------------------------------
 def run_plan(
@@ -474,6 +625,8 @@ def run_plan(
     declared = fault_point(spec.point)
     if declared.scenario == "checkpoint":
         return run_checkpoint_scenario(plan, seed=seed, workdir=workdir)
+    if declared.scenario == "worker":
+        return run_worker_scenario(plan, seed=seed)
     assert declared.scenario == "gateway"
     return run_gateway_scenario(plan, seed=seed)
 

@@ -258,6 +258,20 @@ FAULT_POINTS: tuple[FaultPoint, ...] = (
         scenario="gateway",
         max_invocation=4,
     ),
+    # --- gateway/workers.py: the pre-fork worker fleet ---------------
+    FaultPoint(
+        name="gateway.worker",
+        module="repro.gateway.workers",
+        description=(
+            "a worker process killed mid-serve (the armed plan forks "
+            "into the child and fires in its heartbeat loop) — the "
+            "supervisor must restart it, siblings must keep answering "
+            "on the shared port, and no shared-memory segment may leak"
+        ),
+        kinds=("crash",),
+        scenario="worker",
+        max_invocation=8,
+    ),
 )
 
 _BY_NAME = {point.name: point for point in FAULT_POINTS}

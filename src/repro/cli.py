@@ -499,6 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the per-shard query phase",
     )
     serve_http.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "pre-forked gateway processes sharing the port via "
+            "SO_REUSEPORT and the score store via shared memory "
+            "(default 1: single-process serving)"
+        ),
+    )
+    serve_http.add_argument(
         "--for-seconds",
         type=float,
         default=None,
@@ -640,6 +650,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PARTITIONERS),
         default="hash",
         help="shard assignment policy (default: hash)",
+    )
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "drive a pre-forked SO_REUSEPORT worker fleet over one "
+            "shared-memory store instead of a single in-process "
+            "gateway (stream mode only; default 1)"
+        ),
     )
     loadgen.add_argument(
         "--no-verify",
@@ -1316,10 +1336,13 @@ def _stream_checkpoint(args: argparse.Namespace) -> int:
 
 def _command_serve_http(args: argparse.Namespace) -> int:
     import asyncio
+    import signal as signal_module
 
     from repro.gateway import GatewayConfig, GatewayServer
     from repro.obs import configure_logging, enable_tracing
 
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
     if args.log_level != "off":
         configure_logging(
             args.log_level, json=args.log_format == "json"
@@ -1337,28 +1360,78 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         rate_burst=args.rate_burst,
     )
 
+    if args.workers > 1:
+        from repro.gateway import MultiWorkerGateway
+
+        gateway = MultiWorkerGateway(
+            backend,
+            workers=args.workers,
+            config=config,
+            jobs=args.jobs,
+        )
+        gateway.start()
+        print(
+            f"serving {args.index} on http://{config.host}:{gateway.port}"
+            f" with {args.workers} workers"
+            f" ({'for %.1fs' % args.for_seconds if args.for_seconds else 'SIGTERM/Ctrl-C drains and stops'})",
+            flush=True,
+        )
+        try:
+            # serve_forever installs SIGTERM/SIGINT handlers, restarts
+            # crashed workers, and drains the fleet on the way out.
+            gateway.serve_forever(for_seconds=args.for_seconds)
+        except KeyboardInterrupt:  # signal raced handler installation
+            gateway.stop()
+        print("gateway drained and stopped")
+        return 0
+
     async def serve() -> None:
         server = GatewayServer(backend, config=config)
         await server.start()
         print(
             f"serving {args.index} on http://{config.host}:{server.port}"
-            f" ({'for %.1fs' % args.for_seconds if args.for_seconds else 'Ctrl-C drains and stops'})",
+            f" ({'for %.1fs' % args.for_seconds if args.for_seconds else 'SIGTERM/Ctrl-C drains and stops'})",
             flush=True,
         )
+        # SIGTERM must drain exactly like Ctrl-C: a supervisor
+        # (systemd, Docker, the CI harness) stops services with
+        # SIGTERM, and before these handlers existed that path killed
+        # in-flight requests and skipped the drain entirely.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[int] = []
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
         try:
             if args.for_seconds is not None:
-                await asyncio.sleep(args.for_seconds)
+                deadline = asyncio.create_task(
+                    asyncio.sleep(args.for_seconds)
+                )
+                stopper = asyncio.create_task(stop.wait())
+                done, pending = await asyncio.wait(
+                    {deadline, stopper},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in pending:
+                    task.cancel()
             else:
-                await server.serve_forever()
+                await stop.wait()
         finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await server.stop()
             print("gateway drained and stopped")
 
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
-        # asyncio.run already cancelled serve(); the finally block's
-        # drain ran inside the loop before it closed.
+        # Only reachable where add_signal_handler is unavailable (or
+        # the signal raced installation): asyncio.run already
+        # cancelled serve(), whose finally block drained in-loop.
         pass
     return 0
 
@@ -1413,11 +1486,40 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 def _command_loadgen(args: argparse.Namespace) -> int:
     from repro.gateway import GatewayConfig
-    from repro.gateway.loadgen import run_load_over_log, run_load_static
+    from repro.gateway.loadgen import (
+        run_load_multiworker,
+        run_load_over_log,
+        run_load_static,
+    )
 
     verify = not args.no_verify
     config = GatewayConfig(port=0)
-    if args.index:
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1 and args.index:
+        raise ReproError(
+            "--workers needs stream mode (--dataset or --input): the "
+            "fleet's supervisor is the streaming updater"
+        )
+    if args.workers > 1:
+        from repro.stream import EventLog
+
+        network = _load_source(args)
+        log = EventLog.from_network(network)
+        report = run_load_multiworker(
+            log,
+            tuple(args.methods),
+            workers=args.workers,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            config=config,
+            verify=verify,
+        )
+    elif args.index:
         backend = _serving_backend(args.index, jobs=1)
         labels = (
             backend.index.labels

@@ -71,6 +71,18 @@ class GatewayError(ReproError):
     """
 
 
+class SharedStoreError(ReproError):
+    """The shared-memory score store protocol was violated.
+
+    Raised when a generation segment or board is missing, malformed,
+    or from an incompatible layout version; when a reader asks for a
+    generation before anything was published; or when the generation
+    board runs out of slots because readers pin too many superseded
+    generations.  Crashed *workers* never surface as this type — the
+    supervisor handles those — only protocol misuse does.
+    """
+
+
 class ChaosError(ReproError):
     """The fault-injection harness was misused or misconfigured.
 

@@ -23,6 +23,11 @@ actually stand behind:
 * :class:`StreamUpdater` — a background task applying
   :class:`~repro.stream.StreamIngestor` micro-batches while the server
   keeps answering, with the version swap atomic against every read;
+* :class:`MultiWorkerGateway` — pre-fork multi-process serving: N
+  workers share one port via ``SO_REUSEPORT`` and one score store via
+  :mod:`repro.serve.shm` shared memory, with a supervisor that
+  restarts crashes, runs the single-writer streaming updater, and
+  merges per-worker metrics into exact fleet-wide counters;
 * :func:`run_load_over_log` / :func:`run_load_static` — the load
   generator behind ``repro loadgen`` and the ``gateway`` bench
   scenario, which verifies every recorded response against a direct
@@ -38,7 +43,11 @@ from repro.gateway.admission import (
     TokenBucket,
 )
 from repro.gateway.coalesce import RequestCoalescer
-from repro.gateway.loadgen import run_load_over_log, run_load_static
+from repro.gateway.loadgen import (
+    run_load_multiworker,
+    run_load_over_log,
+    run_load_static,
+)
 from repro.gateway.metrics import (
     BatchSizeHistogram,
     GatewayMetrics,
@@ -46,6 +55,7 @@ from repro.gateway.metrics import (
 )
 from repro.gateway.server import GatewayConfig, GatewayServer, GatewayThread
 from repro.gateway.updates import StreamUpdater
+from repro.gateway.workers import MultiWorkerGateway
 
 __all__ = [
     "AdmissionController",
@@ -54,6 +64,7 @@ __all__ = [
     "RequestCoalescer",
     "run_load_over_log",
     "run_load_static",
+    "run_load_multiworker",
     "BatchSizeHistogram",
     "GatewayMetrics",
     "LatencyHistogram",
@@ -61,4 +72,5 @@ __all__ = [
     "GatewayServer",
     "GatewayThread",
     "StreamUpdater",
+    "MultiWorkerGateway",
 ]

@@ -45,23 +45,22 @@ class AdmissionDecision:
     reason:
         Machine-readable shed reason (``"ok"``, ``"rate-limited"``,
         ``"queue-full"``, ``"draining"``).
+    retry_after:
+        For shed decisions, the server's best estimate (seconds) of
+        when retrying could succeed — the bucket's next-token time for
+        429, a queue-drain estimate for ``queue-full``, the configured
+        drain window while draining.  ``None`` for admissions.  The
+        gateway rounds it up into an integer ``Retry-After`` header
+        (RFC 9110 delta-seconds).
     """
 
     admitted: bool
     status: int
     reason: str
+    retry_after: float | None = None
 
 
 _ADMITTED = AdmissionDecision(admitted=True, status=200, reason="ok")
-_RATE_LIMITED = AdmissionDecision(
-    admitted=False, status=429, reason="rate-limited"
-)
-_QUEUE_FULL = AdmissionDecision(
-    admitted=False, status=503, reason="queue-full"
-)
-_DRAINING = AdmissionDecision(
-    admitted=False, status=503, reason="draining"
-)
 
 
 class TokenBucket:
@@ -101,6 +100,23 @@ class TokenBucket:
             return True
         return False
 
+    def seconds_until_token(self) -> float:
+        """Time until one whole token exists, at the current fill level.
+
+        Called right after a failed :meth:`take` to derive the
+        ``Retry-After`` hint; the refill already happened there, so
+        this is pure arithmetic on the deficit.
+
+        >>> bucket = TokenBucket(rate=10.0, burst=1)
+        >>> bucket.take(now=0.0)
+        True
+        >>> bucket.take(now=0.0)
+        False
+        >>> bucket.seconds_until_token()
+        0.1
+        """
+        return max(0.0, (1.0 - self._tokens) / self.rate)
+
 
 class AdmissionController:
     """Decide, per request, between execute / queue / shed.
@@ -121,6 +137,10 @@ class AdmissionController:
     rate_limits:
         Optional ``endpoint -> TokenBucket`` map; an endpoint without a
         bucket is never 429'd.
+    drain_hint_seconds:
+        The ``retry_after`` estimate stamped on ``draining`` sheds
+        (the gateway passes its configured drain window: by then this
+        process is gone and a peer — or its restart — is answering).
 
     The controller also owns the *draining* flag: once
     :meth:`start_draining` is called (graceful shutdown), every new
@@ -135,6 +155,7 @@ class AdmissionController:
         max_inflight: int = 64,
         max_queue: int = 256,
         rate_limits: dict[str, TokenBucket] | None = None,
+        drain_hint_seconds: float = 5.0,
     ) -> None:
         if max_inflight < 1:
             raise ConfigurationError(
@@ -147,10 +168,16 @@ class AdmissionController:
         self.max_inflight = int(max_inflight)
         self.max_queue = int(max_queue)
         self.rate_limits = dict(rate_limits or {})
+        self.drain_hint_seconds = float(drain_hint_seconds)
         self.active = 0          # admitted and not yet released
         self.peak_active = 0
         self.admitted_total = 0
         self.draining = False
+        # Observed service rate (releases/second, half-life ~one
+        # window) — the basis of the queue-full Retry-After estimate.
+        self._release_rate = 0.0
+        self._window_start: float | None = None
+        self._window_releases = 0
 
     @property
     def capacity(self) -> int:
@@ -167,22 +194,67 @@ class AdmissionController:
         full — 429 is actionable for that client, 503 is not.
         """
         if self.draining:
-            return _DRAINING
+            return AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason="draining",
+                retry_after=self.drain_hint_seconds,
+            )
         bucket = self.rate_limits.get(endpoint)
         if bucket is not None and not bucket.take(now):
-            return _RATE_LIMITED
+            return AdmissionDecision(
+                admitted=False,
+                status=429,
+                reason="rate-limited",
+                retry_after=bucket.seconds_until_token(),
+            )
         if self.active >= self.capacity:
-            return _QUEUE_FULL
+            return AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason="queue-full",
+                retry_after=self._queue_drain_estimate(),
+            )
         self.active += 1
         self.admitted_total += 1
         if self.active > self.peak_active:
             self.peak_active = self.active
         return _ADMITTED
 
-    def release(self) -> None:
+    def _queue_drain_estimate(self) -> float:
+        """Seconds until a queue slot frees, at the observed rate.
+
+        ``active - max_inflight + 1`` requests must release before a
+        retry can even queue; divide by the measured release rate.
+        Before any rate is observed (a burst saturates a cold server),
+        fall back to one second — better than telling clients to
+        hammer immediately.
+        """
+        waiting_ahead = max(1, self.active - self.max_inflight + 1)
+        if self._release_rate > 0.0:
+            return waiting_ahead / self._release_rate
+        return 1.0
+
+    def release(self, *, now: float | None = None) -> None:
         """Return one admitted request's slot."""
         assert self.active > 0, "release() without a matching admit"
         self.active -= 1
+        if now is None:
+            now = time.monotonic()
+        if self._window_start is None:
+            self._window_start = now
+            self._window_releases = 0
+        self._window_releases += 1
+        elapsed = now - self._window_start
+        if elapsed >= 0.5:
+            rate = self._window_releases / elapsed
+            self._release_rate = (
+                rate
+                if self._release_rate == 0.0
+                else 0.5 * self._release_rate + 0.5 * rate
+            )
+            self._window_start = now
+            self._window_releases = 0
 
     def start_draining(self) -> None:
         """Shed all new requests from now on (graceful shutdown)."""

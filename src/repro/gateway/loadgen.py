@@ -41,7 +41,11 @@ from repro.serve.service import RankingService
 from repro.stream.events import EventLog
 from repro.stream.ingest import StreamIngestor
 
-__all__ = ["run_load_over_log", "run_load_static"]
+__all__ = [
+    "run_load_over_log",
+    "run_load_static",
+    "run_load_multiworker",
+]
 
 
 # ----------------------------------------------------------------------
@@ -120,54 +124,118 @@ async def _client(
     plan: Sequence[Mapping[str, Any]],
     records: list[dict[str, Any]],
     histogram: LatencyHistogram,
+    *,
+    retries: int = 0,
+    retry_cap: float = 2.0,
+    reconnect_delay: float = 0.05,
 ) -> None:
-    """One keep-alive connection working through its request plan."""
-    reader, writer = await asyncio.open_connection(host, port)
+    """One keep-alive connection working through its request plan.
+
+    With ``retries`` (the multi-worker drivers), shed responses are
+    retried after honouring the server's ``Retry-After`` header
+    (capped at ``retry_cap`` — the header's RFC floor is one whole
+    second, far coarser than bench-scale runs), and lost connections
+    reconnect: against a worker fleet a connection dies whenever *its*
+    worker does, and the retried request simply lands on a sibling.
+    Only the final attempt's latency is observed — backoff sleeps are
+    the client behaving, not the server responding.
+    """
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+
+    async def connect() -> None:
+        nonlocal reader, writer
+        if writer is None:
+            reader, writer = await asyncio.open_connection(host, port)
+
+    async def disconnect() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        reader = writer = None
+
     try:
         for request in plan:
             target = _target_of(request)
-            started = time.perf_counter()
-            writer.write(
-                (
-                    f"GET {target} HTTP/1.1\r\n"
-                    f"Host: {host}\r\n"
-                    "Connection: keep-alive\r\n\r\n"
-                ).encode("latin-1")
-            )
-            await writer.drain()
-            status, document = await _read_response(reader)
-            histogram.observe(time.perf_counter() - started)
-            records.append(
-                {
-                    "request": dict(request),
-                    "status": status,
-                    "version": document.get("version"),
-                    "result": document.get("result"),
-                    "error": document.get("error"),
-                }
-            )
+            attempt = 0
+            while True:
+                try:
+                    await connect()
+                    assert reader is not None and writer is not None
+                    started = time.perf_counter()
+                    writer.write(
+                        (
+                            f"GET {target} HTTP/1.1\r\n"
+                            f"Host: {host}\r\n"
+                            "Connection: keep-alive\r\n\r\n"
+                        ).encode("latin-1")
+                    )
+                    await writer.drain()
+                    status, headers, document = await _read_response(
+                        reader
+                    )
+                    latency = time.perf_counter() - started
+                except (OSError, asyncio.IncompleteReadError):
+                    await disconnect()
+                    if attempt >= retries:
+                        records.append(
+                            {
+                                "request": dict(request),
+                                "status": 599,
+                                "version": None,
+                                "result": None,
+                                "error": "connection-lost",
+                            }
+                        )
+                        break
+                    attempt += 1
+                    await asyncio.sleep(reconnect_delay)
+                    continue
+                if status in (429, 503) and attempt < retries:
+                    attempt += 1
+                    hint = headers.get("retry-after")
+                    delay = (
+                        min(float(hint), retry_cap)
+                        if hint is not None
+                        else reconnect_delay
+                    )
+                    await asyncio.sleep(delay)
+                    continue
+                histogram.observe(latency)
+                records.append(
+                    {
+                        "request": dict(request),
+                        "status": status,
+                        "version": document.get("version"),
+                        "result": document.get("result"),
+                        "error": document.get("error"),
+                    }
+                )
+                break
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        await disconnect()
 
 
 async def _read_response(
     reader: asyncio.StreamReader,
-) -> tuple[int, dict[str, Any]]:
+) -> tuple[int, dict[str, str], dict[str, Any]]:
+    """One HTTP response: ``(status, lowercase headers, JSON body)``."""
     head = await reader.readuntil(b"\r\n\r\n")
     lines = head.decode("latin-1").split("\r\n")
     status = int(lines[0].split()[1])
-    length = 0
+    headers: dict[str, str] = {}
     for line in lines[1:]:
         name, _, value = line.partition(":")
-        if name.strip().lower() == "content-length":
-            length = int(value.strip())
+        if value:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
     body = await reader.readexactly(length) if length else b""
     document = json.loads(body) if body else {}
-    return status, document
+    return status, headers, document
 
 
 # ----------------------------------------------------------------------
@@ -500,4 +568,178 @@ def run_load_static(
         )
     return _report(
         records, histogram, elapsed, server, verified, mismatches
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-worker run driver
+# ----------------------------------------------------------------------
+def _mp_report(
+    records: list[dict[str, Any]],
+    histogram: LatencyHistogram,
+    elapsed: float,
+    fleet: Mapping[str, Any] | None,
+    workers: int,
+    verified: int,
+    mismatches: int,
+) -> dict[str, Any]:
+    """The multi-worker analogue of :func:`_report`.
+
+    Client-side measures (latency, status counts) come from the
+    recorded traffic exactly as in the single-process report; the
+    server-side measures come from the supervisor's final fleet-wide
+    metrics merge instead of one in-process server object.
+    """
+    status_counts: dict[str, int] = {}
+    for record in records:
+        key = str(record["status"])
+        status_counts[key] = status_counts.get(key, 0) + 1
+    errors_5xx = sum(
+        count
+        for status, count in status_counts.items()
+        if int(status) >= 500
+    )
+    versions = sorted(
+        {
+            int(record["version"])
+            for record in records
+            if record["version"] is not None
+        }
+    )
+    report = {
+        "workers": workers,
+        "requests": len(records),
+        "elapsed_seconds": elapsed,
+        "requests_per_second": (
+            len(records) / elapsed if elapsed > 0 else 0.0
+        ),
+        "latency": histogram.snapshot(),
+        "status_counts": status_counts,
+        "errors_5xx": errors_5xx,
+        "shed_429": 0,
+        "shed_503": 0,
+        "coalescing": {"mean_batch_size": 0.0},
+        "updates_applied": 0,
+        "worker_restarts": 0,
+        "versions_observed": versions,
+        "result_cache": None,
+        "verified_responses": verified,
+        "mismatched_responses": mismatches,
+        "identical_rankings": mismatches == 0 and verified > 0,
+    }
+    if fleet is not None:
+        report["shed_429"] = fleet["responses"]["shed_429"]
+        report["shed_503"] = fleet["responses"]["shed_503"]
+        report["coalescing"] = fleet["coalescing"]
+        report["updates_applied"] = fleet["stream_updates"]["applied"]
+        report["worker_restarts"] = fleet["workers"]["restarts"]
+        report["fleet_latency"] = fleet["latency"]["overall"]
+    return report
+
+
+def run_load_multiworker(
+    log: EventLog,
+    methods: Sequence[str] = ("AR", "PR", "CC"),
+    *,
+    workers: int,
+    clients: int = 8,
+    requests_per_client: int = 25,
+    seed: int = 7,
+    batch_size: int = 64,
+    bootstrap_events: int | None = None,
+    shards: int = 1,
+    partitioner: str = "hash",
+    config: GatewayConfig | None = None,
+    verify: bool = True,
+    live_updates: bool = True,
+    retries: int = 8,
+) -> dict[str, Any]:
+    """Load-test a pre-forked worker fleet over one shared store.
+
+    The multi-worker counterpart of :func:`run_load_over_log`: a
+    :class:`~repro.gateway.MultiWorkerGateway` serves the log's
+    bootstrap from ``workers`` ``SO_REUSEPORT`` processes while the
+    supervisor (the one writer) applies the remaining events as
+    shared-memory generations.  Clients honour ``Retry-After`` on
+    sheds and reconnect through worker restarts, so the driver also
+    holds under chaos.  ``clients`` may be in the thousands — each is
+    one asyncio connection, not a thread.  Verification replays a
+    replica exactly as in the single-process driver: shared memory
+    must not change a single response byte.
+    """
+    if clients < 1:
+        raise GatewayError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise GatewayError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    from repro.gateway.workers import MultiWorkerGateway
+
+    bootstrap = (
+        max(1, len(log) // 2)
+        if bootstrap_events is None
+        else bootstrap_events
+    )
+
+    def make_ingestor() -> StreamIngestor:
+        return StreamIngestor(
+            log,
+            methods,
+            batch_size=batch_size,
+            bootstrap_size=bootstrap,
+            shards=shards,
+            partitioner=partitioner,
+        )
+
+    ingestor = make_ingestor()
+    ingestor.step()  # the bootstrap batch: version 0
+    service = ingestor.service
+    network = service.index.network
+    times = network.publication_times
+    year_span = (float(times.min()), float(times.max()))
+    sample = list(network.paper_ids[:: max(1, network.n_papers // 64)])
+    plans = _client_plans(
+        methods, sample, year_span,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        seed=seed,
+    )
+    gateway = MultiWorkerGateway(
+        service,
+        workers=workers,
+        config=config or GatewayConfig(port=0),
+        ingestor=ingestor if live_updates else None,
+    )
+    records: list[dict[str, Any]] = []
+    histogram = LatencyHistogram()
+    gateway.start()
+    try:
+        gateway.start_supervision_thread()
+        assert gateway.port is not None
+
+        async def drive() -> float:
+            started = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    _client(
+                        gateway.config.host, gateway.port, plan,
+                        records, histogram, retries=retries,
+                    )
+                    for plan in plans
+                )
+            )
+            return time.perf_counter() - started
+
+        elapsed = asyncio.run(drive())
+    finally:
+        fleet = gateway.stop()
+
+    verified = mismatches = 0
+    if verify:
+        verified, mismatches = _verify_records(
+            records, _ReplicaAtVersion(make_ingestor())
+        )
+    return _mp_report(
+        records, histogram, elapsed, fleet, workers, verified,
+        mismatches,
     )

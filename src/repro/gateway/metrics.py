@@ -27,7 +27,7 @@ bucket math shared with :mod:`repro.obs.registry`.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.obs.registry import (
     MetricFamily,
@@ -104,8 +104,13 @@ class LatencyHistogram:
         """Cumulative ``(le, count)`` pairs for ``_bucket`` export."""
         return cumulative_buckets(self._bounds, self._counts)
 
-    def snapshot(self) -> dict[str, float]:
-        """Quantiles and totals, in milliseconds, JSON-ready."""
+    def snapshot(self) -> dict[str, int | float]:
+        """Quantiles and totals, in milliseconds, JSON-ready.
+
+        ``count`` is an integer, the rest are floats — the annotation
+        says so (``int | float``) instead of pretending everything is
+        a float.
+        """
         return {
             "count": self.count,
             "mean_ms": self.mean * 1000.0,
@@ -114,6 +119,38 @@ class LatencyHistogram:
             "p99_ms": self.quantile(0.99) * 1000.0,
             "max_ms": self.max_seconds * 1000.0,
         }
+
+    def state_dict(self) -> dict[str, Any]:
+        """Raw bucket counts and totals — the mergeable representation.
+
+        Quantiles cannot be combined across processes, bucket counts
+        can: the multi-worker supervisor scrapes each worker's state
+        and :meth:`merge_state`\\ s them into one histogram whose
+        quantiles are exact over the whole fleet (same fixed bounds
+        everywhere).
+        """
+        return {
+            "counts": list(self._counts),
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold one :meth:`state_dict` into this histogram."""
+        counts = state["counts"]
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram bucket mismatch: {len(counts)} != "
+                f"{len(self._counts)} (different BOUNDS?)"
+            )
+        for position, count in enumerate(counts):
+            self._counts[position] += int(count)
+        self.count += int(state["count"])
+        self.total_seconds += float(state["total_seconds"])
+        self.max_seconds = max(
+            self.max_seconds, float(state["max_seconds"])
+        )
 
 
 class BatchSizeHistogram:
@@ -153,6 +190,21 @@ class BatchSizeHistogram:
             float(1 << b) for b in range(self.N_BUCKETS - 1)
         )
         return cumulative_buckets(bounds, self._counts)
+
+    def state_dict(self) -> dict[str, Any]:
+        """Raw bucket counts and totals (mergeable across workers)."""
+        return {
+            "counts": list(self._counts),
+            "batches": self.batches,
+            "requests": self.requests,
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold one :meth:`state_dict` into this histogram."""
+        for position, count in enumerate(state["counts"]):
+            self._counts[position] += int(count)
+        self.batches += int(state["batches"])
+        self.requests += int(state["requests"])
 
     def snapshot(self) -> dict[str, Any]:
         """Bucket labels -> counts, plus totals."""
@@ -232,6 +284,62 @@ class GatewayMetrics:
             pooled.total_seconds += hist.total_seconds
             pooled.max_seconds = max(pooled.max_seconds, hist.max_seconds)
         return pooled
+
+    def state_dict(self) -> dict[str, Any]:
+        """Every counter and raw histogram — the cross-process wire form.
+
+        Each multi-worker gateway process serves this as
+        ``/v1/metrics?format=state`` on its private control port; the
+        supervisor merges the workers' states with
+        :meth:`merge_states` and renders ONE fleet-wide document whose
+        counters are exact sums and whose latency quantiles come from
+        summed bucket counts (not from averaging per-worker
+        quantiles, which would be wrong).
+        """
+        return {
+            "started_requests": self.started_requests,
+            "responses_by_status": {
+                str(status): count
+                for status, count in self.responses_by_status.items()
+            },
+            "requests_by_endpoint": dict(self.requests_by_endpoint),
+            "shed_429": self.shed_429,
+            "shed_503": self.shed_503,
+            "updates_applied": self.updates_applied,
+            "batch_sizes": self.batch_sizes.state_dict(),
+            "latency_by_endpoint": {
+                endpoint: hist.state_dict()
+                for endpoint, hist in self._latency_by_endpoint.items()
+            },
+        }
+
+    @classmethod
+    def merge_states(
+        cls, states: "Sequence[Mapping[str, Any]]"
+    ) -> "GatewayMetrics":
+        """One ``GatewayMetrics`` holding the sum of worker states."""
+        merged = cls()
+        for state in states:
+            merged.started_requests += int(state["started_requests"])
+            for status, count in state["responses_by_status"].items():
+                key = int(status)
+                merged.responses_by_status[key] = (
+                    merged.responses_by_status.get(key, 0) + int(count)
+                )
+            for endpoint, count in state["requests_by_endpoint"].items():
+                merged.requests_by_endpoint[endpoint] = (
+                    merged.requests_by_endpoint.get(endpoint, 0)
+                    + int(count)
+                )
+            merged.shed_429 += int(state["shed_429"])
+            merged.shed_503 += int(state["shed_503"])
+            merged.updates_applied += int(state["updates_applied"])
+            merged.batch_sizes.merge_state(state["batch_sizes"])
+            for endpoint, hist_state in state[
+                "latency_by_endpoint"
+            ].items():
+                merged.latency(endpoint).merge_state(hist_state)
+        return merged
 
     def render(
         self, cache_stats: Mapping[str, Any] | None = None

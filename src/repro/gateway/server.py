@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -131,6 +132,11 @@ class GatewayConfig:
     drain_seconds:
         How long :meth:`GatewayServer.stop` waits for in-flight
         requests before closing connections anyway.
+    reuse_port:
+        Bind the listening socket with ``SO_REUSEPORT`` so sibling
+        worker processes can share one port (the multi-worker
+        gateway's pre-fork mode); the kernel load-balances incoming
+        connections across all listeners.
     """
 
     host: str = "127.0.0.1"
@@ -142,6 +148,7 @@ class GatewayConfig:
     rate_burst: int = 32
     update_interval: float = 0.01
     drain_seconds: float = 5.0
+    reuse_port: bool = False
 
 
 class GatewayServer:
@@ -184,6 +191,7 @@ class GatewayServer:
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
             rate_limits=rate_limits,
+            drain_hint_seconds=self.config.drain_seconds,
         )
         # max_inflight is a promise about concurrent *execution*: at
         # most that many requests enter one engine batch, the rest
@@ -203,11 +211,13 @@ class GatewayServer:
                 metrics=self.metrics,
             )
         self.port: int | None = None
+        self.control_port: int | None = None
         #: A crash that killed the live updater task, surfaced by
         #: :meth:`stop` instead of re-raised into the drain — the
         #: gateway keeps serving reads after its write path dies.
         self.updater_error: BaseException | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._control_server: asyncio.AbstractServer | None = None
         self._updater_task: asyncio.Task | None = None
         self._connections: set[asyncio.StreamWriter] = set()
 
@@ -219,14 +229,42 @@ class GatewayServer:
         if self._server is not None:
             raise GatewayError("gateway server already started")
         await self.coalescer.start()
+        # reuse_port is passed only when asked for: asyncio rejects the
+        # keyword outright on platforms without SO_REUSEPORT.
+        extra: dict[str, Any] = (
+            {"reuse_port": True} if self.config.reuse_port else {}
+        )
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            **extra,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.updater is not None:
             self._updater_task = asyncio.ensure_future(
                 self.updater.run()
             )
+
+    async def start_control(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        """Open a private per-process listener on the same handler.
+
+        The multi-worker supervisor scrapes each worker's metrics here:
+        the public ``SO_REUSEPORT`` port load-balances across workers,
+        so "ask worker 3 for its counters" needs an address only worker
+        3 answers.  Returns the bound port.
+        """
+        if self._control_server is not None:
+            raise GatewayError("control listener already started")
+        self._control_server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        self.control_port = (
+            self._control_server.sockets[0].getsockname()[1]
+        )
+        return self.control_port
 
     async def serve_forever(self) -> None:
         """Block until cancelled (the CLI's foreground mode)."""
@@ -246,6 +284,10 @@ class GatewayServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+            self._control_server = None
         if self._updater_task is not None:
             assert self.updater is not None
             self.updater.stop()
@@ -389,6 +431,7 @@ class GatewayServer:
         payload: dict[str, Any] | str
         content_type = "application/json"
         admitted = False
+        retry_after: float | None = None
         try:
             if method != "GET":
                 status, payload = 405, _error_payload(
@@ -404,6 +447,14 @@ class GatewayServer:
                     content_type = (
                         "text/plain; version=0.0.4; charset=utf-8"
                     )
+                elif wants == "state":
+                    # Raw mergeable counters: what the multi-worker
+                    # supervisor scrapes from each worker's control
+                    # port to build the fleet-wide document.
+                    status, payload = 200, {
+                        "metrics": self.metrics.state_dict(),
+                        "admission": self.admission.snapshot(),
+                    }
                 else:
                     status, payload = 200, self._metrics_payload()
             elif endpoint == "trace":
@@ -425,6 +476,7 @@ class GatewayServer:
                                 reason=decision.reason,
                             ),
                         )
+                        retry_after = decision.retry_after
                     else:
                         admitted = True
                         try:
@@ -451,6 +503,11 @@ class GatewayServer:
                 )
             if self.admission.draining:
                 keep_alive = False
+            if status in (429, 503) and retry_after is None:
+                # Sheds decided past admission (a drain racing the
+                # coalescer submit): the process is going away, so the
+                # honest hint is the full drain window.
+                retry_after = self.config.drain_seconds
             try:
                 await self._write_response(
                     writer,
@@ -458,6 +515,7 @@ class GatewayServer:
                     payload,
                     keep_alive,
                     content_type=content_type,
+                    retry_after=retry_after,
                 )
             finally:
                 # Release only after the body is flushed: stop()'s
@@ -645,6 +703,7 @@ class GatewayServer:
         keep_alive: bool,
         *,
         content_type: str = "application/json",
+        retry_after: float | None = None,
     ) -> None:
         if isinstance(payload, str):
             body = payload.encode("utf-8")
@@ -655,11 +714,19 @@ class GatewayServer:
         request_id_header = (
             f"X-Request-Id: {request_id}\r\n" if request_id else ""
         )
+        # RFC 9110 delta-seconds: a non-negative integer, rounded up so
+        # "0.08s until a token" never becomes "retry immediately".
+        retry_header = (
+            f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
+            if retry_after is not None
+            else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{request_id_header}"
+            f"{retry_header}"
             f"Connection: {connection}\r\n"
             "\r\n"
         )

@@ -60,6 +60,14 @@ from repro.serve.score_index import (
     ScoreIndex,
 )
 from repro.serve.service import RankingService
+from repro.serve.shm import (
+    SHM_FORMAT_VERSION,
+    GenerationBoard,
+    SharedStorePublisher,
+    SharedStoreReader,
+    attach_snapshot,
+    export_snapshot,
+)
 from repro.serve.shard import (
     PARTITIONERS,
     SHARD_FORMAT_VERSION,
@@ -100,4 +108,10 @@ __all__ = [
     "QueryResult",
     "RankedPaper",
     "RankingService",
+    "SHM_FORMAT_VERSION",
+    "GenerationBoard",
+    "SharedStorePublisher",
+    "SharedStoreReader",
+    "attach_snapshot",
+    "export_snapshot",
 ]

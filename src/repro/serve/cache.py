@@ -62,8 +62,14 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def as_dict(self) -> dict[str, float]:
-        """JSON-ready counters (for ``/v1/metrics`` and bench payloads)."""
+    def as_dict(self) -> dict[str, int | float]:
+        """JSON-ready counters (for ``/v1/metrics`` and bench payloads).
+
+        Values are the six integer counters plus the float
+        ``hit_rate`` — ``int | float``, not ``float``: consumers that
+        branch on exact equality (bench baselines diffing counter
+        values) must not be told these are floats.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -63,7 +63,9 @@ class TestCatalog:
 
     def test_every_point_has_a_scenario_and_kinds(self):
         for point in FAULT_POINTS:
-            assert point.scenario in ("checkpoint", "gateway"), point.name
+            assert point.scenario in (
+                "checkpoint", "gateway", "worker"
+            ), point.name
             assert point.kinds, point.name
             assert point.max_invocation >= 0, point.name
 
@@ -421,6 +423,30 @@ class TestGatewayScenarios:
         report = run_gateway_scenario(plan, seed=1)
         assert report.ok, report.to_payload()
         assert report.invariants["responses_parse_cleanly"] is True
+
+
+@pytest.mark.chaos
+class TestWorkerScenarios:
+    def test_worker_killed_under_load_is_replaced(self):
+        """A pre-forked worker dies mid-load (`os._exit`, no drain):
+        the supervisor restarts it, clients lose no request, every
+        answer stays bit-identical, and no shared-memory segment
+        outlives the run."""
+        from repro.chaos.harness import run_worker_scenario
+
+        plan = FaultPlan.single(
+            "gateway.worker", kind="crash", invocation=2, seed=0
+        )
+        report = run_worker_scenario(plan, seed=0)
+        assert report.fired, report.to_payload()
+        assert report.ok, report.to_payload()
+        assert report.invariants == {
+            "supervisor_restarted": True,
+            "all_requests_answered": True,
+            "responses_parse_cleanly": True,
+            "responses_bit_identical": True,
+            "no_shm_leak": True,
+        }
 
 
 @pytest.mark.chaos

@@ -375,7 +375,7 @@ class TestLoadShedding:
                     server.config.host, server.port,
                     "/v1/top?method=CC&k=2",
                 )
-                second = await _get(
+                second = await _get_raw(
                     server.config.host, server.port,
                     "/v1/top?method=CC&k=2",
                 )
@@ -389,8 +389,13 @@ class TestLoadShedding:
 
         first, second, health = asyncio.run(main())
         assert first[0] == 200
-        assert second[0] == 429
-        assert second[1]["error"]["reason"] == "rate-limited"
+        status, headers, body = second
+        assert status == 429
+        assert json.loads(body)["error"]["reason"] == "rate-limited"
+        # The shed tells the client when retrying could succeed: the
+        # bucket refills at 0.001/s, so the hint is a large integer,
+        # never the "retry immediately" a bare 429 implies.
+        assert int(headers["retry-after"]) >= 1
         assert health[0] == 200
 
 
@@ -459,6 +464,10 @@ class TestDrain:
         assert status == 503
         assert document["error"]["reason"] == "draining"
         assert b"Connection: close" in head
+        # Draining sheds carry a Retry-After derived from the
+        # remaining drain budget, so well-behaved clients back off
+        # instead of hammering a server that is going away.
+        assert b"Retry-After: " in head
 
 
 class TestGatewayThread:

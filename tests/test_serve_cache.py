@@ -59,6 +59,14 @@ class TestCounterCorrectness:
         assert payload["hits"] == 1
         assert payload["invalidations"] == 0
         assert 0.0 <= payload["hit_rate"] <= 1.0
+        # The annotation says ``dict[str, int | float]`` and the
+        # values must match it: counters stay exact ints (bench
+        # diffs compare them by equality), only hit_rate is a float.
+        for key, value in payload.items():
+            if key == "hit_rate":
+                assert type(value) is float, key
+            else:
+                assert type(value) is int, key
 
     def test_rejects_nonpositive_size(self):
         with pytest.raises(ConfigurationError):
