@@ -538,8 +538,15 @@ def run_worker_scenario(
     gateway = MultiWorkerGateway(
         service,
         workers=2,
+        # Profiling on at a brisk rate: the worker-kill scenario is
+        # also the proof that the fleet profile survives a restart
+        # (the replacement's samples merge under the same keys).
         config=GatewayConfig(
-            port=0, update_interval=0.0, drain_seconds=10.0
+            port=0,
+            update_interval=0.0,
+            drain_seconds=10.0,
+            profile=True,
+            profile_hz=199.0,
         ),
         ingestor=ingestor,
     )
@@ -575,6 +582,10 @@ def run_worker_scenario(
                 )
 
             asyncio.run(drive())
+            # Before stop(): the fleet profile must aggregate cleanly
+            # with a replacement worker in the fleet — merged stack
+            # counts from the survivor plus the restarted process.
+            fleet_profile = gateway.aggregate_profile()
         finally:
             fleet = gateway.stop()
     report.fired = gateway.restarts >= 1
@@ -594,6 +605,14 @@ def run_worker_scenario(
         "responses_parse_cleanly": not parse_failures,
         "responses_bit_identical": mismatches == 0 and verified > 0,
         "no_shm_leak": not segments_after,
+        "profiler_survives_restart": (
+            fleet_profile["enabled"]
+            and fleet_profile["profile"] is not None
+            and fleet_profile["profile"]["samples_total"] > 0
+            and all(
+                w["scraped"] for w in fleet_profile["workers"]
+            )
+        ),
     }
     report.details.update(
         {
@@ -604,6 +623,12 @@ def run_worker_scenario(
             "mismatched_responses": mismatches,
             "updates_applied": gateway.updates_applied,
             "shm_leftovers": segments_after,
+            "profile_samples": (
+                fleet_profile["profile"]["samples_total"]
+                if fleet_profile["profile"]
+                else 0
+            ),
+            "profile_workers": fleet_profile["workers"],
             "fleet_5xx": (
                 fleet["responses"]["errors_5xx"]
                 if fleet is not None

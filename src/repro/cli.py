@@ -552,6 +552,57 @@ def build_parser() -> argparse.ArgumentParser:
             "high-QPS deployments run sampled, e.g. 0.05)"
         ),
     )
+    serve_http.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the sampling profiler (serves /v1/profile; "
+            "off by default — costs <5%% at the default rate)"
+        ),
+    )
+    serve_http.add_argument(
+        "--profile-hz",
+        type=float,
+        default=67.0,
+        help="profiler sampling rate in Hz (default 67)",
+    )
+    serve_http.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help=(
+            "also run tracemalloc for /v1/profile?memory=1 "
+            "(expensive: hooks every allocation; deep dives only)"
+        ),
+    )
+    serve_http.add_argument(
+        "--history-interval",
+        type=float,
+        default=5.0,
+        help=(
+            "seconds between /v1/metrics/history self-scrapes "
+            "(0 disables the store; default 5)"
+        ),
+    )
+    serve_http.add_argument(
+        "--history-capacity",
+        type=int,
+        default=720,
+        help=(
+            "scrape points kept in the history ring buffer "
+            "(default 720 = 1h at the default interval)"
+        ),
+    )
+    serve_http.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "SLO served at /v1/slo, repeatable: availability:99.9 "
+            "or latency:99:250ms (default: availability 99.9%% "
+            "and p99 latency 250ms)"
+        ),
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -587,6 +638,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--raw",
         action="store_true",
         help="emit the span trees as fetched instead of Chrome format",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help=(
+            "fetch /v1/profile from a running gateway (or profile a "
+            "bench scenario in-process) and render it"
+        ),
+    )
+    profile_source = profile.add_mutually_exclusive_group(
+        required=True
+    )
+    profile_source.add_argument(
+        "--url",
+        help=(
+            "gateway base URL, e.g. http://127.0.0.1:8080 (start it "
+            "with --profile)"
+        ),
+    )
+    profile_source.add_argument(
+        "--bench",
+        metavar="SCENARIO",
+        help=(
+            "run a bench scenario under the sampling profiler "
+            "instead of attaching to a gateway"
+        ),
+    )
+    profile.add_argument(
+        "--format",
+        dest="render_format",
+        default="summary",
+        choices=["summary", "collapsed", "speedscope", "json"],
+        help=(
+            "summary table (default), folded stacks for "
+            "flamegraph.pl, a speedscope.app document, or the raw "
+            "JSON rendering"
+        ),
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="stacks shown in summary/json renderings (default 15)",
+    )
+    profile.add_argument(
+        "--output",
+        default=None,
+        help="write the rendering here instead of stdout",
+    )
+    profile.add_argument(
+        "--hz",
+        type=float,
+        default=199.0,
+        help="sampling rate for --bench mode (default 199)",
+    )
+    profile.add_argument(
+        "--size",
+        default="tiny",
+        choices=sorted(SIZE_FACTORS),
+        help="dataset scale for --bench mode (default: tiny)",
+    )
+    profile.add_argument(
+        "--seed", type=int, default=7, help="seed for --bench mode"
+    )
+
+    slo = commands.add_parser(
+        "slo",
+        help="SLO status from a running gateway's /v1/slo",
+    )
+    slo.add_argument(
+        "action",
+        nargs="?",
+        default="status",
+        choices=["status"],
+        help="what to do (only 'status' for now)",
+    )
+    slo.add_argument(
+        "--url",
+        required=True,
+        help="gateway base URL, e.g. http://127.0.0.1:8080",
+    )
+    slo.add_argument(
+        "--as-json",
+        action="store_true",
+        help="emit the raw /v1/slo document instead of the table",
     )
 
     loadgen = commands.add_parser(
@@ -1350,6 +1486,11 @@ def _command_serve_http(args: argparse.Namespace) -> int:
     if not args.no_trace:
         enable_tracing(args.trace_capacity, sample=args.trace_sample)
     backend = _serving_backend(args.index, args.jobs)
+    slos = None
+    if args.slo:
+        from repro.obs import parse_slo
+
+        slos = tuple(parse_slo(spec) for spec in args.slo)
     config = GatewayConfig(
         host=args.host,
         port=args.port,
@@ -1358,6 +1499,12 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
+        profile=args.profile,
+        profile_hz=args.profile_hz,
+        profile_memory=args.profile_memory,
+        history_interval=args.history_interval,
+        history_capacity=args.history_capacity,
+        slos=slos,
     )
 
     if args.workers > 1:
@@ -1482,6 +1629,152 @@ def _command_trace(args: argparse.Namespace) -> int:
     else:
         print(rendered)
     return 0
+
+
+def _fetch_json(url: str) -> dict:
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return json.load(response)
+    except (urllib.error.URLError, OSError) as error:
+        raise ReproError(f"cannot fetch {url}: {error}") from None
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        collapsed_stacks,
+        render_profile,
+        speedscope_document,
+    )
+
+    if args.bench:
+        # Profile a bench scenario in this process: start the sampler,
+        # run the scenario once in smoke mode, render what it saw.
+        from repro.bench import run_scenario
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=args.hz)
+        profiler.start()
+        try:
+            run_scenario(
+                args.bench, size=args.size, smoke=True, seed=args.seed
+            )
+        finally:
+            profiler.stop()
+        state = profiler.state_dict()
+        source = f"bench scenario {args.bench!r}"
+    else:
+        base = args.url.rstrip("/")
+        document = _fetch_json(f"{base}/v1/profile?format=state")
+        if not document.get("enabled") or not document.get("profile"):
+            print(
+                "profiling is disabled on the gateway "
+                "(start serve-http with --profile)",
+                file=sys.stderr,
+            )
+            return 1
+        state = document["profile"]
+        source = args.url
+
+    if args.render_format == "collapsed":
+        rendered = collapsed_stacks(state)
+    elif args.render_format == "speedscope":
+        rendered = (
+            json.dumps(speedscope_document(state), indent=2) + "\n"
+        )
+    elif args.render_format == "json":
+        rendered = (
+            json.dumps(render_profile(state, top=args.top), indent=2)
+            + "\n"
+        )
+    else:
+        document = render_profile(state, top=args.top)
+        total = max(1, int(document["samples_total"]))
+        rows = [
+            [phase, str(count), f"{100.0 * count / total:.1f}%"]
+            for phase, count in document["by_phase"].items()
+        ]
+        lines = [
+            format_table(
+                ["phase", "samples", "share"],
+                rows,
+                title=(
+                    f"{source}: {document['samples_total']} samples "
+                    f"at {document['hz']:g} Hz"
+                ),
+            ),
+            "",
+        ]
+        for stack in document["stacks"][: args.top]:
+            leaf = stack["frames"][-1] if stack["frames"] else "(idle)"
+            lines.append(
+                f"{stack['count']:>7d}  {stack['phase']:<12s} {leaf}"
+            )
+        rendered = "\n".join(lines) + "\n"
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote profile ({args.render_format}) to {args.output}")
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
+def _command_slo(args: argparse.Namespace) -> int:
+    document = _fetch_json(f"{args.url.rstrip('/')}/v1/slo")
+    if args.as_json:
+        print(json.dumps(document, indent=2))
+        return 1 if document.get("firing") else 0
+    rows = []
+    for objective in document.get("objectives", []):
+        burns = objective.get("burn_rates", {})
+        rows.append(
+            [
+                objective["name"],
+                objective["kind"],
+                f"{100.0 * objective['objective']:g}%",
+                f"{100.0 * objective['compliance']:.3f}%",
+                f"{100.0 * objective['budget_consumed']:.1f}%",
+                " ".join(
+                    f"{window}={burn:.2f}"
+                    for window, burn in burns.items()
+                ),
+                "FIRING" if objective.get("firing") else "ok",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "slo",
+                "kind",
+                "objective",
+                "compliance",
+                "budget used",
+                "burn rates",
+                "state",
+            ],
+            rows,
+            title=f"SLO status from {args.url}",
+        )
+    )
+    for objective in document.get("objectives", []):
+        for alert in objective.get("alerts", []):
+            if alert.get("firing"):
+                print(
+                    f"ALERT[{alert['severity']}] {objective['name']}: "
+                    f"burn {alert['short_burn']:.1f}x over "
+                    f"{alert['short_window']} and "
+                    f"{alert['long_burn']:.1f}x over "
+                    f"{alert['long_window']} "
+                    f"(threshold {alert['factor']}x)"
+                )
+    # Scriptable: a firing SLO exits nonzero, like a failing health
+    # check — `repro slo status --url ... && deploy` does the right
+    # thing.
+    return 1 if document.get("firing") else 0
 
 
 def _command_loadgen(args: argparse.Namespace) -> int:
@@ -1898,6 +2191,8 @@ _COMMANDS = {
     "stream": _command_stream,
     "serve-http": _command_serve_http,
     "trace": _command_trace,
+    "profile": _command_profile,
+    "slo": _command_slo,
     "loadgen": _command_loadgen,
     "compare": _command_compare,
     "bench": _command_bench,

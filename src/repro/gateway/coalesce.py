@@ -39,6 +39,7 @@ from repro.chaos.points import chaos_point
 from repro.errors import GatewayError, ReproError
 from repro.gateway.metrics import GatewayMetrics
 from repro.obs.logging import current_request_id
+from repro.obs.profile import profile_phase
 from repro.obs.trace import span
 from repro.serve.batch import Query, QueryEngine, execute_with_attribution
 from repro.serve.service import RankingService
@@ -255,7 +256,7 @@ class RequestCoalescer:
         span (annotated with every coalesced request id) lands in the
         leading request's trace.
         """
-        with span(
+        with profile_phase("engine.batch"), span(
             "engine.batch",
             batch_size=len(queries),
             request_ids=list(request_ids),

@@ -46,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -69,17 +70,30 @@ from repro.obs.logging import (
     bind_request_id,
     current_request_id,
     get_logger,
+    get_worker_identity,
     new_request_id,
     request_id_var,
+    sanitize_request_id,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    collapsed_stacks,
+    profile_phase,
+    render_profile,
+    speedscope_document,
 )
 from repro.obs.registry import (
     REGISTRY,
     MetricFamily,
     counter_family,
+    families_state,
     gauge_family,
+    label_families,
     render_families,
 )
+from repro.obs.slo import DEFAULT_SLOS, SLO, SLOEngine
 from repro.obs.trace import get_collector, span, start_trace
+from repro.obs.tsdb import TimeSeriesStore
 from repro.serve.batch import (
     CompareQuery,
     PaperQuery,
@@ -137,6 +151,25 @@ class GatewayConfig:
         worker processes can share one port (the multi-worker
         gateway's pre-fork mode); the kernel load-balances incoming
         connections across all listeners.
+    profile, profile_hz:
+        Run the sampling profiler (:mod:`repro.obs.profile`) behind
+        ``/v1/profile``; off by default — sampling at the default rate
+        costs a few percent of throughput (the ``obs_overhead`` bench
+        holds it under 5%), which is opt-in money.
+    profile_memory:
+        Also run ``tracemalloc`` so ``/v1/profile?memory=1`` serves
+        allocation snapshots.  A separate knob on purpose:
+        ``tracemalloc`` hooks *every* allocation and costs tens of
+        percent — deep-dive-only, never an always-on posture.
+    history_interval, history_capacity:
+        The metrics time-series store behind ``/v1/metrics/history``:
+        one self-scrape every ``history_interval`` seconds, the newest
+        ``history_capacity`` points kept.  ``history_interval <= 0``
+        disables the background scraper (the multi-worker fleet does
+        this in workers: the supervisor owns fleet history).
+    slos:
+        The objectives ``/v1/slo`` evaluates;
+        ``None`` means :data:`repro.obs.slo.DEFAULT_SLOS`.
     """
 
     host: str = "127.0.0.1"
@@ -149,6 +182,12 @@ class GatewayConfig:
     update_interval: float = 0.01
     drain_seconds: float = 5.0
     reuse_port: bool = False
+    profile: bool = False
+    profile_hz: float = 67.0
+    profile_memory: bool = False
+    history_interval: float = 5.0
+    history_capacity: int = 720
+    slos: tuple[SLO, ...] | None = None
 
 
 class GatewayServer:
@@ -212,6 +251,35 @@ class GatewayServer:
             )
         self.port: int | None = None
         self.control_port: int | None = None
+        #: The deep-observability plane: profiler (opt-in), history
+        #: store, and SLO engine over that store.  The store's
+        #: background scraper runs only when ``history_interval > 0``;
+        #: ``scrape_once`` still works either way (the SLO endpoint
+        #: scrapes on demand), so a fleet worker keeps a valid local
+        #: view even though the supervisor owns fleet history.
+        self.profiler: SamplingProfiler | None = (
+            SamplingProfiler(
+                hz=self.config.profile_hz,
+                trace_memory=self.config.profile_memory,
+            )
+            if self.config.profile
+            else None
+        )
+        self.tsdb = TimeSeriesStore(
+            self._metric_families,
+            capacity=self.config.history_capacity,
+            interval=self.config.history_interval,
+        )
+        self.slo_engine = SLOEngine(
+            self.tsdb, slos=self.config.slos or DEFAULT_SLOS
+        )
+        #: Fleet wiring, set by the multi-worker launcher: this
+        #: process's index, and the supervisor's stats address that
+        #: ``/v1/profile``, ``/v1/slo``, ``/v1/metrics/history``, and
+        #: ``/v1/trace`` proxy to (unless ``?scope=local``) so public
+        #: answers are fleet-truth, not one worker's view.
+        self.worker_index: int | None = None
+        self.fleet_stats_addr: tuple[str, int] | None = None
         #: A crash that killed the live updater task, surfaced by
         #: :meth:`stop` instead of re-raised into the drain — the
         #: gateway keeps serving reads after its write path dies.
@@ -241,6 +309,9 @@ class GatewayServer:
             **extra,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.profiler is not None:
+            self.profiler.start()
+        self.tsdb.start()
         if self.updater is not None:
             self._updater_task = asyncio.ensure_future(
                 self.updater.run()
@@ -310,6 +381,9 @@ class GatewayServer:
         while self.admission.active > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.005)
         await self.coalescer.close()
+        self.tsdb.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         for writer in tuple(self._connections):
             writer.close()
         self._server = None
@@ -421,10 +495,22 @@ class GatewayServer:
         endpoint = self._endpoint_of(path)
         self.metrics.note_request(endpoint)
         # A client-supplied X-Request-Id replaces the generated one for
-        # this request only (the token restores the connection id).
-        client_id = headers.get("x-request-id", "").strip()
+        # this request only (the token restores the connection id) —
+        # after sanitization: control characters are rejected (the
+        # generated id stays bound) and oversized ids are truncated,
+        # so a hostile header cannot pollute logs, traces, or the
+        # profiler's attribution keys.
+        client_id = sanitize_request_id(headers.get("x-request-id"))
         id_token = (
-            request_id_var.set(client_id[:64]) if client_id else None
+            request_id_var.set(client_id) if client_id else None
+        )
+        # Fleet scope: under --workers N the deep-observability
+        # endpoints proxy to the supervisor's merged view unless the
+        # caller asked for this one process (?scope=local — what the
+        # supervisor's own fan-out requests).
+        fleet_scope = (
+            self.fleet_stats_addr is not None
+            and params.get("scope", [""])[-1].lower() != "local"
         )
 
         status: int
@@ -450,15 +536,38 @@ class GatewayServer:
                 elif wants == "state":
                     # Raw mergeable counters: what the multi-worker
                     # supervisor scrapes from each worker's control
-                    # port to build the fleet-wide document.
+                    # port to build the fleet-wide document.  The
+                    # registry families ride along unlabelled so the
+                    # supervisor's merge sums matching series across
+                    # workers.
                     status, payload = 200, {
                         "metrics": self.metrics.state_dict(),
                         "admission": self.admission.snapshot(),
+                        "registry": families_state(
+                            self._metric_families(labelled=False)
+                        ),
+                        "worker": self._worker_info(),
                     }
                 else:
                     status, payload = 200, self._metrics_payload()
-            elif endpoint == "trace":
-                status, payload = 200, self._trace_payload(params)
+            elif endpoint in ("trace", "profile", "slo", "history"):
+                proxied = (
+                    await self._fleet_fetch(target)
+                    if fleet_scope
+                    else None
+                )
+                if proxied is not None:
+                    status, payload, content_type = proxied
+                elif endpoint == "trace":
+                    status, payload = 200, self._trace_payload(params)
+                elif endpoint == "profile":
+                    status, payload, content_type = (
+                        self._profile_payload(params)
+                    )
+                elif endpoint == "slo":
+                    status, payload = 200, self._slo_payload()
+                else:
+                    status, payload = 200, self._history_payload(params)
             elif endpoint in ("top", "paper", "compare"):
                 with start_trace(
                     "gateway.request",
@@ -553,8 +662,14 @@ class GatewayServer:
             return "healthz"
         if path == "/v1/metrics":
             return "metrics"
+        if path == "/v1/metrics/history":
+            return "history"
         if path == "/v1/trace":
             return "trace"
+        if path == "/v1/profile":
+            return "profile"
+        if path == "/v1/slo":
+            return "slo"
         if path == "/v1/top":
             return "top"
         if path == "/v1/compare":
@@ -575,9 +690,14 @@ class GatewayServer:
         releases the slot only after the response body is flushed.
         """
         try:
-            query = _parse_query(endpoint, path, params)
-            with span("gateway.coalesce"):
-                version, result = await self.coalescer.submit(query)
+            # Attribution for the sampling profiler: while the event
+            # loop is executing this request, samples land under the
+            # endpoint's phase (approximate across awaits — documented
+            # in docs/OBSERVABILITY.md).
+            with profile_phase(endpoint):
+                query = _parse_query(endpoint, path, params)
+                with span("gateway.coalesce"):
+                    version, result = await self.coalescer.submit(query)
             return 200, {
                 "version": version,
                 "result": result_payload(result),
@@ -617,11 +737,23 @@ class GatewayServer:
         return document
 
     def _prometheus_text(self) -> str:
-        """``/v1/metrics?format=prometheus``: the text exposition.
+        """``/v1/metrics?format=prometheus``: the text exposition."""
+        return render_families(self._metric_families())
+
+    def _metric_families(
+        self, *, labelled: bool = True
+    ) -> list[MetricFamily]:
+        """Every family this process exports, as one list.
 
         Gateway request families plus the admission snapshot, the
         serve-layer cache counters, and everything the process-global
         registry has accumulated (solver, engine, updater, stream).
+        This is the single source the exposition text, the time-series
+        store, and the ``?format=state`` scrape document all render
+        from.  With ``labelled=True`` (the exposition) a fleet worker
+        stamps its ``worker`` label on every sample; the mergeable
+        state form stays unlabelled so the supervisor's cross-worker
+        merge sums matching series instead of keeping them apart.
         """
         families: list[MetricFamily] = self.metrics.collect()
         adm = self.admission.snapshot()
@@ -675,7 +807,21 @@ class GatewayServer:
                 )
             )
         families.extend(REGISTRY.collect())
-        return render_families(families)
+        identity = get_worker_identity()
+        if labelled and identity is not None:
+            families = label_families(
+                families, (("worker", identity[0]),)
+            )
+        return families
+
+    def _worker_info(self) -> dict[str, Any]:
+        """This process's fleet identity, for scrape documents."""
+        identity = get_worker_identity()
+        return {
+            "worker": identity[0] if identity else None,
+            "pid": identity[1] if identity else os.getpid(),
+            "index": self.worker_index,
+        }
 
     def _trace_payload(
         self, params: Mapping[str, list[str]]
@@ -689,11 +835,157 @@ class GatewayServer:
             limit = 50
         if collector is None:
             return {"enabled": False, "recorded_total": 0, "traces": []}
+        traces = collector.recent(limit)
+        if self.worker_index is not None:
+            # The supervisor merges these across the fleet; a tree is
+            # only actionable there if it says which process ran it.
+            traces = [
+                {**trace, "worker": self.worker_index}
+                for trace in traces
+            ]
         return {
             "enabled": True,
             "recorded_total": collector.recorded_total,
-            "traces": collector.recent(limit),
+            "traces": traces,
         }
+
+    def _profile_payload(
+        self, params: Mapping[str, list[str]]
+    ) -> tuple[int, dict[str, Any] | str, str]:
+        """``/v1/profile``: the sampling profiler's view of this process.
+
+        ``?format=`` selects the rendering: ``json`` (default,
+        flamegraph-ready aggregated stacks), ``collapsed`` (Brendan
+        Gregg folded text for ``flamegraph.pl``), ``speedscope`` (a
+        ready-to-open speedscope document), or ``state`` (the raw
+        mergeable counts the supervisor aggregates).  ``?memory=1``
+        attaches a tracemalloc snapshot/diff.
+        """
+        wants = params.get("format", ["json"])[-1].lower()
+        if self.profiler is None:
+            if wants == "state":
+                return 200, {"enabled": False, "profile": None}, (
+                    "application/json"
+                )
+            return 200, {
+                "enabled": False,
+                "detail": "start the gateway with profiling enabled "
+                "(--profile / GatewayConfig(profile=True))",
+            }, "application/json"
+        state = self.profiler.state_dict()
+        if wants == "state":
+            return 200, {
+                "enabled": True,
+                "profile": state,
+                "worker": self._worker_info(),
+            }, "application/json"
+        if wants == "collapsed":
+            return 200, collapsed_stacks(state), (
+                "text/plain; charset=utf-8"
+            )
+        if wants == "speedscope":
+            return 200, speedscope_document(state), "application/json"
+        try:
+            top = max(1, int(params.get("top", ["50"])[-1]))
+        except ValueError:
+            top = 50
+        document = render_profile(state, top=top)
+        if params.get("memory", [""])[-1] in ("1", "true", "yes"):
+            memory = self.profiler.memory
+            document["memory"] = (
+                memory.snapshot() if memory is not None else None
+            )
+        return 200, document, "application/json"
+
+    def _slo_payload(self) -> dict[str, Any]:
+        """``/v1/slo``: objectives, burn rates, and alert states."""
+        return self.slo_engine.evaluate(scrape=True)
+
+    def _history_payload(
+        self, params: Mapping[str, list[str]]
+    ) -> dict[str, Any]:
+        """``/v1/metrics/history``: the ring-buffer time series."""
+        family = params.get("family", [None])[-1] or None
+        since: float | None = None
+        raw_since = params.get("since", [""])[-1]
+        if raw_since:
+            try:
+                since = float(raw_since)
+            except ValueError:
+                since = None
+        limit: int | None = None
+        raw_limit = params.get("limit", [""])[-1]
+        if raw_limit:
+            try:
+                limit = max(1, int(raw_limit))
+            except ValueError:
+                limit = None
+        if self.tsdb.scrapes_total == 0:
+            # No scraper thread has run yet (or the interval is 0 —
+            # fleet workers): take one point now so the endpoint is
+            # never empty on a live process.
+            self.tsdb.scrape_once()
+        return self.tsdb.history_payload(
+            family=family, since=since, limit=limit
+        )
+
+    async def _fleet_fetch(
+        self, target: str
+    ) -> tuple[int, dict[str, Any] | str, str] | None:
+        """Proxy ``target`` to the supervisor's fleet-stats server.
+
+        Any worker can answer a deep-observability request with the
+        *fleet* view: it forwards the request (path, query string and
+        all) to the supervisor, which fans out ``?scope=local`` scrapes
+        to every worker and merges.  Returns ``None`` when the
+        supervisor is unreachable — the caller falls back to the local
+        payload, which is degraded but honest (and carries this
+        worker's identity).
+        """
+        assert self.fleet_stats_addr is not None
+        host, port = self.fleet_stats_addr
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=2.0
+            )
+        except (OSError, asyncio.TimeoutError):
+            return None
+        try:
+            writer.write(
+                f"GET {target} HTTP/1.1\r\n"
+                f"Host: {host}\r\nConnection: close\r\n\r\n".encode(
+                    "latin-1"
+                )
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5.0)
+        except (OSError, asyncio.TimeoutError):
+            return None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError, BrokenPipeError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        head_lines = head.split(b"\r\n")
+        if not head_lines or not head_lines[0].startswith(b"HTTP/1."):
+            return None
+        try:
+            status = int(head_lines[0].split()[1])
+        except (IndexError, ValueError):
+            return None
+        content_type = "application/json"
+        for line in head_lines[1:]:
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-type":
+                content_type = value.strip()
+        if content_type.startswith("application/json"):
+            try:
+                return status, json.loads(body), content_type
+            except ValueError:
+                return None
+        return status, body.decode("utf-8", "replace"), content_type
 
     async def _write_response(
         self,

@@ -44,8 +44,12 @@ import multiprocessing
 import os
 import signal
 import socket
+import threading
 import time
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Sequence
+from urllib.parse import parse_qs, urlsplit
 
 from repro.chaos import points as chaos_points
 from repro.chaos.faults import InjectedCrash
@@ -53,7 +57,21 @@ from repro.chaos.points import chaos_point
 from repro.errors import GatewayError
 from repro.gateway.metrics import GatewayMetrics
 from repro.gateway.server import GatewayConfig, GatewayServer
-from repro.obs.logging import get_logger
+from repro.obs.logging import (
+    clear_worker_identity,
+    get_logger,
+    get_worker_identity,
+    set_worker_identity,
+)
+from repro.obs.profile import (
+    collapsed_stacks,
+    merge_profile_states,
+    render_profile,
+    speedscope_document,
+)
+from repro.obs.registry import merge_family_states
+from repro.obs.slo import DEFAULT_SLOS, SLOEngine
+from repro.obs.tsdb import TimeSeriesStore
 from repro.serve.batch import QueryEngine
 from repro.serve.service import RankingService
 from repro.serve.shard import ShardedScoreIndex, StoreSnapshot
@@ -89,10 +107,16 @@ async def _worker_serve(
     conn: Any,
     jobs: int,
     supervisor_pid: int,
+    stats_addr: tuple[str, int] | None,
 ) -> None:
     store = SharedStoreReader(session, lock)
     engine = QueryEngine(store, jobs=jobs)
     server = GatewayServer(engine, config=config)
+    # Fleet wiring before the first request: public deep-observability
+    # answers proxy to the supervisor's merged view, and every local
+    # payload carries this worker's identity.
+    server.worker_index = index
+    server.fleet_stats_addr = stats_addr
     await server.start()
     control_port = await server.start_control(config.host)
     loop = asyncio.get_running_loop()
@@ -149,7 +173,11 @@ def _worker_main(
     jobs: int,
     arm_chaos: bool,
     supervisor_pid: int,
+    stats_addr: tuple[str, int] | None,
 ) -> None:
+    # Overwrite the inherited "supervisor" identity first thing: every
+    # log line and metric label from here on says which worker spoke.
+    set_worker_identity(str(index))
     if not arm_chaos:
         # Replacement workers start clean: the fork image inherits the
         # supervisor's armed chaos plan, and without this a planned
@@ -158,7 +186,14 @@ def _worker_main(
     try:
         asyncio.run(
             _worker_serve(
-                session, lock, config, index, conn, jobs, supervisor_pid
+                session,
+                lock,
+                config,
+                index,
+                conn,
+                jobs,
+                supervisor_pid,
+                stats_addr,
             )
         )
     except InjectedCrash:
@@ -181,6 +216,90 @@ class _WorkerSlot:
         self.port: int | None = None
         self.control_port: int | None = None
         self.restarts = 0
+
+
+class _FleetStatsHandler(BaseHTTPRequestHandler):
+    """The supervisor's merged-view endpoint handler.
+
+    Workers proxy public ``/v1/profile``, ``/v1/slo``,
+    ``/v1/metrics/history``, and ``/v1/trace`` requests here; the
+    handler fans ``?scope=local`` scrapes out across the fleet's
+    control ports and merges raw state — the same exact-sums discipline
+    as the metrics merge, applied to profiler stack counts and trace
+    rings.  Loopback-only and started before the first fork, so its
+    address travels to workers as a plain argument.
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args: Any) -> None:  # noqa: N802
+        pass  # routed through our structured logger, not stderr
+
+    def do_GET(self) -> None:  # noqa: N802
+        gateway: "MultiWorkerGateway" = self.server.gateway  # type: ignore[attr-defined]
+        split = urlsplit(self.path)
+        params = parse_qs(split.query)
+        status = 200
+        content_type = "application/json"
+        try:
+            if split.path == "/v1/profile":
+                status, payload, content_type = gateway.fleet_profile(
+                    params
+                )
+            elif split.path == "/v1/slo":
+                payload = gateway.fleet_slo()
+            elif split.path == "/v1/metrics/history":
+                payload = gateway.fleet_history(params)
+            elif split.path == "/v1/trace":
+                payload = gateway.aggregate_traces(
+                    _int_param(params, "limit", 50)
+                )
+            else:
+                status = 404
+                payload = {
+                    "error": {
+                        "type": "GatewayError",
+                        "detail": f"no such endpoint: {split.path}",
+                    }
+                }
+        except Exception as error:  # pragma: no cover - merge breakage
+            status, content_type = 500, "application/json"
+            payload = {
+                "error": {
+                    "type": type(error).__name__,
+                    "detail": str(error) or "internal error",
+                }
+            }
+        body = (
+            payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload).encode("utf-8")
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def _int_param(
+    params: Mapping[str, list[str]], name: str, default: int
+) -> int:
+    raw = params.get(name, [""])[-1]
+    try:
+        return max(0, int(raw)) if raw else default
+    except ValueError:
+        return default
+
+
+def _float_param(
+    params: Mapping[str, list[str]], name: str
+) -> float | None:
+    raw = params.get(name, [""])[-1]
+    try:
+        return float(raw) if raw else None
+    except ValueError:
+        return None
 
 
 class MultiWorkerGateway:
@@ -263,6 +382,24 @@ class MultiWorkerGateway:
         self._stopping = False
         self._stop_requested = False
         self._last_update = 0.0
+        self._last_history = 0.0
+        self._stats_server: ThreadingHTTPServer | None = None
+        self._stats_thread: threading.Thread | None = None
+        self.stats_addr: tuple[str, int] | None = None
+        self._previous_identity: tuple[str, int] | None = None
+        #: Fleet history and SLOs live in the supervisor: one store
+        #: scraping the *merged* per-worker registries (exact summed
+        #: series), one engine evaluating objectives over it.  Workers
+        #: run no history scraper of their own (``history_interval=0``
+        #: in the worker config) — fleet truth has one owner.
+        self.tsdb = TimeSeriesStore(
+            self._fleet_families,
+            capacity=self.config.history_capacity,
+            interval=0.0,
+        )
+        self.slo_engine = SLOEngine(
+            self.tsdb, slos=self.config.slos or DEFAULT_SLOS
+        )
         self.port: int | None = None
         self.session: str | None = None
         self.updates_applied = 0
@@ -301,10 +438,36 @@ class MultiWorkerGateway:
         self._reservation = sock
         return int(sock.getsockname()[1])
 
+    def _start_stats_server(self) -> None:
+        """Bind the loopback fleet-stats listener, pre-fork."""
+        server = ThreadingHTTPServer(
+            ("127.0.0.1", 0), _FleetStatsHandler
+        )
+        server.daemon_threads = True
+        server.gateway = self  # type: ignore[attr-defined]
+        self._stats_server = server
+        self.stats_addr = (
+            "127.0.0.1",
+            int(server.server_address[1]),
+        )
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-gateway-fleet-stats",
+            daemon=True,
+        )
+        thread.start()
+        self._stats_thread = thread
+
     def start(self) -> None:
         """Publish generation 0, reserve the port, fork the fleet."""
         if self._slots:
             raise GatewayError("multi-worker gateway already started")
+        # Remember the pre-fleet identity so an embedded fleet (tests,
+        # docs, the bench harness) does not leave this whole process
+        # labelled "supervisor" after stop().
+        self._previous_identity = get_worker_identity()
+        set_worker_identity("supervisor")
         self.session = new_session()
         lock = self._ctx.Lock()
         self._lock = lock
@@ -312,17 +475,15 @@ class MultiWorkerGateway:
         self._publisher.publish(self._current_snapshot())
         resolved = self._reserve_port()
         self.port = resolved
-        self._worker_config = GatewayConfig(
-            host=self.config.host,
+        # The fleet-stats listener starts *before* the first fork so
+        # its resolved address rides into _worker_main as an argument
+        # (the ready pipe is one-way, worker -> supervisor).
+        self._start_stats_server()
+        self._worker_config = replace(
+            self.config,
             port=resolved,
-            max_inflight=self.config.max_inflight,
-            max_queue=self.config.max_queue,
-            max_batch=self.config.max_batch,
-            rate_limit=self.config.rate_limit,
-            rate_burst=self.config.rate_burst,
-            update_interval=self.config.update_interval,
-            drain_seconds=self.config.drain_seconds,
             reuse_port=True,
+            history_interval=0.0,
         )
         self._slots = [_WorkerSlot(i) for i in range(self.n_workers)]
         for slot in self._slots:
@@ -351,6 +512,7 @@ class MultiWorkerGateway:
                 self.jobs,
                 arm_chaos,
                 os.getpid(),
+                self.stats_addr,
             ),
             name=f"repro-gateway-worker-{slot.index}",
         )
@@ -419,6 +581,20 @@ class MultiWorkerGateway:
                 self._publisher.publish(self._service.sharded.snapshot())
                 self.updates_applied += 1
                 self._last_update = now
+        # The fleet history heartbeat: one merged scrape per interval,
+        # taken here (the supervision tick) so the store needs no
+        # thread of its own and never races a restart fork.
+        if self.config.history_interval > 0:
+            now = time.monotonic()
+            if (
+                now - self._last_history
+                >= self.config.history_interval
+            ):
+                self._last_history = now
+                try:
+                    self.tsdb.scrape_once()
+                except Exception:  # pragma: no cover - torn scrape
+                    pass
 
     def start_supervision_thread(self, interval: float = 0.005) -> Any:
         """Supervise from a daemon thread (in-process load drivers).
@@ -475,7 +651,15 @@ class MultiWorkerGateway:
     # ------------------------------------------------------------------
     # Metrics aggregation
     # ------------------------------------------------------------------
-    def _scrape_state(self, slot: _WorkerSlot) -> dict[str, Any] | None:
+    def _scrape_json(
+        self, slot: _WorkerSlot, target: str
+    ) -> dict[str, Any] | None:
+        """GET ``target`` from one worker's control port, parsed.
+
+        Every fan-out target carries ``scope=local``: the control
+        listener shares the public handler, and without it the worker
+        would proxy the request straight back to the supervisor.
+        """
         if slot.control_port is None:
             return None
         try:
@@ -483,8 +667,10 @@ class MultiWorkerGateway:
                 (self.config.host, slot.control_port), timeout=5.0
             ) as sock:
                 sock.sendall(
-                    b"GET /v1/metrics?format=state HTTP/1.1\r\n"
-                    b"Host: control\r\nConnection: close\r\n\r\n"
+                    f"GET {target} HTTP/1.1\r\n"
+                    "Host: control\r\nConnection: close\r\n\r\n".encode(
+                        "latin-1"
+                    )
                 )
                 chunks = []
                 while True:
@@ -502,6 +688,11 @@ class MultiWorkerGateway:
             return json.loads(body)
         except json.JSONDecodeError:  # pragma: no cover - torn scrape
             return None
+
+    def _scrape_state(self, slot: _WorkerSlot) -> dict[str, Any] | None:
+        return self._scrape_json(
+            slot, "/v1/metrics?format=state&scope=local"
+        )
 
     def aggregate_metrics(self) -> dict[str, Any]:
         """One fleet-wide ``/v1/metrics`` document.
@@ -551,6 +742,132 @@ class MultiWorkerGateway:
         return document
 
     # ------------------------------------------------------------------
+    # Fleet deep observability (profile, SLO, history, traces)
+    # ------------------------------------------------------------------
+    def _fleet_families(self) -> list[Any]:
+        """The fleet TSDB's collector: merged per-worker registries.
+
+        Scrapes each live worker's unlabelled family state and sums
+        matching series — so every point in fleet history (and every
+        burn rate the SLO engine derives from it) is an exact
+        fleet-wide total, never one worker's sample.
+        """
+        states = []
+        for slot in self._slots:
+            scraped = self._scrape_state(slot)
+            if scraped is not None and scraped.get("registry"):
+                states.append(scraped["registry"])
+        return merge_family_states(states)
+
+    def aggregate_profile(self) -> dict[str, Any]:
+        """Raw fleet profile: summed stack counts plus per-worker meta.
+
+        A restart does not zero the fleet view: samples a dead worker
+        contributed are gone with its process, but the replacement's
+        samples merge in under the same keys — the chaos harness
+        asserts the merged profile stays well-formed and growing across
+        a kill.
+        """
+        states: list[Mapping[str, Any]] = []
+        per_worker: list[dict[str, Any]] = []
+        for slot in self._slots:
+            scraped = self._scrape_json(
+                slot, "/v1/profile?format=state&scope=local"
+            )
+            entry = {
+                "worker": slot.index,
+                "scraped": scraped is not None,
+                "enabled": bool(scraped and scraped.get("enabled")),
+                "samples": 0,
+            }
+            if scraped and scraped.get("profile"):
+                state = scraped["profile"]
+                entry["samples"] = int(state.get("samples_total", 0))
+                states.append(state)
+            per_worker.append(entry)
+        merged = merge_profile_states(states)
+        return {
+            "enabled": any(w["enabled"] for w in per_worker),
+            "profile": merged if states else None,
+            "workers": per_worker,
+        }
+
+    def fleet_profile(
+        self, params: Mapping[str, list[str]]
+    ) -> tuple[int, dict[str, Any] | str, str]:
+        """``/v1/profile`` with fleet-merged samples, format-selected."""
+        aggregate = self.aggregate_profile()
+        state = aggregate["profile"]
+        wants = params.get("format", ["json"])[-1].lower()
+        if wants == "state":
+            return 200, aggregate, "application/json"
+        if state is None:
+            return 200, {
+                "enabled": aggregate["enabled"],
+                "detail": "no worker returned profile samples "
+                "(start the fleet with --profile)",
+                "workers": aggregate["workers"],
+            }, "application/json"
+        if wants == "collapsed":
+            return 200, collapsed_stacks(state), (
+                "text/plain; charset=utf-8"
+            )
+        if wants == "speedscope":
+            return 200, speedscope_document(state), "application/json"
+        document = render_profile(
+            state, top=_int_param(params, "top", 50) or 50
+        )
+        document["workers"] = aggregate["workers"]
+        return 200, document, "application/json"
+
+    def fleet_slo(self) -> dict[str, Any]:
+        """``/v1/slo`` over fleet history (scrapes a fresh point)."""
+        self._last_history = time.monotonic()
+        return self.slo_engine.evaluate(scrape=True)
+
+    def fleet_history(
+        self, params: Mapping[str, list[str]]
+    ) -> dict[str, Any]:
+        """``/v1/metrics/history`` from the supervisor's fleet store."""
+        if self.tsdb.scrapes_total == 0:
+            self._last_history = time.monotonic()
+            self.tsdb.scrape_once()
+        limit = _int_param(params, "limit", 0)
+        return self.tsdb.history_payload(
+            family=params.get("family", [""])[-1] or None,
+            since=_float_param(params, "since"),
+            limit=limit or None,
+        )
+
+    def aggregate_traces(self, limit: int = 50) -> dict[str, Any]:
+        """``/v1/trace`` across the fleet, newest first.
+
+        Each worker tags its trees with its index before they leave the
+        process, so a merged trace still says who ran it.
+        """
+        enabled = False
+        recorded_total = 0
+        traces: list[dict[str, Any]] = []
+        for slot in self._slots:
+            scraped = self._scrape_json(
+                slot, f"/v1/trace?limit={limit}&scope=local"
+            )
+            if scraped is None:
+                continue
+            enabled = enabled or bool(scraped.get("enabled"))
+            recorded_total += int(scraped.get("recorded_total", 0))
+            traces.extend(scraped.get("traces", ()))
+        traces.sort(
+            key=lambda t: t.get("start_unix", 0.0), reverse=True
+        )
+        return {
+            "enabled": enabled,
+            "recorded_total": recorded_total,
+            "traces": traces[:limit] if limit else traces,
+            "workers": self.n_workers,
+        }
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
     def stop(self, *, aggregate: bool = True) -> dict[str, Any] | None:
@@ -583,6 +900,13 @@ class MultiWorkerGateway:
                 slot.process.kill()
                 slot.process.join(timeout=5.0)
         self._slots = []
+        if self._stats_server is not None:
+            self._stats_server.shutdown()
+            self._stats_server.server_close()
+            self._stats_server = None
+            if self._stats_thread is not None:
+                self._stats_thread.join(timeout=5.0)
+                self._stats_thread = None
         if self._reservation is not None:
             self._reservation.close()
             self._reservation = None
@@ -593,6 +917,13 @@ class MultiWorkerGateway:
             "fleet drained and stopped",
             extra={"restarts": self.restarts, "session": self.session},
         )
+        # The final supervisor log line above still carries the
+        # "supervisor" identity; only now does the process revert to
+        # whatever it was before the fleet existed.
+        if self._previous_identity is None:
+            clear_worker_identity()
+        else:
+            set_worker_identity(*self._previous_identity)
         return self.last_metrics
 
     def __enter__(self) -> "MultiWorkerGateway":

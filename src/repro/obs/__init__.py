@@ -1,4 +1,4 @@
-"""Cross-cutting observability: logs, traces, metrics.
+"""Cross-cutting observability: logs, traces, metrics — and depth.
 
 ``repro.obs`` is the one subsystem every serving layer writes into and
 no serving layer depends on for correctness:
@@ -6,28 +6,54 @@ no serving layer depends on for correctness:
 * :mod:`repro.obs.logging` — JSON-lines structured logging with a
   ``contextvars``-based request id that follows a request across the
   event loop, executor threads, and the coalescer's batch handoff;
+  fleet processes stamp a ``worker`` identity on every line;
 * :mod:`repro.obs.trace` — lightweight span trees per request (and per
   stream update), kept in a ring buffer, served at ``/v1/trace`` and
   exportable as Chrome trace-event JSON (``repro trace``);
 * :mod:`repro.obs.registry` — named counters/gauges/histograms with a
   Prometheus text-exposition renderer, backing
-  ``/v1/metrics?format=prometheus``.
+  ``/v1/metrics?format=prometheus``, plus the raw-state merge helpers
+  the multi-worker fleet aggregates per-process registries with;
+* :mod:`repro.obs.profile` — a sampling wall/CPU profiler over
+  ``sys._current_frames()`` with endpoint/request attribution and
+  ``tracemalloc`` memory snapshots, behind ``/v1/profile`` and
+  ``repro profile``;
+* :mod:`repro.obs.slo` — declarative availability/latency objectives
+  with multi-window multi-burn-rate alerting, behind ``/v1/slo`` and
+  ``repro slo status``;
+* :mod:`repro.obs.tsdb` — a fixed-capacity ring-buffer time-series
+  store self-scraping the exported families, behind
+  ``/v1/metrics/history``.
 
 Everything is stdlib-only and cheap when disabled: an unconfigured
 logger drops records on the level check, ``span()`` is a shared no-op
-until a trace is active in the calling context, and metric updates are
-a dict lookup and an increment under a lock.
+until a trace is active in the calling context, metric updates are a
+dict lookup and an increment under a lock, and the profiler costs
+nothing until started.
 """
 
 from repro.obs.logging import (
     JsonLinesFormatter,
     bind_request_id,
+    clear_worker_identity,
     configure_logging,
     current_request_id,
     get_logger,
+    get_worker_identity,
     new_request_id,
     request_id_var,
     reset_logging,
+    sanitize_request_id,
+    set_worker_identity,
+)
+from repro.obs.profile import (
+    MemoryProfiler,
+    SamplingProfiler,
+    collapsed_stacks,
+    merge_profile_states,
+    profile_phase,
+    render_profile,
+    speedscope_document,
 )
 from repro.obs.registry import (
     REGISTRY,
@@ -39,12 +65,24 @@ from repro.obs.registry import (
     Sample,
     counter_family,
     cumulative_buckets,
+    families_state,
     gauge_family,
     geometric_bounds,
     get_registry,
     histogram_samples,
+    label_families,
+    merge_family_states,
     quantile_from_buckets,
     render_families,
+    state_families,
+)
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    DEFAULT_SLOS,
+    SLO,
+    BurnRule,
+    SLOEngine,
+    parse_slo,
 )
 from repro.obs.trace import (
     Span,
@@ -57,17 +95,27 @@ from repro.obs.trace import (
     start_trace,
     tracing_enabled,
 )
+from repro.obs.tsdb import (
+    TimeSeriesStore,
+    counter_delta,
+    parse_series_key,
+    series_key,
+)
 
 __all__ = [
     # logging
     "JsonLinesFormatter",
     "bind_request_id",
+    "clear_worker_identity",
     "configure_logging",
     "current_request_id",
     "get_logger",
+    "get_worker_identity",
     "new_request_id",
     "request_id_var",
     "reset_logging",
+    "sanitize_request_id",
+    "set_worker_identity",
     # registry
     "REGISTRY",
     "Counter",
@@ -78,12 +126,36 @@ __all__ = [
     "Sample",
     "counter_family",
     "cumulative_buckets",
+    "families_state",
     "gauge_family",
     "geometric_bounds",
     "get_registry",
     "histogram_samples",
+    "label_families",
+    "merge_family_states",
     "quantile_from_buckets",
     "render_families",
+    "state_families",
+    # profile
+    "MemoryProfiler",
+    "SamplingProfiler",
+    "collapsed_stacks",
+    "merge_profile_states",
+    "profile_phase",
+    "render_profile",
+    "speedscope_document",
+    # slo
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "DEFAULT_SLOS",
+    "SLO",
+    "SLOEngine",
+    "parse_slo",
+    # tsdb
+    "TimeSeriesStore",
+    "counter_delta",
+    "parse_series_key",
+    "series_key",
     # trace
     "Span",
     "TraceCollector",

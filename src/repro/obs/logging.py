@@ -30,12 +30,16 @@ from typing import Any, Iterator, TextIO
 __all__ = [
     "JsonLinesFormatter",
     "bind_request_id",
+    "clear_worker_identity",
     "configure_logging",
     "current_request_id",
     "get_logger",
+    "get_worker_identity",
     "new_request_id",
     "request_id_var",
     "reset_logging",
+    "sanitize_request_id",
+    "set_worker_identity",
 ]
 
 _ROOT_NAME = "repro"
@@ -56,6 +60,65 @@ def new_request_id() -> str:
 def current_request_id() -> str | None:
     """The request id bound in the calling context, if any."""
     return request_id_var.get()
+
+
+#: Longest client-supplied request id adopted verbatim; anything
+#: longer is truncated to this many bytes (headers are latin-1, so
+#: characters are bytes here).
+MAX_REQUEST_ID_BYTES = 128
+
+
+def sanitize_request_id(raw: str | None) -> str | None:
+    """A client ``X-Request-Id`` made safe to adopt, or ``None``.
+
+    The id lands verbatim in every JSON log line, trace tree, and
+    profiler attribution key this request touches, so a hostile header
+    must not be able to smuggle structure into them: ids containing
+    control characters (including CR/LF — header-injection classics —
+    and DEL) are rejected outright, and the caller falls back to its
+    generated id.  Oversized ids are truncated to
+    :data:`MAX_REQUEST_ID_BYTES` rather than rejected — length is a
+    resource concern, not an injection one.
+    """
+    if not raw:
+        return None
+    cleaned = raw.strip()[:MAX_REQUEST_ID_BYTES]
+    if not cleaned:
+        return None
+    for char in cleaned:
+        code = ord(char)
+        if code < 0x20 or code == 0x7F:
+            return None
+    return cleaned
+
+
+#: ``(label, pid)`` of this process within a worker fleet, or ``None``
+#: outside ``--workers N`` mode.  Process-global on purpose: identity
+#: is a property of the process, not of a request context.
+_WORKER_IDENTITY: tuple[str, int] | None = None
+
+
+def set_worker_identity(label: str, pid: int | None = None) -> None:
+    """Mark this process as fleet member ``label``.
+
+    Every JSON log line gains ``worker``/``worker_pid`` fields and the
+    gateway stamps a ``worker`` label onto its exported metrics.  The
+    supervisor sets ``"supervisor"``; each forked worker overwrites
+    the inherited value with its own index at startup.
+    """
+    global _WORKER_IDENTITY
+    _WORKER_IDENTITY = (str(label), os.getpid() if pid is None else pid)
+
+
+def clear_worker_identity() -> None:
+    """Back to single-process logging (tests and re-used processes)."""
+    global _WORKER_IDENTITY
+    _WORKER_IDENTITY = None
+
+
+def get_worker_identity() -> tuple[str, int] | None:
+    """The ``(label, pid)`` set by :func:`set_worker_identity`."""
+    return _WORKER_IDENTITY
 
 
 @contextmanager
@@ -145,6 +208,13 @@ class JsonLinesFormatter(logging.Formatter):
         if request_id is not None:
             entry["request_id"] = request_id
         entry.update(_record_extras(record))
+        identity = _WORKER_IDENTITY
+        if identity is not None:
+            # After the extras on purpose: ``worker`` is the identity
+            # of the *emitting* process and must win over any extra
+            # that happens to share the key (a supervisor line about
+            # worker 3 still carries worker: "supervisor").
+            entry["worker"], entry["worker_pid"] = identity
         if record.exc_info:
             entry["exc"] = self.formatException(record.exc_info)
         return _ENCODER.encode(entry)
@@ -162,6 +232,9 @@ class _HumanFormatter(logging.Formatter):
         request_id = getattr(record, "request_id", None)
         if request_id:
             parts.append(f"request_id={request_id}")
+        identity = _WORKER_IDENTITY
+        if identity is not None:
+            parts.append(f"worker={identity[0]}")
         parts.extend(
             f"{key}={value}"
             for key, value in sorted(_record_extras(record).items())

@@ -1,0 +1,509 @@
+"""Sampling wall/CPU profiler with request-phase attribution.
+
+A serving stack that cannot answer "what was the process *doing* when
+p99 regressed" is flying blind; a deterministic tracer answers it for
+one request, a sampling profiler answers it for the fleet.  This module
+is the stdlib-only version of the latter:
+
+* a background thread wakes at a configurable Hz, walks
+  ``sys._current_frames()``, and folds every thread's stack into a
+  bounded ``(phase, stack) -> count`` table — a few hundred samples per
+  second cost microseconds each, which is what keeps the default-rate
+  posture inside the ``obs_overhead`` bench's <5% budget;
+* each sample is **attributed**: :func:`profile_phase` marks the
+  calling thread with the endpoint currently being served (and the
+  request id bound in the caller's context at entry), so the profile
+  answers "which endpoint burns the CPU", not just "which function";
+* counts are **mergeable**: :meth:`SamplingProfiler.state_dict` is raw
+  sums, and :func:`merge_profile_states` folds N workers' states into
+  one fleet profile — the same raw-counts-then-merge discipline the
+  gateway's latency histograms use;
+* renderers produce the two formats profiler UIs eat directly:
+  :func:`collapsed_stacks` (Brendan Gregg's folded format, one
+  ``frame;frame;frame count`` line per stack, flamegraph.pl-ready) and
+  :func:`speedscope_document` (https://www.speedscope.app JSON);
+* :class:`MemoryProfiler` wraps :mod:`tracemalloc` for allocation
+  snapshots and diffs, attributed to source lines.
+
+Attribution is *sampled*, not exact: on an asyncio event loop several
+requests interleave on one thread, and a sample is charged to the
+phase most recently entered on the sampled thread.  Over thousands of
+samples that converges on where the time actually goes, which is the
+contract a sampling profiler makes.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import current_request_id
+
+__all__ = [
+    "MemoryProfiler",
+    "SamplingProfiler",
+    "collapsed_stacks",
+    "merge_profile_states",
+    "profile_phase",
+    "render_profile",
+    "speedscope_document",
+]
+
+#: Thread id -> stack of (phase label, request id at entry).  Written
+#: by :func:`profile_phase` on the request path (list append/remove
+#: under the GIL), read by the sampler thread, which charges samples
+#: to the most recently entered open block.  A *stack* rather than a
+#: saved-previous slot because on an asyncio event loop interleaved
+#: requests exit in arbitrary order: each block removes its own entry
+#: wherever it sits, so no exit order can strand a stale phase.
+_THREAD_PHASE: dict[int, list[tuple[str, str | None]]] = {}
+
+#: Phase charged to threads no :func:`profile_phase` block has marked.
+IDLE_PHASE = "idle"
+
+#: Hard cap on distinct ``(phase, stack)`` keys: a pathological
+#: workload degrades to dropping *new* stacks, never to unbounded
+#: memory.  Request-id attribution has its own (smaller) cap.
+_MAX_STACKS = 4096
+_MAX_REQUEST_IDS = 512
+
+
+@contextmanager
+def profile_phase(label: str) -> Iterator[None]:
+    """Attribute this thread's samples to ``label`` for the block.
+
+    The request id bound in the calling context at entry is captured
+    alongside the label, so the profiler can also report "samples per
+    request id" without ever touching another thread's contextvars.
+    Nested blocks restore the enclosing attribution on exit.
+
+    On an asyncio event loop several requests interleave on one
+    thread, so blocks can exit in a different order than they entered;
+    each exit removes its *own* entry from the per-thread stack (not
+    whatever happens to be on top), leaving the survivors' attribution
+    intact.  Mid-flight samples charge the most recently entered open
+    block — approximate across awaits, as documented.
+    """
+    ident = threading.get_ident()
+    entry = (label, current_request_id())
+    stack = _THREAD_PHASE.setdefault(ident, [])
+    stack.append(entry)
+    try:
+        yield
+    finally:
+        # Value-equal entries are interchangeable (same label, same
+        # request id), so removing the first match is correct even
+        # when identical blocks interleave.
+        try:
+            stack.remove(entry)
+        except ValueError:  # pragma: no cover - double-exit guard
+            pass
+        if not stack:
+            _THREAD_PHASE.pop(ident, None)
+
+
+def _fold_frame(frame: Any) -> str:
+    """One stack entry: ``function (module:line)``."""
+    code = frame.f_code
+    module = code.co_filename.rsplit("/", 1)[-1]
+    return f"{code.co_name} ({module}:{frame.f_lineno})"
+
+
+class SamplingProfiler:
+    """A background statistical profiler over ``sys._current_frames()``.
+
+    Parameters
+    ----------
+    hz:
+        Target samples per second (the wall-clock sampling rate).  The
+        default is deliberately off the 100 Hz beat most periodic work
+        runs at, so the sampler does not alias against it.
+    max_depth:
+        Frames kept per stack (deepest-caller side truncated).
+    trace_memory:
+        Also start a :class:`MemoryProfiler` (tracemalloc) whose
+        snapshot rides along in :meth:`render`.
+    """
+
+    def __init__(
+        self,
+        hz: float = 67.0,
+        *,
+        max_depth: int = 48,
+        trace_memory: bool = False,
+    ) -> None:
+        if hz <= 0:
+            raise ConfigurationError(
+                f"profiler hz must be > 0, got {hz}"
+            )
+        self.hz = float(hz)
+        self.max_depth = int(max_depth)
+        self._counts: dict[tuple[str, tuple[str, ...]], int] = {}
+        self._by_request: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_total = 0
+        self.dropped_stacks = 0
+        self.started_unix: float | None = None
+        self.memory: MemoryProfiler | None = (
+            MemoryProfiler() if trace_memory else None
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the sampler thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Start the sampler thread (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self.started_unix = time.time()
+        if self.memory is not None:
+            self.memory.start()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (collected counts survive for rendering)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.memory is not None:
+            self.memory.stop()
+
+    def _run(self) -> None:
+        period = 1.0 / self.hz
+        own = threading.get_ident()
+        while not self._stop.wait(period):
+            self.sample_once(skip_thread=own)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_once(self, *, skip_thread: int | None = None) -> None:
+        """Take one sample of every live thread (the loop body).
+
+        Public so tests (and the docs) can drive the profiler
+        deterministically without a second thread.
+        """
+        frames = sys._current_frames()
+        now_counts: list[tuple[str, str | None, tuple[str, ...]]] = []
+        for ident, frame in frames.items():
+            if ident == skip_thread:
+                continue
+            phase, request_id = IDLE_PHASE, None
+            open_blocks = _THREAD_PHASE.get(ident)
+            if open_blocks:
+                try:
+                    phase, request_id = open_blocks[-1]
+                except IndexError:  # pragma: no cover - exit race
+                    pass  # the owning thread emptied it mid-read
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                stack.append(_fold_frame(frame))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()  # root first, collapsed-stack order
+            now_counts.append((phase, request_id, tuple(stack)))
+        with self._lock:
+            for phase, request_id, stack in now_counts:
+                self.samples_total += 1
+                key = (phase, stack)
+                if key in self._counts:
+                    self._counts[key] += 1
+                elif len(self._counts) < _MAX_STACKS:
+                    self._counts[key] = 1
+                else:
+                    self.dropped_stacks += 1
+                if request_id is not None:
+                    if request_id in self._by_request:
+                        self._by_request[request_id] += 1
+                    elif len(self._by_request) < _MAX_REQUEST_IDS:
+                        self._by_request[request_id] = 1
+
+    # ------------------------------------------------------------------
+    # State (the mergeable wire form) and rendering
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Raw counts — the per-process, fleet-mergeable representation.
+
+        ``stacks`` is a list (not a dict) because the key is a
+        ``(phase, frames)`` pair; JSON round-trips it losslessly and
+        :func:`merge_profile_states` re-keys on the pair.
+        """
+        with self._lock:
+            stacks = [
+                {
+                    "phase": phase,
+                    "frames": list(frames),
+                    "count": count,
+                }
+                for (phase, frames), count in self._counts.items()
+            ]
+            by_request = dict(self._by_request)
+        return {
+            "running": self.running,
+            "hz": self.hz,
+            "samples_total": self.samples_total,
+            "dropped_stacks": self.dropped_stacks,
+            "started_unix": self.started_unix,
+            "stacks": stacks,
+            "samples_by_request": by_request,
+        }
+
+    def render(self, *, top: int = 50) -> dict[str, Any]:
+        """The ``/v1/profile`` JSON document for this one process."""
+        return render_profile(self.state_dict(), top=top)
+
+    def reset(self) -> None:
+        """Drop every collected sample (rate/limits keep their config)."""
+        with self._lock:
+            self._counts.clear()
+            self._by_request.clear()
+            self.samples_total = 0
+            self.dropped_stacks = 0
+
+
+def merge_profile_states(
+    states: Sequence[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Fold N per-worker profiler states into one fleet state.
+
+    Stack counts and per-request counts are exact sums keyed on the
+    ``(phase, frames)`` pair — the profiler analogue of summing raw
+    histogram buckets instead of averaging per-worker quantiles.
+    """
+    counts: dict[tuple[str, tuple[str, ...]], int] = {}
+    by_request: dict[str, int] = {}
+    samples_total = 0
+    dropped = 0
+    hz = 0.0
+    started: float | None = None
+    running = False
+    for state in states:
+        running = running or bool(state.get("running"))
+        hz = max(hz, float(state.get("hz", 0.0)))
+        samples_total += int(state.get("samples_total", 0))
+        dropped += int(state.get("dropped_stacks", 0))
+        state_started = state.get("started_unix")
+        if state_started is not None:
+            started = (
+                float(state_started)
+                if started is None
+                else min(started, float(state_started))
+            )
+        for stack in state.get("stacks", ()):
+            key = (str(stack["phase"]), tuple(stack["frames"]))
+            counts[key] = counts.get(key, 0) + int(stack["count"])
+        for request_id, count in state.get(
+            "samples_by_request", {}
+        ).items():
+            by_request[request_id] = (
+                by_request.get(request_id, 0) + int(count)
+            )
+    return {
+        "running": running,
+        "hz": hz,
+        "samples_total": samples_total,
+        "dropped_stacks": dropped,
+        "started_unix": started,
+        "stacks": [
+            {"phase": phase, "frames": list(frames), "count": count}
+            for (phase, frames), count in counts.items()
+        ],
+        "samples_by_request": by_request,
+    }
+
+
+def render_profile(
+    state: Mapping[str, Any], *, top: int = 50
+) -> dict[str, Any]:
+    """A profile state as the ``/v1/profile`` JSON document.
+
+    ``by_phase`` sums to ``samples_total - dropped_stacks`` — the
+    schema validator enforces the identity; ``stacks`` keeps only the
+    ``top`` hottest, reported as ``truncated`` when stacks were cut.
+    """
+    stacks = sorted(
+        state.get("stacks", ()),
+        key=lambda s: (-int(s["count"]), s["phase"], s["frames"]),
+    )
+    by_phase: dict[str, int] = {}
+    for stack in stacks:
+        phase = str(stack["phase"])
+        by_phase[phase] = by_phase.get(phase, 0) + int(stack["count"])
+    hot_requests = sorted(
+        state.get("samples_by_request", {}).items(),
+        key=lambda item: (-item[1], item[0]),
+    )[:10]
+    return {
+        "enabled": True,
+        "running": bool(state.get("running")),
+        "hz": float(state.get("hz", 0.0)),
+        "samples_total": int(state.get("samples_total", 0)),
+        "dropped_stacks": int(state.get("dropped_stacks", 0)),
+        "started_unix": state.get("started_unix"),
+        "by_phase": dict(
+            sorted(by_phase.items(), key=lambda kv: (-kv[1], kv[0]))
+        ),
+        "stacks": stacks[: max(0, top)],
+        "truncated": len(stacks) > top,
+        "hot_requests": [
+            {"request_id": request_id, "samples": samples}
+            for request_id, samples in hot_requests
+        ],
+    }
+
+
+def collapsed_stacks(state: Mapping[str, Any]) -> str:
+    """Brendan Gregg's folded-stack text: ``phase;f1;f2 count`` lines.
+
+    Pipe straight into ``flamegraph.pl`` (or paste into speedscope,
+    which auto-detects the format).  Frames are root-first, the phase
+    is the synthetic root frame — so the flamegraph's first split is
+    by endpoint.
+    """
+    lines = []
+    for stack in sorted(
+        state.get("stacks", ()),
+        key=lambda s: (s["phase"], s["frames"]),
+    ):
+        frames = ";".join(
+            str(frame).replace(";", ",") for frame in stack["frames"]
+        )
+        label = str(stack["phase"]).replace(";", ",")
+        folded = f"{label};{frames}" if frames else label
+        lines.append(f"{folded} {int(stack['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_document(
+    state: Mapping[str, Any], *, name: str = "repro"
+) -> dict[str, Any]:
+    """The profile as a https://www.speedscope.app sampled document."""
+    frame_index: dict[str, int] = {}
+    frames: list[dict[str, str]] = []
+
+    def intern(label: str) -> int:
+        found = frame_index.get(label)
+        if found is None:
+            found = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return found
+
+    samples: list[list[int]] = []
+    weights: list[int] = []
+    for stack in sorted(
+        state.get("stacks", ()),
+        key=lambda s: (s["phase"], s["frames"]),
+    ):
+        indexed = [intern(str(stack["phase"]))]
+        indexed.extend(intern(str(f)) for f in stack["frames"])
+        samples.append(indexed)
+        weights.append(int(stack["count"]))
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "none",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "exporter": "repro-profile",
+        "name": name,
+    }
+
+
+class MemoryProfiler:
+    """Allocation snapshots and diffs via :mod:`tracemalloc`.
+
+    ``tracemalloc`` is the stdlib's allocation tracker: once started it
+    records the Python source line behind every live allocation.  The
+    cost is real (every allocation pays a bookkeeping hit), so it rides
+    the same opt-in flag as the sampling profiler rather than being
+    always-on.
+    """
+
+    def __init__(self, *, frames: int = 1) -> None:
+        self.frames = int(frames)
+        self._baseline: Any = None
+        self._started_here = False
+
+    def start(self) -> None:
+        """Begin tracking (no-op if tracemalloc is already running)."""
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start(self.frames)
+            self._started_here = True
+        self._baseline = tracemalloc.take_snapshot()
+
+    def stop(self) -> None:
+        """Stop tracking if this instance started it."""
+        import tracemalloc
+
+        if self._started_here and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_here = False
+
+    def snapshot(self, *, top: int = 10) -> dict[str, Any]:
+        """Current usage and the ``top`` allocation sites.
+
+        When :meth:`start` ran earlier, each site also carries its
+        delta against that baseline (``size_diff_kb``) — the "what
+        grew" view a leak hunt starts from.
+        """
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            return {"tracing": False, "top": []}
+        current = tracemalloc.take_snapshot()
+        traced, peak = tracemalloc.get_traced_memory()
+        if self._baseline is not None:
+            stats = current.compare_to(self._baseline, "lineno")
+            sites = [
+                {
+                    "site": str(stat.traceback),
+                    "size_kb": round(stat.size / 1024.0, 1),
+                    "size_diff_kb": round(stat.size_diff / 1024.0, 1),
+                    "count": stat.count,
+                }
+                for stat in stats[: max(0, top)]
+            ]
+        else:
+            sites = [
+                {
+                    "site": str(stat.traceback),
+                    "size_kb": round(stat.size / 1024.0, 1),
+                    "count": stat.count,
+                }
+                for stat in current.statistics("lineno")[: max(0, top)]
+            ]
+        return {
+            "tracing": True,
+            "traced_kb": round(traced / 1024.0, 1),
+            "peak_kb": round(peak / 1024.0, 1),
+            "top": sites,
+        }

@@ -56,6 +56,10 @@ __all__ = [
     "gauge_family",
     "histogram_samples",
     "render_families",
+    "label_families",
+    "families_state",
+    "state_families",
+    "merge_family_states",
 ]
 
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -634,3 +638,141 @@ REGISTRY = MetricsRegistry()
 def get_registry() -> MetricsRegistry:
     """The process-global :data:`REGISTRY`."""
     return REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Cross-process family plumbing (the multi-worker fleet)
+# ----------------------------------------------------------------------
+def label_families(
+    families: Iterable[MetricFamily],
+    extra_labels: tuple[tuple[str, str], ...],
+) -> list[MetricFamily]:
+    """Every sample re-labelled with ``extra_labels`` appended.
+
+    The multi-worker gateway stamps ``worker="N"`` onto each worker's
+    exposition this way, so a Prometheus scrape that happened to land
+    on worker 3 says so on every series.
+    """
+    if not extra_labels:
+        return list(families)
+    return [
+        MetricFamily(
+            name=family.name,
+            kind=family.kind,
+            help=family.help,
+            samples=tuple(
+                Sample(
+                    suffix=sample.suffix,
+                    labels=sample.labels + extra_labels,
+                    value=sample.value,
+                )
+                for sample in family.samples
+            ),
+        )
+        for family in families
+    ]
+
+
+def families_state(
+    families: Iterable[MetricFamily],
+) -> list[dict[str, Any]]:
+    """Families as a JSON-safe state list (the scrape wire form).
+
+    The inverse of :func:`state_families`; a worker serves this under
+    ``/v1/metrics?format=state`` so the supervisor can merge the raw
+    per-process registries instead of trying to parse text exposition.
+    """
+    return [
+        {
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "samples": [
+                {
+                    "suffix": sample.suffix,
+                    "labels": [list(pair) for pair in sample.labels],
+                    "value": sample.value,
+                }
+                for sample in family.samples
+            ],
+        }
+        for family in families
+    ]
+
+
+def state_families(
+    state: Iterable[Mapping[str, Any]],
+) -> list[MetricFamily]:
+    """Families back out of a :func:`families_state` document."""
+    return [
+        MetricFamily(
+            name=str(entry["name"]),
+            kind=str(entry["kind"]),
+            help=str(entry.get("help", "")),
+            samples=tuple(
+                Sample(
+                    suffix=str(sample["suffix"]),
+                    labels=tuple(
+                        (str(name), str(value))
+                        for name, value in sample["labels"]
+                    ),
+                    value=float(sample["value"]),
+                )
+                for sample in entry["samples"]
+            ),
+        )
+        for entry in state
+    ]
+
+
+def merge_family_states(
+    states: Sequence[Iterable[Mapping[str, Any]]],
+) -> list[MetricFamily]:
+    """N workers' :func:`families_state` documents merged into one.
+
+    Samples are summed per ``(name, suffix, labels)`` — exact for
+    counters and histogram ``_bucket``/``_sum``/``_count`` series
+    (every process uses the same fixed bounds), and the fleet-total
+    reading for gauges (in-flight requests across workers add, they
+    do not average).  Help text and kind come from the first state
+    that declares the family.
+    """
+    order: list[str] = []
+    meta: dict[str, tuple[str, str]] = {}
+    merged: dict[
+        str, dict[tuple[str, tuple[tuple[str, str], ...]], float]
+    ] = {}
+    for state in states:
+        for entry in state:
+            name = str(entry["name"])
+            if name not in meta:
+                meta[name] = (
+                    str(entry["kind"]),
+                    str(entry.get("help", "")),
+                )
+                order.append(name)
+                merged[name] = {}
+            samples = merged[name]
+            for sample in entry["samples"]:
+                key = (
+                    str(sample["suffix"]),
+                    tuple(
+                        (str(label), str(value))
+                        for label, value in sample["labels"]
+                    ),
+                )
+                samples[key] = samples.get(key, 0.0) + float(
+                    sample["value"]
+                )
+    return [
+        MetricFamily(
+            name=name,
+            kind=meta[name][0],
+            help=meta[name][1],
+            samples=tuple(
+                Sample(suffix=suffix, labels=labels, value=value)
+                for (suffix, labels), value in merged[name].items()
+            ),
+        )
+        for name in order
+    ]

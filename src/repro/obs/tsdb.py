@@ -1,0 +1,282 @@
+"""A fixed-capacity ring-buffer time-series store over the registry.
+
+``/v1/metrics`` answers "what are the counters *now*"; diagnosing a
+regression needs "what were they five minutes ago".  This module keeps
+that history without a database: a background scraper samples a
+family-collecting callable (by default everything the gateway exports)
+on an interval and appends one point — ``(unix_ts, {family: {series:
+value}})`` — to a bounded :class:`collections.deque`.  At the default
+5s interval and 720-point capacity that is one hour of history in a
+few MB, overwritten oldest-first, crash-safe by virtue of being
+rebuildable from live traffic.
+
+Series are keyed by their exposition form (``name_suffix{label="v"}``)
+so the history endpoint's payload reads exactly like the Prometheus
+text a scrape would have shown at that instant;
+:func:`parse_series_key` recovers the structured labels when a
+consumer (the SLO engine) needs them.
+
+The fleet angle: a store is *driven by its collector*.  A single
+process scrapes its own registry; the multi-worker supervisor passes a
+collector that scrapes every worker's raw state and merges it
+(exact counter/bucket sums), so the supervisor's store holds
+fleet-truth history and ``/v1/metrics/history`` never shows one
+worker's partial view.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricFamily, _render_labels
+
+__all__ = [
+    "TimeSeriesStore",
+    "counter_delta",
+    "parse_series_key",
+    "series_key",
+]
+
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def series_key(
+    name_with_suffix: str, labels: tuple[tuple[str, str], ...]
+) -> str:
+    """The exposition-format key of one series (``name{a="b"}``)."""
+    return f"{name_with_suffix}{_render_labels(labels)}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """``(name_with_suffix, labels)`` back out of a series key."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels = {
+        label: value.replace('\\"', '"').replace("\\\\", "\\")
+        for label, value in _LABEL_PAIR.findall(rest[:-1])
+    }
+    return name, labels
+
+
+class TimeSeriesStore:
+    """Bounded in-memory history of every exported metric family.
+
+    Parameters
+    ----------
+    collect:
+        Zero-argument callable returning the
+        :class:`~repro.obs.registry.MetricFamily` list to sample.
+    capacity:
+        Points retained (oldest evicted beyond it).
+    interval:
+        Seconds between scrapes when the background thread runs;
+        ``<= 0`` disables the thread (scrapes happen only via
+        :meth:`scrape_once`, which the SLO endpoint and tests drive
+        directly).
+    """
+
+    def __init__(
+        self,
+        collect: Callable[[], Iterable[MetricFamily]],
+        *,
+        capacity: int = 720,
+        interval: float = 5.0,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"tsdb capacity must be >= 1, got {capacity}"
+            )
+        self._collect = collect
+        self.capacity = int(capacity)
+        self.interval = float(interval)
+        self._points: deque[tuple[float, dict[str, dict[str, float]]]]
+        self._points = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.scrapes_total = 0
+
+    # ------------------------------------------------------------------
+    # Scraping
+    # ------------------------------------------------------------------
+    def scrape_once(self, now: float | None = None) -> float:
+        """Sample the collector into one point; returns its timestamp.
+
+        ``now`` is injectable so tests (and the property suite) can
+        build deterministic histories.
+        """
+        timestamp = time.time() if now is None else float(now)
+        families: dict[str, dict[str, float]] = {}
+        for family in self._collect():
+            series = families.setdefault(family.name, {})
+            for sample in family.samples:
+                key = series_key(
+                    f"{family.name}{sample.suffix}", sample.labels
+                )
+                series[key] = float(sample.value)
+        with self._lock:
+            if self._points and timestamp < self._points[-1][0]:
+                # A clock step backwards must not produce an unsorted
+                # ring: clamp to the newest point's timestamp.
+                timestamp = self._points[-1][0]
+            self._points.append((timestamp, families))
+            self.scrapes_total += 1
+        return timestamp
+
+    def start(self) -> "TimeSeriesStore":
+        """Start the interval scraper (no-op when ``interval <= 0``)."""
+        if self.interval <= 0 or (
+            self._thread is not None and self._thread.is_alive()
+        ):
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-tsdb", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the scraper thread (history stays queryable)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.scrape_once()
+            except Exception:  # pragma: no cover - collector bug
+                # History must never kill the scraper: a collector that
+                # raises once (mid-reconfiguration, say) costs one
+                # point, not the whole store.
+                continue
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _snapshot(
+        self,
+    ) -> list[tuple[float, dict[str, dict[str, float]]]]:
+        with self._lock:
+            return list(self._points)
+
+    def families(self) -> list[str]:
+        """Every family name with at least one stored sample."""
+        names: set[str] = set()
+        for _, families in self._snapshot():
+            names.update(families)
+        return sorted(names)
+
+    def points(
+        self,
+        *,
+        family: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Stored points (oldest first), optionally windowed/filtered.
+
+        Each point is ``{"ts": unix, "series": {key: value}}``; with
+        ``family`` the series map holds only that family's samples
+        (points where the family was absent are skipped).
+        """
+        selected: list[dict[str, Any]] = []
+        for timestamp, families in self._snapshot():
+            if since is not None and timestamp < since:
+                continue
+            if until is not None and timestamp > until:
+                continue
+            if family is None:
+                series: dict[str, float] = {}
+                for family_series in families.values():
+                    series.update(family_series)
+            else:
+                found = families.get(family)
+                if found is None:
+                    continue
+                series = dict(found)
+            selected.append({"ts": timestamp, "series": series})
+        return selected
+
+    def window(
+        self, seconds: float, *, now: float | None = None
+    ) -> tuple[dict[str, Any], dict[str, Any]] | None:
+        """The ``(oldest-in-window, newest)`` point pair, or ``None``.
+
+        The oldest point *at or after* ``now - seconds`` anchors the
+        window; when retention is shorter than the ask, the window
+        silently clamps to what history exists — burn rates over a
+        3-day window on a 2-minute-old process are "since start", which
+        is the honest answer.
+        """
+        snapshot = self.points()
+        if len(snapshot) < 1:
+            return None
+        newest = snapshot[-1]
+        anchor_ts = (
+            newest["ts"] if now is None else float(now)
+        ) - float(seconds)
+        for point in snapshot:
+            if point["ts"] >= anchor_ts:
+                return point, newest
+        return snapshot[-1], newest
+
+    def history_payload(
+        self,
+        *,
+        family: str | None = None,
+        since: float | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """The ``/v1/metrics/history`` JSON document."""
+        points = self.points(family=family, since=since)
+        total = len(points)
+        if limit is not None and limit >= 0:
+            points = points[-limit:]
+        return {
+            "family": family,
+            "since": since,
+            "interval_seconds": self.interval,
+            "capacity": self.capacity,
+            "scrapes_total": self.scrapes_total,
+            "families": self.families(),
+            "points_total": total,
+            "points": points,
+        }
+
+
+def counter_delta(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    *,
+    prefix: str,
+    where: Callable[[dict[str, str]], bool] | None = None,
+) -> float:
+    """Summed increase of matching counter series between two points.
+
+    ``prefix`` selects series whose key starts with it (e.g.
+    ``repro_gateway_responses_total``); ``where`` further filters on
+    the parsed labels.  Series absent from the old point count from
+    zero (a worker that joined mid-window); decreases clamp to zero
+    (a worker restart reset its counter — the fleet total must not go
+    negative because one process was reborn).
+    """
+    total = 0.0
+    old_series = old.get("series", {})
+    for key, value in new.get("series", {}).items():
+        if not key.startswith(prefix):
+            continue
+        if where is not None:
+            _, labels = parse_series_key(key)
+            if not where(labels):
+                continue
+        total += max(0.0, float(value) - float(old_series.get(key, 0.0)))
+    return total

@@ -446,6 +446,7 @@ class TestWorkerScenarios:
             "responses_parse_cleanly": True,
             "responses_bit_identical": True,
             "no_shm_leak": True,
+            "profiler_survives_restart": True,
         }
 
 

@@ -1,0 +1,415 @@
+"""End-to-end tests for the deep-observability endpoints.
+
+``/v1/profile``, ``/v1/slo``, and ``/v1/metrics/history`` over real
+sockets — first against a single-process :class:`GatewayServer`, then
+against a two-worker :class:`MultiWorkerGateway` where every document
+must be the *fleet-merged* truth, consistent with per-worker ground
+truth scraped over the supervisor's control channel.  All documents go
+through the strict ``obsschema`` validators.
+"""
+
+import asyncio
+import json
+import time
+import urllib.request
+
+from expfmt import parse_exposition
+from obsschema import (
+    validate_collapsed,
+    validate_history,
+    validate_profile,
+    validate_slo,
+)
+from repro.gateway import GatewayConfig, GatewayServer, MultiWorkerGateway
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.serve import RankingService, ScoreIndex
+from repro.synth import toy_network
+
+
+def _make_service(methods=("CC", "PR")) -> RankingService:
+    index = ScoreIndex(toy_network())
+    for label in methods:
+        index.add_method(label)
+    return RankingService(index)
+
+
+async def _get_raw(host, port, target, *, extra_headers=()):
+    """One HTTP GET; returns (status, header dict, raw body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+        for name, value in extra_headers:
+            request += f"{name}: {value}\r\n"
+        request += "Connection: close\r\n\r\n"
+        writer.write(request.encode())
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if value:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        body = await reader.readexactly(length)
+        return status, headers, body
+    finally:
+        writer.close()
+
+
+async def _get_json(host, port, target):
+    status, _, body = await _get_raw(host, port, target)
+    return status, json.loads(body)
+
+
+_PROFILED = GatewayConfig(
+    port=0, profile=True, profile_hz=250.0, history_interval=0.0
+)
+
+
+async def _wait_for_samples(server, minimum=1, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while (
+        server.profiler.samples_total < minimum
+        and time.monotonic() < deadline
+    ):
+        await asyncio.sleep(0.01)
+    assert server.profiler.samples_total >= minimum
+
+
+class TestSingleProcessEndpoints:
+    def test_profile_endpoint_renders_every_format(self):
+        async def main():
+            server = GatewayServer(
+                _make_service(), config=_PROFILED
+            )
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                for _ in range(4):
+                    await _get_json(host, port, "/v1/top?method=CC&k=3")
+                await _wait_for_samples(server, minimum=5)
+                out = {}
+                out["json"] = await _get_json(host, port, "/v1/profile")
+                out["top1"] = await _get_json(
+                    host, port, "/v1/profile?top=1"
+                )
+                out["state"] = await _get_json(
+                    host, port, "/v1/profile?format=state"
+                )
+                out["speedscope"] = await _get_json(
+                    host, port, "/v1/profile?format=speedscope"
+                )
+                out["memory"] = await _get_json(
+                    host, port, "/v1/profile?memory=1"
+                )
+                out["collapsed"] = await _get_raw(
+                    host, port, "/v1/profile?format=collapsed"
+                )
+                return out
+            finally:
+                await server.stop()
+
+        out = asyncio.run(main())
+        status, document = out["json"]
+        assert status == 200
+        validate_profile(document)
+        assert document["running"] is True
+        assert document["hz"] == 250.0
+        assert document["samples_total"] >= 5
+
+        status, small = out["top1"]
+        assert status == 200
+        validate_profile(small)
+        assert len(small["stacks"]) == 1
+
+        status, state = out["state"]
+        assert status == 200
+        assert state["enabled"] is True
+        assert state["profile"]["samples_total"] >= 5
+        assert state["worker"]["index"] is None  # single process
+
+        status, speedscope = out["speedscope"]
+        assert status == 200
+        assert speedscope["$schema"].startswith(
+            "https://www.speedscope.app"
+        )
+
+        # profile_memory defaults off: the deep-dive tracemalloc knob
+        # must never ride along with plain --profile.
+        status, with_memory = out["memory"]
+        assert status == 200
+        assert with_memory["memory"] is None
+
+        status, headers, body = out["collapsed"]
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert validate_collapsed(body.decode()) >= 1
+
+    def test_profile_endpoint_reports_disabled(self):
+        async def main():
+            server = GatewayServer(
+                _make_service(), config=GatewayConfig(
+                    port=0, history_interval=0.0
+                )
+            )
+            await server.start()
+            try:
+                return await _get_json(
+                    server.config.host, server.port, "/v1/profile"
+                )
+            finally:
+                await server.stop()
+
+        status, document = asyncio.run(main())
+        assert status == 200
+        validate_profile(document)
+        assert document["enabled"] is False
+        assert "--profile" in document["detail"]
+
+    def test_slo_and_history_reflect_served_traffic(self):
+        async def main():
+            server = GatewayServer(
+                _make_service(), config=GatewayConfig(
+                    port=0, history_interval=0.0
+                )
+            )
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                for _ in range(5):
+                    await _get_json(host, port, "/v1/top?method=CC&k=2")
+                out = {}
+                out["slo"] = await _get_json(host, port, "/v1/slo")
+                out["history"] = await _get_json(
+                    host,
+                    port,
+                    "/v1/metrics/history"
+                    "?family=repro_gateway_responses_total&limit=5",
+                )
+                out["state"] = await _get_json(
+                    host, port, "/v1/metrics?format=state"
+                )
+                return out
+            finally:
+                await server.stop()
+
+        out = asyncio.run(main())
+        status, slo = out["slo"]
+        assert status == 200
+        validate_slo(slo)
+        assert [o["name"] for o in slo["objectives"]] == [
+            "availability", "latency-p99-250ms",
+        ]
+        availability = slo["objectives"][0]
+        assert availability["total"] >= 5.0
+        assert availability["compliance"] == 1.0
+        assert slo["firing"] is False
+
+        status, history = out["history"]
+        assert status == 200
+        validate_history(history)
+        # The endpoint self-scrapes when no interval scraper ran, so a
+        # live process always has at least one point.
+        assert history["points"]
+        newest = history["points"][-1]["series"]
+        assert sum(
+            value
+            for key, value in newest.items()
+            if 'status="200"' in key
+        ) >= 5.0
+
+        status, state = out["state"]
+        assert status == 200
+        assert state["worker"]["index"] is None
+        names = {family["name"] for family in state["registry"]}
+        assert "repro_gateway_responses_total" in names
+        # Mergeable state stays worker-unlabelled: labels are an
+        # exposition concern, merging happens on raw series.
+        for family in state["registry"]:
+            for sample in family["samples"]:
+                assert ("worker",) not in {
+                    tuple(pair[:1]) for pair in sample["labels"]
+                }
+
+    def test_request_id_adoption_is_hardened(self):
+        async def main():
+            server = GatewayServer(
+                _make_service(), config=GatewayConfig(
+                    port=0, history_interval=0.0
+                )
+            )
+            await server.start()
+            host, port = server.config.host, server.port
+            try:
+                out = {}
+                for label, rid in (
+                    ("good", "trace-abc-123"),
+                    ("control", "evil\x01id"),
+                    ("tab", "a\tb"),
+                    ("long", "x" * 300),
+                    ("spaces", "   "),
+                ):
+                    out[label] = await _get_raw(
+                        host,
+                        port,
+                        "/v1/top?method=CC&k=1",
+                        extra_headers=(("X-Request-Id", rid),),
+                    )
+                return out
+            finally:
+                await server.stop()
+
+        out = asyncio.run(main())
+        for label, (status, _, _) in out.items():
+            assert status == 200, label
+
+        echoed = {
+            label: headers["x-request-id"]
+            for label, (_, headers, _) in out.items()
+        }
+        # A clean client id is adopted verbatim and echoed back.
+        assert echoed["good"] == "trace-abc-123"
+        # Control characters mean rejection: the generated
+        # connection-scoped id stays bound instead.
+        assert "evil" not in echoed["control"]
+        assert "\t" not in echoed["tab"]
+        # Oversized ids are truncated, not rejected.
+        assert echoed["long"] == "x" * 128
+
+
+def _urlopen_json(port, target):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{target}", timeout=10.0
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+def _urlopen_text(port, target):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{target}", timeout=10.0
+    ) as response:
+        return response.status, response.read().decode()
+
+
+class TestFleetEndpoints:
+    def test_two_worker_fleet_serves_merged_observability(self):
+        enable_tracing()  # workers fork with the collector installed
+        gateway = MultiWorkerGateway(
+            _make_service(),
+            workers=2,
+            config=GatewayConfig(
+                port=0,
+                profile=True,
+                profile_hz=250.0,
+                update_interval=0.0,
+                history_interval=0.0,
+            ),
+        )
+        try:
+            with gateway:
+                for _ in range(12):
+                    _urlopen_json(gateway.port, "/v1/top?method=CC&k=3")
+
+                # Ground truth over the control channel: wait until
+                # both workers report profiler samples.
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    truth = gateway.aggregate_profile()
+                    if all(
+                        w["scraped"] and w["samples"] > 0
+                        for w in truth["workers"]
+                    ):
+                        break
+                    time.sleep(0.05)
+                assert all(
+                    w["samples"] > 0 for w in truth["workers"]
+                ), truth["workers"]
+                # The merge is an exact sum of per-worker raw counts.
+                assert truth["profile"]["samples_total"] == sum(
+                    w["samples"] for w in truth["workers"]
+                )
+
+                # The public port answers with the fleet document no
+                # matter which worker the kernel picks.
+                status, profile = _urlopen_json(
+                    gateway.port, "/v1/profile"
+                )
+                assert status == 200
+                validate_profile(profile)
+                assert len(profile["workers"]) == 2
+                assert {w["worker"] for w in profile["workers"]} == {0, 1}
+                assert profile["samples_total"] >= (
+                    truth["profile"]["samples_total"]
+                )
+
+                status, collapsed = _urlopen_text(
+                    gateway.port, "/v1/profile?format=collapsed"
+                )
+                assert status == 200
+                assert validate_collapsed(collapsed) >= 1
+
+                # ?scope=local escapes the proxy: the answering worker
+                # reports only itself, identified by index.
+                status, local = _urlopen_json(
+                    gateway.port, "/v1/profile?format=state&scope=local"
+                )
+                assert status == 200
+                assert local["worker"]["index"] in (0, 1)
+                assert (
+                    local["profile"]["samples_total"]
+                    <= profile["samples_total"]
+                )
+
+                status, slo = _urlopen_json(gateway.port, "/v1/slo")
+                assert status == 200
+                validate_slo(slo)
+                availability = slo["objectives"][0]
+                assert availability["total"] >= 12.0
+                assert availability["compliance"] == 1.0
+
+                status, history = _urlopen_json(
+                    gateway.port,
+                    "/v1/metrics/history"
+                    "?family=repro_gateway_responses_total",
+                )
+                assert status == 200
+                validate_history(history)
+                newest = history["points"][-1]["series"]
+                # Fleet history sums both workers' counters: all 12
+                # requests appear in one merged point, regardless of
+                # how the kernel spread them.
+                assert sum(
+                    value
+                    for key, value in newest.items()
+                    if 'status="200"' in key
+                ) >= 12.0
+
+                status, trace = _urlopen_json(
+                    gateway.port, "/v1/trace?limit=10"
+                )
+                assert status == 200
+                assert trace["enabled"] is True
+                assert trace["workers"] == 2
+                assert trace["traces"], "no trace trees aggregated"
+                assert len(trace["traces"]) <= 10
+                for tree in trace["traces"]:
+                    assert tree["worker"] in (0, 1)
+
+                # Exposition carries the worker identity label so a
+                # Prometheus scrape of any one worker says who it hit;
+                # the mergeable state (asserted unlabelled above for
+                # the single-process server) stays clean.
+                status, text = _urlopen_text(
+                    gateway.port, "/v1/metrics?format=prometheus"
+                )
+                assert status == 200
+                families = parse_exposition(text)
+                responses = families["repro_gateway_responses_total"]
+                assert responses.values()  # saw traffic
+                for labels in responses.values():
+                    worker = dict(labels).get("worker")
+                    assert worker in ("0", "1")
+        finally:
+            disable_tracing()

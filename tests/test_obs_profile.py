@@ -1,0 +1,374 @@
+"""Tests for repro.obs.profile — the sampling wall/CPU profiler.
+
+Everything deterministic drives :meth:`SamplingProfiler.sample_once`
+directly (no sampler thread, no timing); the one thread test that does
+start the background sampler only asserts coarse facts (samples were
+taken, stop stops).  Rendering tests run every document through the
+strict validators in ``obsschema``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from obsschema import validate_collapsed, validate_profile
+from repro.errors import ConfigurationError
+from repro.obs.logging import bind_request_id
+from repro.obs.profile import (
+    IDLE_PHASE,
+    MemoryProfiler,
+    SamplingProfiler,
+    collapsed_stacks,
+    merge_profile_states,
+    profile_phase,
+    render_profile,
+    speedscope_document,
+)
+
+
+class TestSampling:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError, match="hz"):
+            SamplingProfiler(hz=0)
+
+    def test_unmarked_thread_samples_as_idle(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        state = profiler.state_dict()
+        assert state["samples_total"] >= 1
+        assert {s["phase"] for s in state["stacks"]} == {IDLE_PHASE}
+        # No request was bound, so nothing is attributed.
+        assert state["samples_by_request"] == {}
+
+    def test_phase_and_request_attribution(self):
+        profiler = SamplingProfiler()
+        with bind_request_id("req-42"):
+            with profile_phase("top"):
+                profiler.sample_once()
+                profiler.sample_once()
+        state = profiler.state_dict()
+        top = [s for s in state["stacks"] if s["phase"] == "top"]
+        assert sum(s["count"] for s in top) == 2
+        assert state["samples_by_request"] == {"req-42": 2}
+        # The sampled stack is this test, root-first: the test
+        # function must appear as a frame, below (after) the runner.
+        frames = top[0]["frames"]
+        assert any(
+            "test_phase_and_request_attribution" in f for f in frames
+        )
+
+    def test_nested_phase_restores_the_outer_attribution(self):
+        profiler = SamplingProfiler()
+        with profile_phase("outer"):
+            with profile_phase("inner"):
+                profiler.sample_once()
+            profiler.sample_once()
+        profiler.sample_once()  # outside both: idle again
+        phases = {
+            s["phase"]: s["count"]
+            for s in profiler.state_dict()["stacks"]
+        }
+        assert phases["inner"] == 1
+        assert phases["outer"] == 1
+        assert phases[IDLE_PHASE] == 1
+
+    def test_interleaved_blocks_may_exit_in_any_order(self):
+        # On an asyncio event loop two requests' phase blocks open and
+        # close interleaved on one thread: enter A, enter B, exit A,
+        # exit B.  Each exit must remove its *own* attribution — a
+        # saved-previous restore would resurrect A after B's exit and
+        # strand it on the thread forever.
+        profiler = SamplingProfiler()
+        block_a = profile_phase("top")
+        block_b = profile_phase("paper")
+        block_a.__enter__()
+        block_b.__enter__()
+        profiler.sample_once()  # most recently entered block wins
+        block_a.__exit__(None, None, None)
+        profiler.sample_once()  # B's attribution survives A's exit
+        block_b.__exit__(None, None, None)
+        profiler.sample_once()  # everything closed: idle again
+        phases: dict[str, int] = {}
+        for stack in profiler.state_dict()["stacks"]:
+            phases[stack["phase"]] = (
+                phases.get(stack["phase"], 0) + stack["count"]
+            )
+        assert phases == {"paper": 2, IDLE_PHASE: 1}
+
+    def test_asyncio_interleaving_cannot_strand_a_stale_phase(self):
+        import asyncio
+
+        from repro.obs.profile import _THREAD_PHASE
+
+        async def one_request(label: str) -> None:
+            with profile_phase(label):
+                await asyncio.sleep(0)  # other requests run here
+                await asyncio.sleep(0)
+
+        async def main() -> None:
+            await asyncio.gather(
+                *(one_request(f"phase-{i}") for i in range(5))
+            )
+
+        asyncio.run(main())
+        assert threading.get_ident() not in _THREAD_PHASE
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert {
+            s["phase"] for s in profiler.state_dict()["stacks"]
+        } == {IDLE_PHASE}
+
+    def test_distinct_stack_cap_drops_never_grows(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.profile._MAX_STACKS", 1)
+        profiler = SamplingProfiler()
+        # Two call sites -> two distinct stacks (the line number of
+        # this frame differs); the table holds one, the other drops.
+        profiler.sample_once()
+        profiler.sample_once()
+        state = profiler.state_dict()
+        assert len(state["stacks"]) == 1
+        assert state["dropped_stacks"] == 1
+        assert state["samples_total"] == 2
+        # The identity the endpoint schema enforces survives drops.
+        validate_profile(render_profile(state))
+
+    def test_request_id_cap_bounds_attribution(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.profile._MAX_REQUEST_IDS", 2)
+        profiler = SamplingProfiler()
+        for i in range(5):
+            with bind_request_id(f"req-{i}"):
+                with profile_phase("top"):
+                    profiler.sample_once()
+        by_request = profiler.state_dict()["samples_by_request"]
+        assert len(by_request) == 2
+
+    def test_reset_drops_samples_but_keeps_config(self):
+        profiler = SamplingProfiler(hz=123.0)
+        with profile_phase("top"):
+            profiler.sample_once()
+        profiler.reset()
+        state = profiler.state_dict()
+        assert state["samples_total"] == 0
+        assert state["stacks"] == []
+        assert state["samples_by_request"] == {}
+        assert state["hz"] == 123.0
+
+    def test_background_thread_samples_and_stops(self):
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.start()
+        try:
+            assert profiler.running
+            deadline = time.monotonic() + 5.0
+            with profile_phase("busy"):
+                while (
+                    profiler.samples_total == 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.002)
+        finally:
+            profiler.stop()
+        assert not profiler.running
+        state = profiler.state_dict()
+        assert state["samples_total"] > 0
+        # The sampler excludes its own thread: no repro-profiler
+        # frames charge the profile.
+        for stack in state["stacks"]:
+            assert not any("_run (profile" in f for f in stack["frames"])
+        validate_profile(render_profile(state))
+
+
+class TestMergeAndRender:
+    @staticmethod
+    def _state(stacks, *, hz=67.0, started=100.0, by_request=None):
+        return {
+            "running": False,
+            "hz": hz,
+            "samples_total": sum(s["count"] for s in stacks),
+            "dropped_stacks": 0,
+            "started_unix": started,
+            "stacks": stacks,
+            "samples_by_request": dict(by_request or {}),
+        }
+
+    def test_merge_sums_counts_on_phase_and_frames(self):
+        shared = {"phase": "top", "frames": ["a (m.py:1)"], "count": 3}
+        only_b = {"phase": "paper", "frames": ["b (m.py:2)"], "count": 2}
+        merged = merge_profile_states(
+            [
+                self._state([shared], hz=67.0, started=50.0,
+                            by_request={"r1": 3}),
+                self._state(
+                    [dict(shared, count=4), only_b],
+                    hz=199.0,
+                    started=20.0,
+                    by_request={"r1": 1, "r2": 2},
+                ),
+            ]
+        )
+        counts = {
+            (s["phase"], tuple(s["frames"])): s["count"]
+            for s in merged["stacks"]
+        }
+        assert counts == {
+            ("top", ("a (m.py:1)",)): 7,
+            ("paper", ("b (m.py:2)",)): 2,
+        }
+        assert merged["samples_total"] == 9
+        assert merged["hz"] == 199.0  # fastest worker wins the display
+        assert merged["started_unix"] == 20.0  # earliest start
+        assert merged["samples_by_request"] == {"r1": 4, "r2": 2}
+
+    def test_merge_of_live_profilers_equals_direct_totals(self):
+        a, b = SamplingProfiler(), SamplingProfiler()
+        with profile_phase("top"):
+            a.sample_once()
+            b.sample_once()
+            b.sample_once()
+        merged = merge_profile_states([a.state_dict(), b.state_dict()])
+        assert merged["samples_total"] == (
+            a.samples_total + b.samples_total
+        )
+        validate_profile(render_profile(merged))
+
+    def test_render_orders_and_truncates(self):
+        stacks = [
+            {"phase": "top", "frames": [f"f{i} (m.py:{i})"],
+             "count": i + 1}
+            for i in range(5)
+        ]
+        document = render_profile(self._state(stacks), top=3)
+        validate_profile(document)
+        assert [s["count"] for s in document["stacks"]] == [5, 4, 3]
+        assert document["truncated"] is True
+        assert document["by_phase"] == {"top": 15}
+
+    def test_render_caps_hot_requests_at_ten(self):
+        by_request = {f"req-{i:02d}": i + 1 for i in range(15)}
+        document = render_profile(
+            self._state(
+                [{"phase": "top", "frames": [], "count": 120}],
+                by_request=by_request,
+            )
+        )
+        validate_profile(document)
+        assert len(document["hot_requests"]) == 10
+        assert document["hot_requests"][0] == {
+            "request_id": "req-14", "samples": 15,
+        }
+
+    def test_collapsed_is_folded_text_with_phase_root(self):
+        text = collapsed_stacks(
+            self._state(
+                [
+                    {"phase": "top", "frames": ["a (m.py:1)",
+                                                "b;c (m.py:2)"],
+                     "count": 3},
+                    {"phase": "idle", "frames": [], "count": 7},
+                ]
+            )
+        )
+        assert validate_collapsed(text) == 2
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        # Sorted by (phase, frames); semicolons inside a frame are
+        # escaped so the fold separator stays unambiguous.
+        assert lines[0] == "idle 7"
+        assert lines[1] == "top;a (m.py:1);b,c (m.py:2) 3"
+
+    def test_collapsed_of_empty_state_is_empty(self):
+        assert collapsed_stacks(self._state([])) == ""
+
+    def test_speedscope_document_interns_frames(self):
+        document = speedscope_document(
+            self._state(
+                [
+                    {"phase": "top", "frames": ["a (m.py:1)"], "count": 2},
+                    {"phase": "top", "frames": ["a (m.py:1)",
+                                                "b (m.py:2)"],
+                     "count": 1},
+                ]
+            ),
+            name="unit",
+        )
+        assert document["$schema"].startswith(
+            "https://www.speedscope.app"
+        )
+        names = [f["name"] for f in document["shared"]["frames"]]
+        assert names == ["top", "a (m.py:1)", "b (m.py:2)"]
+        profile = document["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert sum(profile["weights"]) == 3 == profile["endValue"]
+        for sample in profile["samples"]:
+            assert all(0 <= i < len(names) for i in sample)
+
+
+class TestMemoryProfiler:
+    def test_snapshot_requires_tracing(self):
+        assert MemoryProfiler().snapshot() == {
+            "tracing": False, "top": [],
+        }
+
+    def test_snapshot_reports_sites_and_diffs(self):
+        profiler = MemoryProfiler()
+        profiler.start()
+        try:
+            hoard = [bytearray(4096) for _ in range(64)]
+            snapshot = profiler.snapshot(top=5)
+        finally:
+            profiler.stop()
+            del hoard
+        assert snapshot["tracing"] is True
+        assert snapshot["traced_kb"] > 0
+        assert snapshot["peak_kb"] >= snapshot["traced_kb"] * 0.5
+        assert 0 < len(snapshot["top"]) <= 5
+        site = snapshot["top"][0]
+        assert set(site) == {"site", "size_kb", "size_diff_kb", "count"}
+        # Our hoard dominates the diff against the start() baseline.
+        assert any(
+            "test_obs_profile" in s["site"] for s in snapshot["top"]
+        )
+        assert not profiler.snapshot()["tracing"]
+
+    def test_profiler_carries_memory_only_when_asked(self):
+        assert SamplingProfiler().memory is None
+        profiler = SamplingProfiler(trace_memory=True)
+        assert isinstance(profiler.memory, MemoryProfiler)
+        profiler.start()
+        try:
+            assert profiler.memory.snapshot()["tracing"] is True
+        finally:
+            profiler.stop()
+        assert profiler.memory.snapshot()["tracing"] is False
+
+
+class TestAttributionAcrossThreads:
+    def test_each_thread_keeps_its_own_phase(self):
+        profiler = SamplingProfiler()
+        ready = threading.Barrier(3)
+        release = threading.Event()
+
+        def worker(phase):
+            with profile_phase(phase):
+                ready.wait()
+                release.wait(5.0)
+
+        threads = [
+            threading.Thread(target=worker, args=(p,))
+            for p in ("alpha", "beta")
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            ready.wait()  # both workers are inside their phases
+            profiler.sample_once(skip_thread=threading.get_ident())
+        finally:
+            release.set()
+            for thread in threads:
+                thread.join()
+        phases = {
+            s["phase"] for s in profiler.state_dict()["stacks"]
+        }
+        assert {"alpha", "beta"} <= phases

@@ -16,15 +16,20 @@ import io
 import json
 import threading
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gateway import RequestCoalescer
 from repro.obs.logging import (
+    MAX_REQUEST_ID_BYTES,
     bind_request_id,
+    clear_worker_identity,
     configure_logging,
     current_request_id,
     get_logger,
     reset_logging,
+    sanitize_request_id,
+    set_worker_identity,
 )
 from repro.obs.trace import disable_tracing, enable_tracing
 from repro.serve import RankingService, ScoreIndex, TopKQuery
@@ -165,3 +170,102 @@ def test_threaded_log_records_carry_the_binding_threads_id(rids):
     for line in lines:
         entry = json.loads(line)
         assert entry["request_id"] == entry["expected"]
+
+
+class TestSanitizeRequestId:
+    """The adoption gate for client-supplied ``X-Request-Id`` headers.
+
+    The id lands verbatim in JSON log lines, trace trees, and profiler
+    attribution keys, so a hostile header must come out either clean
+    or rejected (``None`` — the caller keeps its generated id).
+    """
+
+    def test_clean_ids_pass_through(self):
+        assert sanitize_request_id("trace-abc-123") == "trace-abc-123"
+        assert sanitize_request_id("  padded  ") == "padded"
+
+    @pytest.mark.parametrize(
+        "hostile",
+        [
+            "evil\x01id",
+            "a\tb",
+            "crlf\r\nInjected-Header: gotcha",
+            "newline\nonly",
+            "del\x7fchar",
+            "\x00",
+        ],
+    )
+    def test_control_characters_reject_the_whole_id(self, hostile):
+        assert sanitize_request_id(hostile) is None
+
+    def test_oversized_ids_truncate_instead_of_rejecting(self):
+        assert sanitize_request_id("x" * 300) == "x" * 128
+        boundary = "y" * MAX_REQUEST_ID_BYTES
+        assert sanitize_request_id(boundary) == boundary
+
+    def test_truncation_happens_before_the_control_scan(self):
+        # A control character beyond the cap is gone by the time the
+        # scan runs: the surviving prefix is clean, so it is adopted.
+        assert sanitize_request_id("x" * 128 + "\n") == "x" * 128
+
+    def test_empty_and_absent_ids_fall_back(self):
+        assert sanitize_request_id(None) is None
+        assert sanitize_request_id("") is None
+        assert sanitize_request_id("   ") is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=200))
+    def test_output_is_always_clean_and_bounded(self, raw):
+        cleaned = sanitize_request_id(raw)
+        if cleaned is not None:
+            assert 0 < len(cleaned) <= MAX_REQUEST_ID_BYTES
+            assert all(
+                ord(c) >= 0x20 and ord(c) != 0x7F for c in cleaned
+            )
+
+
+class TestWorkerIdentityInLogs:
+    """Every fleet log line says which process wrote it."""
+
+    def _one_entry(self, *, extra=None):
+        sink = io.StringIO()
+        configure_logging("INFO", json=True, stream=sink)
+        try:
+            get_logger("fleettest").info("ping", extra=extra or {})
+        finally:
+            reset_logging()
+        return json.loads(sink.getvalue().strip())
+
+    def test_worker_fields_appear_when_identity_is_set(self):
+        set_worker_identity("3", pid=4242)
+        try:
+            entry = self._one_entry()
+        finally:
+            clear_worker_identity()
+        assert entry["worker"] == "3"
+        assert entry["worker_pid"] == 4242
+
+    def test_supervisor_label_is_a_plain_string(self):
+        set_worker_identity("supervisor")
+        try:
+            entry = self._one_entry()
+        finally:
+            clear_worker_identity()
+        assert entry["worker"] == "supervisor"
+        assert isinstance(entry["worker_pid"], int)
+
+    def test_identity_beats_a_colliding_extra_field(self):
+        # The emitting process's identity is authoritative: a log call
+        # cannot masquerade as another worker via ``extra=``.
+        set_worker_identity("1")
+        try:
+            entry = self._one_entry(extra={"worker": "99"})
+        finally:
+            clear_worker_identity()
+        assert entry["worker"] == "1"
+
+    def test_no_worker_fields_outside_fleet_mode(self):
+        clear_worker_identity()
+        entry = self._one_entry()
+        assert "worker" not in entry
+        assert "worker_pid" not in entry

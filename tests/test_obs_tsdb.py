@@ -1,0 +1,197 @@
+"""Tests for repro.obs.tsdb — the ring-buffer metrics history store.
+
+Timestamps are injected (``scrape_once(now)``) so every windowing
+assertion is exact; only the one background-thread test touches the
+wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from obsschema import validate_history
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tsdb import (
+    TimeSeriesStore,
+    counter_delta,
+    parse_series_key,
+    series_key,
+)
+
+
+def _store_with_counter(**kwargs):
+    """A store over a private registry; returns (store, counter)."""
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "unit_requests_total", "requests", ("endpoint",)
+    )
+    store = TimeSeriesStore(registry.collect, **kwargs)
+    return store, counter
+
+
+class TestSeriesKeys:
+    def test_roundtrip_with_labels(self):
+        key = series_key(
+            "m_total", (("endpoint", "top"), ("status", "200"))
+        )
+        assert key == 'm_total{endpoint="top",status="200"}'
+        assert parse_series_key(key) == (
+            "m_total", {"endpoint": "top", "status": "200"},
+        )
+
+    def test_roundtrip_without_labels(self):
+        assert parse_series_key(series_key("m_total", ())) == (
+            "m_total", {},
+        )
+
+    def test_roundtrip_escaped_quotes(self):
+        key = series_key("m_total", (("q", 'say "hi"'),))
+        assert parse_series_key(key) == ("m_total", {"q": 'say "hi"'})
+
+
+class TestScraping:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            TimeSeriesStore(list, capacity=0)
+
+    def test_ring_evicts_oldest_beyond_capacity(self):
+        store, counter = _store_with_counter(capacity=3, interval=0.0)
+        for tick in range(5):
+            counter.inc(endpoint="top")
+            store.scrape_once(now=float(tick))
+        assert store.scrapes_total == 5
+        points = store.points()
+        assert [p["ts"] for p in points] == [2.0, 3.0, 4.0]
+        key = 'unit_requests_total{endpoint="top"}'
+        assert points[-1]["series"][key] == 5.0
+
+    def test_clock_stepping_backwards_never_unsorts_the_ring(self):
+        store, counter = _store_with_counter(interval=0.0)
+        counter.inc(endpoint="top")
+        store.scrape_once(now=100.0)
+        store.scrape_once(now=50.0)  # NTP step, VM resume, ...
+        assert [p["ts"] for p in store.points()] == [100.0, 100.0]
+
+    def test_family_filter_and_window_bounds(self):
+        registry = MetricsRegistry()
+        first = registry.counter("unit_a_total", "a")
+        registry.counter("unit_b_total", "b").inc()
+        store = TimeSeriesStore(registry.collect, interval=0.0)
+        for tick in range(4):
+            first.inc()
+            store.scrape_once(now=10.0 * tick)
+        assert store.families() == ["unit_a_total", "unit_b_total"]
+        only_a = store.points(family="unit_a_total")
+        assert all(
+            set(p["series"]) == {"unit_a_total"} for p in only_a
+        )
+        windowed = store.points(since=10.0, until=20.0)
+        assert [p["ts"] for p in windowed] == [10.0, 20.0]
+
+    def test_background_scraper_collects_and_stops(self):
+        store, counter = _store_with_counter(interval=0.005)
+        counter.inc(endpoint="top")
+        store.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while (
+                store.scrapes_total == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+        finally:
+            store.stop()
+        assert store.scrapes_total > 0
+        settled = store.scrapes_total
+        time.sleep(0.05)
+        assert store.scrapes_total == settled  # really stopped
+
+    def test_zero_interval_start_is_a_no_op(self):
+        store, _ = _store_with_counter(interval=0.0)
+        store.start()
+        assert store._thread is None
+        store.stop()
+
+
+class TestWindow:
+    def test_empty_store_has_no_window(self):
+        store, _ = _store_with_counter(interval=0.0)
+        assert store.window(60.0) is None
+
+    def test_window_anchors_at_oldest_point_inside(self):
+        store, counter = _store_with_counter(interval=0.0)
+        for tick in (0.0, 10.0, 20.0, 30.0):
+            counter.inc(endpoint="top")
+            store.scrape_once(now=tick)
+        old, new = store.window(15.0, now=30.0)
+        assert (old["ts"], new["ts"]) == (20.0, 30.0)
+
+    def test_window_clamps_to_available_history(self):
+        store, counter = _store_with_counter(interval=0.0)
+        counter.inc(endpoint="top")
+        store.scrape_once(now=100.0)
+        store.scrape_once(now=110.0)
+        # A 3-day ask on 10 seconds of history: "since start".
+        old, new = store.window(259200.0, now=110.0)
+        assert (old["ts"], new["ts"]) == (100.0, 110.0)
+
+
+class TestCounterDelta:
+    def test_prefix_where_and_absent_old_series(self):
+        old = {"series": {'m_total{endpoint="top"}': 3.0}}
+        new = {
+            "series": {
+                'm_total{endpoint="top"}': 10.0,
+                'm_total{endpoint="paper"}': 4.0,  # joined mid-window
+                'other_total{endpoint="top"}': 99.0,
+            }
+        }
+        assert counter_delta(old, new, prefix="m_total") == 11.0
+        assert (
+            counter_delta(
+                old,
+                new,
+                prefix="m_total",
+                where=lambda labels: labels["endpoint"] == "paper",
+            )
+            == 4.0
+        )
+
+    def test_decreases_clamp_to_zero(self):
+        old = {"series": {"m_total": 50.0, "n_total": 1.0}}
+        new = {"series": {"m_total": 10.0, "n_total": 3.0}}
+        # A worker restart reset m_total; the fleet increase must not
+        # go negative because one process was reborn.
+        assert counter_delta(old, new, prefix="m_") == 0.0
+        assert counter_delta(old, new, prefix="n_") == 2.0
+
+
+class TestHistoryPayload:
+    def test_document_shape_and_limit(self):
+        store, counter = _store_with_counter(
+            capacity=10, interval=0.0
+        )
+        for tick in range(6):
+            counter.inc(endpoint="top")
+            store.scrape_once(now=float(tick))
+        document = store.history_payload(
+            family="unit_requests_total", limit=2
+        )
+        validate_history(document)
+        assert document["points_total"] == 6
+        assert [p["ts"] for p in document["points"]] == [4.0, 5.0]
+        assert document["families"] == ["unit_requests_total"]
+        assert document["capacity"] == 10
+        assert document["scrapes_total"] == 6
+
+    def test_unknown_family_yields_no_points(self):
+        store, counter = _store_with_counter(interval=0.0)
+        counter.inc(endpoint="top")
+        store.scrape_once(now=0.0)
+        document = store.history_payload(family="nope_total")
+        validate_history(document)
+        assert document["points"] == []
+        assert document["points_total"] == 0
